@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Bechamel Bench_data Bench_util Database Ivm List Ops Printf Query Relalg Relation Schema Staged Test Transaction Tuple Value Workload

@@ -1,0 +1,1 @@
+bench/bench_crossover.ml: Bench_data Bench_util Ivm List Printf Relalg Transaction Workload

@@ -1,0 +1,1 @@
+bench/bench_data.ml: Bench_util Condition Database Ivm List Query Relalg Transaction Workload

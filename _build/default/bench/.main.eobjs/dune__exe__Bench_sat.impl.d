@@ -1,0 +1,1 @@
+bench/bench_sat.ml: Bench_util Condition List Printf

@@ -1,0 +1,1 @@
+bench/bench_screening.ml: Array Bechamel Bench_data Bench_util Condition Database Ivm List Printf Query Relalg Schema Staged Test Transaction Tuple Value Workload

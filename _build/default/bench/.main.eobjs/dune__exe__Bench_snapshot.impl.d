@@ -1,0 +1,1 @@
+bench/bench_snapshot.ml: Bench_util Ivm List Printf Query Workload

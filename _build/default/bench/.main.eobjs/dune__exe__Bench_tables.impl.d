@@ -1,0 +1,1 @@
+bench/bench_tables.ml: Bench_util Condition Database Ivm List Printf Query Relalg Relation Schema Transaction Tuple Value

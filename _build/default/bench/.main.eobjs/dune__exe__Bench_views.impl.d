@@ -1,0 +1,1 @@
+bench/bench_views.ml: Bench_data Bench_util Condition Ivm List Printf Query String Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_ablation Bench_crossover Bench_sat Bench_screening Bench_snapshot Bench_tables Bench_views List Printf String Sys

@@ -1,0 +1,92 @@
+(* Workload builders and the measurement core shared by all experiments. *)
+
+open Relalg
+module View = Ivm.View
+module Maintenance = Ivm.Maintenance
+module Generate = Workload.Generate
+module Scenario = Workload.Scenario
+module Rng = Workload.Rng
+
+(* Measure one transaction both ways.  The differential side times
+   Maintenance.view_delta in the deletions-applied state (it does not
+   mutate, so it can be repeated); the baseline times complete
+   re-evaluation against the post-state.  The view is left consistent. *)
+let measure_diff_vs_full ?(options = Maintenance.default_options) ?(repeats = 5)
+    ~db ~view txn =
+  let net = Transaction.net_effect db txn in
+  Maintenance.apply_deletes db net;
+  let delta, report = Maintenance.view_delta ~options view ~db ~net in
+  let diff_time =
+    Bench_util.time_trials ~repeats (fun _ ->
+        ignore (Maintenance.view_delta ~options view ~db ~net))
+  in
+  Maintenance.apply_inserts db net;
+  let lookup = View.lookup view in
+  let full_time =
+    Bench_util.time_trials ~repeats (fun _ ->
+        ignore (Query.Spj.eval lookup db (View.spj view)))
+  in
+  View.apply_delta view delta;
+  (diff_time, full_time, report)
+
+(* Average the two measurements across [trials] fresh transactions. *)
+let sweep_diff_vs_full ?options ?(repeats = 3) ~trials ~db ~view make_txn =
+  let diff_total = ref 0.0 and full_total = ref 0.0 in
+  let last_report = ref None in
+  for trial = 1 to trials do
+    let diff, full, report =
+      measure_diff_vs_full ?options ~repeats ~db ~view (make_txn trial)
+    in
+    diff_total := !diff_total +. diff;
+    full_total := !full_total +. full;
+    last_report := Some report
+  done;
+  let n = float_of_int trials in
+  (!diff_total /. n, !full_total /. n, !last_report)
+
+(* Single relation R(A, B, C) and a selective view sigma_{B < threshold}.
+   B is uniform over [0, key_range), so selectivity = threshold/key_range
+   and an insert with B >= threshold is provably irrelevant. *)
+let select_setup ~rng ~size ~key_range ~threshold =
+  let scenario = Scenario.single ~rng ~size ~key_range in
+  let db = scenario.Scenario.db in
+  let open Condition.Formula.Dsl in
+  let view =
+    View.define ~name:"sel" ~db
+      Query.Expr.(select (v "B" <% i threshold) (base "R"))
+  in
+  (scenario, db, view)
+
+(* Insert batch with an exact fraction of provably irrelevant tuples
+   (B >= threshold).  Returned as a valid transaction. *)
+let relevance_controlled_inserts ~rng ~db ~relation ~key_range ~threshold
+    ~batch ~irrelevant_fraction =
+  let irrelevant_count =
+    int_of_float (irrelevant_fraction *. float_of_int batch)
+  in
+  let base = Database.find db relation in
+  let columns_for lo hi =
+    [
+      Generate.Uniform (0, 10_000_000);
+      Generate.Uniform (lo, hi);
+      Generate.Uniform (0, 100);
+    ]
+  in
+  let irrelevant =
+    Generate.fresh rng base (columns_for threshold (key_range - 1))
+      irrelevant_count
+  in
+  let relevant =
+    Generate.fresh rng base (columns_for 0 (threshold - 1))
+      (batch - irrelevant_count)
+  in
+  List.map (fun t -> Transaction.insert relation t) (irrelevant @ relevant)
+
+(* Join view over pair R(A,B) |x| S(B,C). *)
+let join_setup ~rng ~size_r ~size_s ~key_range =
+  let scenario = Scenario.pair ~rng ~size_r ~size_s ~key_range in
+  let db = scenario.Scenario.db in
+  let view =
+    View.define ~name:"join" ~db Query.Expr.(join (base "R") (base "S"))
+  in
+  (scenario, db, view)

@@ -1,0 +1,57 @@
+(* E7: satisfiability scaling.  Rosenkrantz-Hunt is O(n^3) per conjunction
+   (Floyd-Warshall over n variables) and O(m n^3) for m disjuncts. *)
+
+module F = Condition.Formula
+module Sat = Condition.Satisfiability
+open F.Dsl
+
+(* An unsatisfiable chain x0 < x1 < ... < x_{n-1} < x0: every disjunct
+   must be fully checked (satisfiable disjuncts would short-circuit the
+   DNF test), so the measurement exercises the complete O(m n^3) path. *)
+let chain_conjunction n =
+  let var k = Printf.sprintf "x%d" k in
+  let chain = List.init (n - 1) (fun k -> v (var k) <% v (var (k + 1))) in
+  let closing = [ v (var (n - 1)) <% v (var 0) ] in
+  match F.to_dnf (F.conj (chain @ closing)) with
+  | [ conj ] -> conj
+  | _ -> assert false
+
+let e7 () =
+  Bench_util.banner "E7: satisfiability cost, O(m n^3) expected";
+  let repeat = 50 in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let conj = chain_conjunction n in
+        List.map
+          (fun m ->
+            let dnf = List.init m (fun _ -> conj) in
+            let t =
+              Bench_util.time_trials ~repeats:5 (fun _ ->
+                  for _ = 1 to repeat do
+                    ignore (Sat.dnf dnf)
+                  done)
+            in
+            let per_call = t /. float_of_int repeat in
+            [
+              string_of_int n;
+              string_of_int m;
+              Bench_util.fmt_time per_call;
+              Printf.sprintf "%.2f"
+                (per_call *. 1e9
+                /. (float_of_int m *. (float_of_int n ** 3.0)));
+            ])
+          [ 1; 4; 16 ])
+      [ 4; 8; 16; 32; 64 ]
+  in
+  Bench_util.print_table
+    ~header:[ "n vars"; "m disjuncts"; "time/call"; "ns / (m*n^3)" ]
+    rows;
+  Printf.printf
+    "\nEvery disjunct is unsatisfiable, so all m are checked; the last\n\
+     column approaching a constant as n grows confirms the O(m n^3)\n\
+     asymptotic (small n is dominated by normalization overhead).\n"
+
+let run () =
+  Bench_util.section "Satisfiability scaling (E7)";
+  e7 ()

@@ -1,0 +1,96 @@
+(* Shared measurement and reporting helpers for the benchmark harness.
+
+   Macro experiments (whole-transaction maintenance) are timed with
+   wall-clock medians over repeated fresh runs; micro experiments go
+   through Bechamel's OLS estimator. *)
+
+let now () = Unix.gettimeofday ()
+
+(* Median wall-clock seconds of [repeats] one-shot calls.  [f] receives the
+   trial index so callers can rotate through pre-built inputs (maintenance
+   mutates state, so a trial cannot be replayed). *)
+let time_trials ~repeats f =
+  let times =
+    Array.init repeats (fun trial ->
+        let t0 = now () in
+        f trial;
+        now () -. t0)
+  in
+  Array.sort compare times;
+  times.(repeats / 2)
+
+let time_once f =
+  let t0 = now () in
+  f ();
+  now () -. t0
+
+let fmt_time seconds =
+  if seconds < 1e-6 then Printf.sprintf "%.0f ns" (seconds *. 1e9)
+  else if seconds < 1e-3 then Printf.sprintf "%.1f us" (seconds *. 1e6)
+  else if seconds < 1.0 then Printf.sprintf "%.2f ms" (seconds *. 1e3)
+  else Printf.sprintf "%.2f s" seconds
+
+let fmt_speedup x =
+  if x >= 100.0 then Printf.sprintf "%.0fx" x else Printf.sprintf "%.1fx" x
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let section title =
+  let rule = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" rule title rule
+
+(* Aligned ASCII table. *)
+let print_table ~header rows =
+  let columns = List.length header in
+  let width i =
+    List.fold_left
+      (fun w row -> max w (String.length (List.nth row i)))
+      (String.length (List.nth header i))
+      rows
+  in
+  let widths = List.init columns width in
+  let render row =
+    String.concat "  "
+      (List.map2
+         (fun cell w -> cell ^ String.make (w - String.length cell) ' ')
+         row widths)
+  in
+  Printf.printf "%s\n" (render header);
+  Printf.printf "%s\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Printf.printf "%s\n" (render row)) rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel integration: one Test.make per experiment, shared runner.  *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+(* Runs a grouped benchmark and returns (full name, ns/run) estimates. *)
+let run_bechamel ?(quota = 0.5) tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> (name, est) :: acc
+      | Some _ | None -> acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_bechamel ~title results =
+  banner title;
+  print_table
+    ~header:[ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, ns) -> [ name; fmt_time (ns *. 1e-9) ])
+       results)

@@ -1,0 +1,205 @@
+(* E2-E6: differential maintenance vs complete re-evaluation, per view
+   class.  Shapes expected: differential wins by roughly |view|/|delta|
+   for small update sets; the gap narrows as the batch grows. *)
+
+module View = Ivm.View
+module Maintenance = Ivm.Maintenance
+module Generate = Workload.Generate
+module Scenario = Workload.Scenario
+module Rng = Workload.Rng
+
+let speedup_row label diff full =
+  [
+    label;
+    Bench_util.fmt_time diff;
+    Bench_util.fmt_time full;
+    Bench_util.fmt_speedup (full /. diff);
+  ]
+
+let header = [ "configuration"; "differential"; "full re-eval"; "speedup" ]
+
+let e2 () =
+  Bench_util.banner "E2: select view  sigma_{B<500}(R),  B uniform in [0,1000)";
+  let rows =
+    List.concat_map
+      (fun size ->
+        let rng = Rng.make (200 + size) in
+        let scenario, db, view =
+          Bench_data.select_setup ~rng ~size ~key_range:1000 ~threshold:500
+        in
+        List.map
+          (fun batch ->
+            let columns = Scenario.columns_of scenario "R" in
+            let diff, full, _ =
+              Bench_data.sweep_diff_vs_full ~trials:2 ~repeats:2 ~db ~view
+                (fun _ ->
+                  Generate.transaction rng db "R" ~columns
+                    ~inserts:(batch / 2) ~deletes:(batch - (batch / 2)))
+            in
+            speedup_row (Printf.sprintf "|R|=%d batch=%d" size batch) diff full)
+          [ 2; 100; 1000 ])
+      [ 1_000; 10_000; 100_000 ]
+  in
+  Bench_util.print_table ~header rows
+
+let e3 () =
+  Bench_util.banner
+    "E3: project view  pi_B(R)  (duplicate-heavy: B has 100 values)";
+  let rows =
+    List.concat_map
+      (fun size ->
+        let rng = Rng.make (300 + size) in
+        let scenario = Scenario.single ~rng ~size ~key_range:100 in
+        let db = scenario.Scenario.db in
+        let view =
+          View.define ~name:"proj" ~db Query.Expr.(project [ "B" ] (base "R"))
+        in
+        List.map
+          (fun batch ->
+            let columns = Scenario.columns_of scenario "R" in
+            let diff, full, _ =
+              Bench_data.sweep_diff_vs_full ~trials:2 ~repeats:2 ~db ~view
+                (fun _ ->
+                  Generate.transaction rng db "R" ~columns
+                    ~inserts:(batch / 2) ~deletes:(batch - (batch / 2)))
+            in
+            speedup_row (Printf.sprintf "|R|=%d batch=%d" size batch) diff full)
+          [ 2; 1000 ])
+      [ 10_000; 100_000 ]
+  in
+  Bench_util.print_table ~header rows
+
+let e4 () =
+  Bench_util.banner "E4: join view  R(A,B) |x| S(B,C)";
+  let rows =
+    List.concat_map
+      (fun size ->
+        let rng = Rng.make (400 + size) in
+        let scenario, db, view =
+          Bench_data.join_setup ~rng ~size_r:size ~size_s:size
+            ~key_range:(max 10 (size / 2))
+        in
+        List.map
+          (fun batch ->
+            let diff, full, _ =
+              Bench_data.sweep_diff_vs_full ~trials:2 ~repeats:2 ~db ~view
+                (fun _ ->
+                  Generate.mixed_transaction rng db
+                    [
+                      ( "R",
+                        Scenario.columns_of scenario "R",
+                        batch / 2,
+                        batch / 2 );
+                    ])
+            in
+            speedup_row
+              (Printf.sprintf "|R|=|S|=%d delta=%d" size batch)
+              diff full)
+          [ 2; 100; 1000 ])
+      [ 1_000; 10_000; 30_000 ]
+  in
+  Bench_util.print_table ~header rows
+
+let e5 () =
+  Bench_util.banner
+    "E5: 3-way chain join, k modified relations (2^k - 1 truth-table rows)";
+  let rng = Rng.make 500 in
+  let scenario, names = Scenario.chain ~rng ~p:3 ~size:10_000 ~key_range:3_000 in
+  let db = scenario.Scenario.db in
+  let view =
+    View.define ~name:"chain" ~db
+      Query.Expr.(join_all (List.map Query.Expr.base names))
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let touched = List.filteri (fun idx _ -> idx < k) names in
+        let diff, full, report =
+          Bench_data.sweep_diff_vs_full ~trials:2 ~repeats:2 ~db ~view
+            (fun _ ->
+              Generate.mixed_transaction rng db
+                (List.map
+                   (fun name -> (name, Scenario.columns_of scenario name, 10, 10))
+                   touched))
+        in
+        let rows_evaluated =
+          match report with
+          | Some r -> r.Maintenance.rows_evaluated
+          | None -> 0
+        in
+        [
+          Printf.sprintf "k=%d (%s)" k (String.concat "," touched);
+          string_of_int rows_evaluated;
+          Bench_util.fmt_time diff;
+          Bench_util.fmt_time full;
+          Bench_util.fmt_speedup (full /. diff);
+        ])
+      [ 1; 2; 3 ]
+  in
+  Bench_util.print_table
+    ~header:
+      [ "modified"; "row evals"; "differential"; "full re-eval"; "speedup" ]
+    rows
+
+let e6 () =
+  Bench_util.banner
+    "E6: SPJ dashboard view (orders |x| customers, selection + projection)";
+  let rng = Rng.make 600 in
+  let scenario = Scenario.orders ~rng ~customers:1_000 ~orders:50_000 in
+  let db = scenario.Scenario.db in
+  let open Condition.Formula.Dsl in
+  let view =
+    View.define ~name:"dash" ~db
+      Query.Expr.(
+        project
+          [ "oid"; "cid"; "amount" ]
+          (select
+             ((v "amount" >% i 900) &&% (v "region" =% s "north"))
+             (join (base "orders") (base "customers"))))
+  in
+  let rows =
+    List.map
+      (fun batch ->
+        let diff, full, report =
+          Bench_data.sweep_diff_vs_full ~trials:2 ~repeats:2 ~db ~view
+            (fun _ ->
+              Generate.transaction rng db "orders"
+                ~columns:(Scenario.columns_of scenario "orders")
+                ~inserts:(batch / 2) ~deletes:(batch - (batch / 2)))
+        in
+        let screened =
+          match report with
+          | Some r ->
+            Printf.sprintf "%d/%d"
+              r.Maintenance.screened_out
+              (r.Maintenance.screened_out + r.Maintenance.screened_kept)
+          | None -> "-"
+        in
+        [
+          Printf.sprintf "batch=%d" batch;
+          screened;
+          Bench_util.fmt_time diff;
+          Bench_util.fmt_time full;
+          Bench_util.fmt_speedup (full /. diff);
+        ])
+      [ 10; 100; 1000 ]
+  in
+  Bench_util.print_table
+    ~header:
+      [
+        "configuration";
+        "screened out";
+        "differential";
+        "full re-eval";
+        "speedup";
+      ]
+    rows
+
+let run () =
+  Bench_util.section
+    "Differential vs complete re-evaluation per view class (E2-E6)";
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ()

@@ -1,0 +1,35 @@
+(* Benchmark harness: regenerates every paper artifact (P1-P4) and runs
+   the quantitative evaluation (E1-E12) described in DESIGN.md.
+
+   Run everything:        dune exec bench/main.exe
+   Run a single section:  dune exec bench/main.exe -- tables screening
+   Sections: tables screening views sat ablation crossover snapshot *)
+
+let sections =
+  [
+    ("tables", Bench_tables.run);
+    ("screening", Bench_screening.run);
+    ("views", Bench_views.run);
+    ("sat", Bench_sat.run);
+    ("ablation", Bench_ablation.run);
+    ("crossover", Bench_crossover.run);
+    ("snapshot", Bench_snapshot.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  Printf.printf
+    "Efficiently Updating Materialized Views (SIGMOD 1986) - benchmark harness\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n" name
+          (String.concat " " (List.map fst sections));
+        exit 1)
+    requested

@@ -1,0 +1,283 @@
+(* Command-line interface to the library: inspect paper artifacts, run
+   randomized self-checks, and explore maintenance interactively on the
+   built-in scenarios. *)
+
+open Cmdliner
+open Relalg
+module View = Ivm.View
+module Maintenance = Ivm.Maintenance
+module Manager = Ivm.Manager
+module Rng = Workload.Rng
+module Generate = Workload.Generate
+module Scenario = Workload.Scenario
+
+(* ------------------------------------------------------------------ *)
+(* ivm-cli example                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_example () =
+  let db = Database.create () in
+  Database.register db "R"
+    (Relation.of_tuples
+       (Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ])
+       [ Tuple.of_ints [ 1; 2 ]; Tuple.of_ints [ 5; 10 ] ]);
+  Database.register db "S"
+    (Relation.of_tuples
+       (Schema.make [ ("C", Value.Int_ty); ("D", Value.Int_ty) ])
+       [ Tuple.of_ints [ 2; 10 ]; Tuple.of_ints [ 10; 20 ]; Tuple.of_ints [ 12; 15 ] ]);
+  let open Condition.Formula.Dsl in
+  let view =
+    View.define ~name:"u" ~db
+      Query.Expr.(
+        project [ "A"; "D" ]
+          (select
+             ((v "A" <% i 10) &&% (v "C" >% i 5) &&% (v "B" =% v "C"))
+             (product (base "R") (base "S"))))
+  in
+  Printf.printf "view definition:\n  %s\n\n"
+    (Format.asprintf "%a" Query.Spj.pp (View.spj view));
+  Printf.printf "materialization:\n%s\n\n"
+    (Relation.to_ascii (View.contents view));
+  let screen = View.screen_for view ~alias:"R" in
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "insert (%d,%d) into R: %s\n" a b
+        (if Ivm.Irrelevance.relevant screen (Tuple.of_ints [ a; b ]) then
+           "relevant"
+         else "irrelevant"))
+    [ (9, 10); (11, 10) ];
+  ignore
+    (Maintenance.process ~views:[ view ] ~db
+       [ Transaction.insert "R" (Tuple.of_ints [ 9; 10 ]) ]);
+  Printf.printf "\nafter inserting (9,10):\n%s\n"
+    (Relation.to_ascii (View.contents view));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* ivm-cli check                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_check seed rounds transactions verbose =
+  let rng = Rng.make seed in
+  let failures = ref 0 in
+  for round = 1 to rounds do
+    let scenario = Scenario.pair ~rng ~size_r:200 ~size_s:200 ~key_range:20 in
+    let db = scenario.Scenario.db in
+    let open Condition.Formula.Dsl in
+    let exprs =
+      [
+        Query.Expr.(join (base "R") (base "S"));
+        Query.Expr.(project [ "B" ] (base "R"));
+        Query.Expr.(
+          project [ "A"; "C" ]
+            (select ((v "C" <% i 1500) ||% (v "A" >% i 100))
+               (join (base "R") (base "S"))));
+      ]
+    in
+    let views =
+      List.mapi
+        (fun k expr ->
+          View.define ~name:(Printf.sprintf "v%d" k) ~db expr)
+        exprs
+    in
+    for _ = 1 to transactions do
+      let txn =
+        Generate.mixed_transaction rng db
+          [
+            ("R", Scenario.columns_of scenario "R", Rng.int rng 4, Rng.int rng 4);
+            ("S", Scenario.columns_of scenario "S", Rng.int rng 4, Rng.int rng 4);
+          ]
+      in
+      ignore (Maintenance.process ~views ~db txn)
+    done;
+    List.iter
+      (fun view ->
+        if not (View.consistent view db) then begin
+          incr failures;
+          Printf.printf "round %d: view %s INCONSISTENT\n" round (View.name view)
+        end
+        else if verbose then
+          Printf.printf "round %d: view %s ok (%d tuples)\n" round
+            (View.name view)
+            (Relation.cardinal (View.contents view)))
+      views
+  done;
+  if !failures = 0 then begin
+    Printf.printf
+      "self-check passed: %d rounds x %d transactions x 3 views, all \
+       consistent with full re-evaluation\n"
+      rounds transactions;
+    0
+  end
+  else begin
+    Printf.printf "%d inconsistencies found\n" !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* ivm-cli stream                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_stream seed transactions batch screen =
+  let rng = Rng.make seed in
+  let scenario = Scenario.orders ~rng ~customers:200 ~orders:5_000 in
+  let db = scenario.Scenario.db in
+  let mgr = Manager.create db in
+  let open Condition.Formula.Dsl in
+  let options = { Maintenance.default_options with screen } in
+  ignore
+    (Manager.define_view mgr ~name:"dashboard" ~options
+       Query.Expr.(
+         project
+           [ "oid"; "cid"; "amount" ]
+           (select
+              ((v "amount" >% i 900) &&% (v "region" =% s "north"))
+              (join (base "orders") (base "customers")))));
+  let total_time = ref 0.0 in
+  let screened = ref 0 and kept = ref 0 in
+  for _ = 1 to transactions do
+    let txn =
+      Generate.transaction rng db "orders"
+        ~columns:(Scenario.columns_of scenario "orders")
+        ~inserts:(batch / 2)
+        ~deletes:(batch - (batch / 2))
+    in
+    let t0 = Sys.time () in
+    let reports = Manager.commit mgr txn in
+    total_time := !total_time +. Sys.time () -. t0;
+    List.iter
+      (fun r ->
+        screened := !screened + r.Maintenance.screened_out;
+        kept := !kept + r.Maintenance.screened_kept)
+      reports
+  done;
+  Printf.printf
+    "%d transactions (batch %d) in %.1f ms; screening %s: %d/%d tuples \
+     proven irrelevant; consistent: %b\n"
+    transactions batch (!total_time *. 1000.0)
+    (if screen then "on" else "off")
+    !screened (!screened + !kept)
+    (Manager.all_consistent mgr);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* ivm-cli query                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_query dir statement materialize =
+  match
+    let db = Csv.load_database ~dir in
+    let lookup name = Relation.schema (Database.find db name) in
+    let expr = Query.Parser.view ~lookup statement in
+    if materialize then begin
+      (* Register it as a maintained view and show the compiled form. *)
+      let view = View.define ~name:"query" ~db expr in
+      Printf.printf "compiled: %s\n\n"
+        (Format.asprintf "%a" Query.Spj.pp (View.spj view));
+      Printf.printf "%s\n" (Relation.to_ascii (View.contents view))
+    end
+    else Printf.printf "%s\n" (Relation.to_ascii (Query.Eval.eval db expr))
+  with
+  | () -> 0
+  | exception Query.Parser.Parse_error message ->
+    Printf.eprintf "parse error: %s\n" message;
+    1
+  | exception Query.Spj.Compile_error message ->
+    Printf.eprintf "compile error: %s\n" message;
+    1
+  | exception Csv.Parse_error message ->
+    Printf.eprintf "csv error: %s\n" message;
+    1
+  | exception Sys_error message ->
+    Printf.eprintf "%s\n" message;
+    1
+
+(* ------------------------------------------------------------------ *)
+(* command definitions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let example_cmd =
+  Cmd.v
+    (Cmd.info "example"
+       ~doc:"Walk through the paper's Example 4.1 end to end.")
+    Term.(const run_example $ const ())
+
+let check_cmd =
+  let rounds =
+    Arg.(
+      value & opt int 10
+      & info [ "rounds" ] ~docv:"N" ~doc:"Independent random databases.")
+  in
+  let transactions =
+    Arg.(
+      value & opt int 20
+      & info [ "transactions" ] ~docv:"N" ~doc:"Transactions per round.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-view results.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Randomized self-check: differential maintenance must equal full \
+          re-evaluation.")
+    Term.(const run_check $ seed_arg $ rounds $ transactions $ verbose)
+
+let stream_cmd =
+  let transactions =
+    Arg.(
+      value & opt int 100
+      & info [ "transactions" ] ~docv:"N" ~doc:"Number of transactions.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 10
+      & info [ "batch" ] ~docv:"N" ~doc:"Updates per transaction.")
+  in
+  let screen =
+    Arg.(
+      value & opt bool true
+      & info [ "screen" ] ~docv:"BOOL" ~doc:"Enable irrelevance screening.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Maintain a dashboard view over a transaction stream and report \
+             timing and screening statistics.")
+    Term.(const run_stream $ seed_arg $ transactions $ batch $ screen)
+
+let query_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some dir) None
+      & info [ "dir"; "d" ] ~docv:"DIR"
+          ~doc:"Directory of <relation>.csv files (see Relalg.Csv).")
+  in
+  let statement =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SELECT" ~doc:"A SELECT ... FROM ... [WHERE ...] query.")
+  in
+  let materialize =
+    Arg.(
+      value & flag
+      & info [ "materialize"; "m" ]
+          ~doc:"Compile to a maintained view and show its canonical form.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate a SQL-like query over a directory of CSV relations.")
+    Term.(const run_query $ dir $ statement $ materialize)
+
+let () =
+  let info =
+    Cmd.info "ivm-cli" ~version:"1.0.0"
+      ~doc:
+        "Efficiently updating materialized views (Blakeley, Larson & Tompa, \
+         SIGMOD 1986)"
+  in
+  exit (Cmd.eval' (Cmd.group info [ example_cmd; check_cmd; stream_cmd; query_cmd ]))

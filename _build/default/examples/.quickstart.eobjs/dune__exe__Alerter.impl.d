@@ -1,0 +1,1 @@
+examples/alerter.ml: Condition Database Ivm List Printf Query Relalg Relation Schema Transaction Tuple Value

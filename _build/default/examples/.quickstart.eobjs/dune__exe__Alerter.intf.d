@@ -1,0 +1,1 @@
+examples/alerter.mli:

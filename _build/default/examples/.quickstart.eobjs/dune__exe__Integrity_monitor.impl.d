@@ -1,0 +1,1 @@
+examples/integrity_monitor.ml: Condition Database Ivm List Printf Query Relalg Relation Schema Transaction Tuple Value

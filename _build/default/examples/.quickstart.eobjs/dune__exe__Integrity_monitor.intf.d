@@ -1,0 +1,1 @@
+examples/integrity_monitor.mli:

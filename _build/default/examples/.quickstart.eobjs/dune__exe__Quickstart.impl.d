@@ -1,0 +1,1 @@
+examples/quickstart.ml: Condition Database Format Ivm List Printf Query Relalg Relation Schema Transaction Tuple Value

@@ -1,0 +1,1 @@
+examples/realtime_dashboard.ml: Condition Ivm List Printf Query Relalg Relation Workload

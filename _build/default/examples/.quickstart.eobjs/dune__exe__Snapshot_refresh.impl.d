@@ -1,0 +1,1 @@
+examples/snapshot_refresh.ml: Condition Format Ivm List Printf Query Relalg Relation Transaction Tuple Workload

@@ -1,0 +1,61 @@
+(* Quickstart: define base relations, a materialized SPJ view, and watch
+   differential maintenance do its job.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   This walks through the paper's running example (Example 4.1): a view
+     u = pi_{A,D}( sigma_{A<10 & C>5 & B=C} (R x S) )
+   over base relations R(A,B) and S(C,D). *)
+
+open Relalg
+open Condition.Formula.Dsl
+
+let show title relation =
+  Printf.printf "%s\n%s\n\n" title (Relation.to_ascii relation)
+
+let () =
+  (* 1. Build a database with two base relations. *)
+  let db = Database.create () in
+  let r_schema = Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ] in
+  let s_schema = Schema.make [ ("C", Value.Int_ty); ("D", Value.Int_ty) ] in
+  Database.register db "R"
+    (Relation.of_tuples r_schema [ Tuple.of_ints [ 1; 2 ]; Tuple.of_ints [ 5; 10 ] ]);
+  Database.register db "S"
+    (Relation.of_tuples s_schema
+       [ Tuple.of_ints [ 2; 10 ]; Tuple.of_ints [ 10; 20 ]; Tuple.of_ints [ 12; 15 ] ]);
+
+  (* 2. Register a materialized view with the manager.  Conditions are
+     written with the embedded DSL; the expression compiles to the
+     canonical pi(sigma(x)) form of the paper. *)
+  let mgr = Ivm.Manager.create db in
+  let condition = (v "A" <% i 10) &&% (v "C" >% i 5) &&% (v "B" =% v "C") in
+  let view =
+    Ivm.Manager.define_view mgr ~name:"u"
+      Query.Expr.(
+        project [ "A"; "D" ] (select condition (product (base "R") (base "S"))))
+  in
+  show "Initial materialization of u:" (Ivm.View.contents view);
+
+  (* 3. Commit a transaction.  The manager nets it, filters irrelevant
+     updates (Theorem 4.1), differentially re-evaluates the view
+     (Algorithm 5.1) and applies the delta. *)
+  let reports =
+    Ivm.Manager.commit mgr
+      [
+        Transaction.insert "R" (Tuple.of_ints [ 9; 10 ]);
+        (* (11, 10) fails A < 10 for every database state: the screen
+           proves it irrelevant and the evaluator never sees it. *)
+        Transaction.insert "R" (Tuple.of_ints [ 11; 10 ]);
+      ]
+  in
+  List.iter (fun r -> Format.printf "%a@." Ivm.Maintenance.pp_report r) reports;
+  show "After inserting (9,10) and (11,10) into R:" (Ivm.View.contents view);
+
+  (* 4. Deletions work the same way; counters keep project views exact. *)
+  ignore
+    (Ivm.Manager.commit mgr [ Transaction.delete "S" (Tuple.of_ints [ 10; 20 ]) ]);
+  show "After deleting (10,20) from S:" (Ivm.View.contents view);
+
+  (* 5. The maintained contents always match recomputing from scratch. *)
+  Printf.printf "consistent with full re-evaluation: %b\n"
+    (Ivm.Manager.consistent mgr "u")

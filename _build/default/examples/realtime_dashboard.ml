@@ -1,0 +1,81 @@
+(* Real-time queries over materialized views: Gardarin et al. [GSV84]
+   wanted concrete (materialized) views for real-time querying but lacked
+   an efficient maintenance algorithm — the gap this paper fills.
+
+   Run with:  dune exec examples/realtime_dashboard.exe
+
+   An order-processing database sustains a stream of transactions while
+   three dashboard panels — materialized views — answer instantly, each
+   maintained differentially at commit time. *)
+
+open Relalg
+open Condition.Formula.Dsl
+module Scenario = Workload.Scenario
+module Generate = Workload.Generate
+module Rng = Workload.Rng
+
+let () =
+  let rng = Rng.make 2024 in
+  let scenario = Scenario.orders ~rng ~customers:50 ~orders:2_000 in
+  let db = scenario.Scenario.db in
+  let mgr = Ivm.Manager.create db in
+
+  (* Panel 1: big orders from the northern region (select-join view with a
+     string-equality condition). *)
+  let big_north =
+    Ivm.Manager.define_view mgr ~name:"big_north"
+      Query.Expr.(
+        project
+          [ "oid"; "cid"; "amount" ]
+          (select
+             ((v "amount" >% i 900) &&% (v "region" =% s "north"))
+             (join (base "orders") (base "customers"))))
+  in
+  (* Panel 2: customers with at least one urgent order (project view whose
+     counters track how many urgent orders each customer has). *)
+  let urgent_customers =
+    Ivm.Manager.define_view mgr ~name:"urgent_customers"
+      Query.Expr.(
+        project [ "cid" ] (select (v "priority" >=% i 5) (base "orders")))
+  in
+  (* Panel 3: all orders below the free-shipping threshold. *)
+  let small_orders =
+    Ivm.Manager.define_view mgr ~name:"small_orders"
+      Query.Expr.(select (v "amount" <% i 50) (base "orders"))
+  in
+
+  Printf.printf "day 0: big_north=%d urgent_customers=%d small_orders=%d\n"
+    (Relation.cardinal (Ivm.View.contents big_north))
+    (Relation.cardinal (Ivm.View.contents urgent_customers))
+    (Relation.cardinal (Ivm.View.contents small_orders));
+
+  let order_columns = Scenario.columns_of scenario "orders" in
+  let total_updates = ref 0 and total_screened = ref 0 in
+  for day = 1 to 20 do
+    (* A business day: a burst of new orders, some fulfilled (deleted). *)
+    let txn =
+      Generate.transaction rng db "orders" ~columns:order_columns ~inserts:25
+        ~deletes:15
+    in
+    let reports = Ivm.Manager.commit mgr txn in
+    List.iter
+      (fun r ->
+        total_updates :=
+          !total_updates + r.Ivm.Maintenance.screened_out
+          + r.Ivm.Maintenance.screened_kept;
+        total_screened := !total_screened + r.Ivm.Maintenance.screened_out)
+      reports;
+    if day mod 5 = 0 then
+      Printf.printf "day %2d: big_north=%d urgent_customers=%d small_orders=%d\n"
+        day
+        (Relation.cardinal (Ivm.View.contents big_north))
+        (Relation.cardinal (Ivm.View.contents urgent_customers))
+        (Relation.cardinal (Ivm.View.contents small_orders))
+  done;
+
+  Printf.printf
+    "\nacross all views: %d of %d update-tuples proven irrelevant (%.0f%%)\n"
+    !total_screened !total_updates
+    (100.0 *. float_of_int !total_screened /. float_of_int !total_updates);
+  Printf.printf "all views consistent with full re-evaluation: %b\n"
+    (Ivm.Manager.all_consistent mgr)

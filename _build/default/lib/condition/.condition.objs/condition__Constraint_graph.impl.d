@@ -1,0 +1,1 @@
+lib/condition/constraint_graph.ml: Array Attr Hashtbl List Norm Relalg

@@ -1,0 +1,1 @@
+lib/condition/constraint_graph.mli: Attr Norm Relalg

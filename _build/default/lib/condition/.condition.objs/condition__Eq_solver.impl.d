@@ -1,0 +1,1 @@
+lib/condition/eq_solver.ml: Attr Constraint_graph Formula Hashtbl List Relalg String Value

@@ -1,0 +1,1 @@
+lib/condition/eq_solver.mli: Formula

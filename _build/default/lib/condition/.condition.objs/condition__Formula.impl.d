@@ -1,0 +1,1 @@
+lib/condition/formula.ml: Attr Format List Relalg Value

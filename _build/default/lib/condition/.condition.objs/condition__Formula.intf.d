@@ -1,0 +1,1 @@
+lib/condition/formula.mli: Attr Format Relalg Value

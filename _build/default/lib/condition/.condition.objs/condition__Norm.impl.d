@@ -1,0 +1,1 @@
+lib/condition/norm.ml: Attr Format Formula Relalg Value

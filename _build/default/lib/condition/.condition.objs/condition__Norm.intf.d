@@ -1,0 +1,1 @@
+lib/condition/norm.mli: Attr Format Formula Relalg

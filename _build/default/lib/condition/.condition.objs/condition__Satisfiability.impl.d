@@ -1,0 +1,1 @@
+lib/condition/satisfiability.ml: Attr Constraint_graph Eq_solver Format Formula List Norm Relalg Schema Value

@@ -1,0 +1,1 @@
+lib/condition/satisfiability.mli: Attr Format Formula Relalg Schema Value

@@ -1,0 +1,1 @@
+lib/condition/substitute.ml: Formula List Relalg Schema Tuple

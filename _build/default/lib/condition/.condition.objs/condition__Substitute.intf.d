@@ -1,0 +1,1 @@
+lib/condition/substitute.mli: Attr Formula Relalg Schema Tuple Value

@@ -1,0 +1,135 @@
+open Relalg
+
+let infinity = max_int / 4
+
+type t = {
+  names : Attr.t array;
+  index : (Attr.t, int) Hashtbl.t;
+  size : int;
+  weights : int array array; (* weights.(i).(j) = min edge weight i -> j *)
+}
+
+let zero_index = 0
+
+let create vars =
+  let distinct = List.sort_uniq Attr.compare vars in
+  let size = List.length distinct + 1 in
+  let names = Array.of_list ("<zero>" :: distinct) in
+  let index = Hashtbl.create size in
+  Array.iteri (fun i name -> if i > 0 then Hashtbl.replace index name i) names;
+  let weights =
+    Array.init size (fun i ->
+        Array.init size (fun j -> if i = j then 0 else infinity))
+  in
+  { names; index; size; weights }
+
+let size g = g.size
+
+let node_index g v =
+  match Hashtbl.find_opt g.index v with
+  | Some i -> i
+  | None -> raise Not_found
+
+let add_edge g ~from_index ~to_index weight =
+  if weight < g.weights.(from_index).(to_index) then
+    g.weights.(from_index).(to_index) <- weight
+
+let index_of_node g = function
+  | Norm.Zero -> zero_index
+  | Norm.Var v -> node_index g v
+
+let add_constraint g (dc : Norm.dc) =
+  add_edge g ~from_index:(index_of_node g dc.from_node)
+    ~to_index:(index_of_node g dc.to_node) dc.bound
+
+let copy g = { g with weights = Array.map Array.copy g.weights }
+
+type apsp = {
+  dist : int array array;
+  negative : bool;
+}
+
+let floyd_warshall g =
+  let n = g.size in
+  let dist = Array.map Array.copy g.weights in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = dist.(i).(k) in
+      if dik < infinity then
+        for j = 0 to n - 1 do
+          let through = dik + dist.(k).(j) in
+          if dist.(k).(j) < infinity && through < dist.(i).(j) then
+            dist.(i).(j) <- through
+        done
+    done
+  done;
+  let negative = ref false in
+  for i = 0 to n - 1 do
+    if dist.(i).(i) < 0 then negative := true
+  done;
+  { dist; negative = !negative }
+
+let bellman_ford_negative g =
+  let n = g.size in
+  (* Virtual source at distance 0 to every node is equivalent to starting
+     with an all-zero distance vector. *)
+  let dist = Array.make n 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds <= n do
+    changed := false;
+    incr rounds;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let w = g.weights.(i).(j) in
+        if w < infinity && dist.(i) + w < dist.(j) then begin
+          dist.(j) <- dist.(i) + w;
+          changed := true
+        end
+      done
+    done
+  done;
+  (* A relaxation succeeding in round n+1 means a negative cycle. *)
+  !changed
+
+let negative_with_zero_edges apsp ~extra_in ~extra_out =
+  let dist = apsp.dist in
+  let n = Array.length dist in
+  (* Out(b): cheapest way to reach node 0 from b, considering new edges. *)
+  let out_weight = Array.init n (fun b -> dist.(b).(zero_index)) in
+  List.iter
+    (fun (b, w) -> if w < out_weight.(b) then out_weight.(b) <- w)
+    extra_out;
+  let in_weight = Array.init n (fun a -> dist.(zero_index).(a)) in
+  List.iter
+    (fun (a, w) -> if w < in_weight.(a) then in_weight.(a) <- w)
+    extra_in;
+  (* A new negative cycle must use at least one new edge, hence passes
+     through node 0: 0 ->(in) a ~~> b ->(out) 0.  Enumerate pairs where the
+     in or out leg is a new edge. *)
+  let negative = ref false in
+  let consider a_weight a b =
+    if
+      a_weight < infinity
+      && dist.(a).(b) < infinity
+      && out_weight.(b) < infinity
+      && a_weight + dist.(a).(b) + out_weight.(b) < 0
+    then negative := true
+  in
+  List.iter
+    (fun (a, w) ->
+      for b = 0 to n - 1 do
+        consider w a b
+      done)
+    extra_in;
+  List.iter
+    (fun (b, w) ->
+      for a = 0 to n - 1 do
+        if
+          in_weight.(a) < infinity
+          && dist.(a).(b) < infinity
+          && in_weight.(a) + dist.(a).(b) + w < 0
+        then negative := true
+      done)
+    extra_out;
+  !negative

@@ -1,0 +1,62 @@
+(** Directed weighted constraint graphs and negative-cycle detection.
+
+    A conjunction in the Rosenkrantz–Hunt class is unsatisfiable iff its
+    constraint graph contains a negative-weight cycle (p. 64 of the paper).
+    The paper uses Floyd's all-pairs shortest-path algorithm [F62]; we
+    provide it together with a Bellman–Ford variant used as a cross-check
+    and ablation baseline, and the O(n^2) incremental test that backs
+    Algorithm 4.1 (all per-tuple edges are incident to the virtual node 0,
+    so any new negative cycle passes through 0). *)
+
+open Relalg
+
+type t
+
+(** Large sentinel representing +infinity; guaranteed not to overflow when
+    two of them are added. *)
+val infinity : int
+
+(** [create vars] builds an empty graph over the given variables plus the
+    virtual node 0.  Duplicate names are ignored. *)
+val create : Attr.t list -> t
+
+(** Number of nodes (variables + 1). *)
+val size : t -> int
+
+(** [node_index g v] is the matrix index of variable [v].
+    @raise Not_found for unknown variables. *)
+val node_index : t -> Attr.t -> int
+
+(** Index of the virtual zero node (always 0). *)
+val zero_index : int
+
+(** [add_constraint g dc] inserts the edge for [dc], keeping the minimum
+    weight on parallel edges.
+    @raise Not_found if the constraint mentions an unknown variable. *)
+val add_constraint : t -> Norm.dc -> unit
+
+(** [add_edge g ~from_index ~to_index weight] low-level insertion. *)
+val add_edge : t -> from_index:int -> to_index:int -> int -> unit
+
+val copy : t -> t
+
+(** All-pairs shortest paths. *)
+type apsp = {
+  dist : int array array;  (** [dist.(i).(j)]: shortest i->j, or infinity *)
+  negative : bool;  (** some negative cycle exists *)
+}
+
+(** Floyd–Warshall, O(n^3). *)
+val floyd_warshall : t -> apsp
+
+(** Negative-cycle existence by Bellman–Ford from a virtual source, O(nm);
+    used to cross-validate Floyd–Warshall. *)
+val bellman_ford_negative : t -> bool
+
+(** [negative_with_zero_edges apsp ~extra_in ~extra_out] decides whether
+    adding edges incident to node 0 — [extra_in] are edges 0 -> var (from
+    constraints [x >= c]) and [extra_out] are edges var -> 0 (from
+    [x <= c]), both as [(var_index, weight)] — creates a negative cycle,
+    assuming [apsp.negative = false].  O(|extra| * n). *)
+val negative_with_zero_edges :
+  apsp -> extra_in:(int * int) list -> extra_out:(int * int) list -> bool

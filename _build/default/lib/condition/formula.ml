@@ -1,0 +1,228 @@
+open Relalg
+
+type comparator =
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+
+type operand =
+  | O_var of Attr.t
+  | O_const of Value.t
+
+type atom = {
+  left : operand;
+  cmp : comparator;
+  right : operand;
+  shift : int;
+}
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+type dnf = atom list list
+
+exception Dnf_too_large
+
+let atom left cmp ?(shift = 0) right =
+  (match right, shift with
+  | O_const (Value.Str _), s when s <> 0 ->
+    invalid_arg "Formula.atom: non-zero shift on a string constant"
+  | _ -> ());
+  (* Fold a shift on an integer constant into the constant itself. *)
+  match right with
+  | O_const (Value.Int c) when shift <> 0 ->
+    { left; cmp; right = O_const (Value.Int (c + shift)); shift = 0 }
+  | _ -> { left; cmp; right; shift }
+
+let negate_cmp = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Geq
+  | Leq -> Gt
+  | Gt -> Leq
+  | Geq -> Lt
+
+let negate_atom a = { a with cmp = negate_cmp a.cmp }
+
+let converse = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Leq -> Geq
+  | Gt -> Lt
+  | Geq -> Leq
+
+let eval_cmp cmp a b =
+  let c = Value.compare a b in
+  match cmp with
+  | Eq -> c = 0
+  | Neq -> c <> 0
+  | Lt -> c < 0
+  | Leq -> c <= 0
+  | Gt -> c > 0
+  | Geq -> c >= 0
+
+let resolve lookup = function
+  | O_var a -> lookup a
+  | O_const v -> v
+
+let apply_shift shift v =
+  if shift = 0 then v
+  else
+    match v with
+    | Value.Int n -> Value.Int (n + shift)
+    | Value.Str _ ->
+      invalid_arg "Formula.eval_atom: non-zero shift on a string value"
+
+let eval_atom lookup a =
+  let lv = resolve lookup a.left in
+  let rv = apply_shift a.shift (resolve lookup a.right) in
+  eval_cmp a.cmp lv rv
+
+let atom_vars a =
+  let of_operand = function
+    | O_var v -> [ v ]
+    | O_const _ -> []
+  in
+  of_operand a.left @ of_operand a.right
+
+let conj formulas =
+  match formulas with
+  | [] -> True
+  | f :: rest -> List.fold_left (fun acc g -> And (acc, g)) f rest
+
+let disj formulas =
+  match formulas with
+  | [] -> False
+  | f :: rest -> List.fold_left (fun acc g -> Or (acc, g)) f rest
+
+let rec eval lookup = function
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom lookup a
+  | And (f, g) -> eval lookup f && eval lookup g
+  | Or (f, g) -> eval lookup f || eval lookup g
+  | Not f -> not (eval lookup f)
+
+let vars f =
+  let rec collect acc = function
+    | True | False -> acc
+    | Atom a -> atom_vars a @ acc
+    | And (f, g) | Or (f, g) -> collect (collect acc f) g
+    | Not f -> collect acc f
+  in
+  List.sort_uniq Attr.compare (collect [] f)
+
+(* DNF via negation-normal form; conjunction distributes as a cross
+   product, with a size guard against exponential blowup. *)
+let to_dnf ?(max_disjuncts = 4096) f =
+  let check d = if List.length d > max_disjuncts then raise Dnf_too_large in
+  let rec nnf_dnf positive = function
+    | True -> if positive then [ [] ] else []
+    | False -> if positive then [] else [ [] ]
+    | Atom a -> [ [ (if positive then a else negate_atom a) ] ]
+    | Not f -> nnf_dnf (not positive) f
+    | And (f, g) when positive -> cross (nnf_dnf true f) (nnf_dnf true g)
+    | And (f, g) -> nnf_dnf false f @ nnf_dnf false g
+    | Or (f, g) when positive -> nnf_dnf true f @ nnf_dnf true g
+    | Or (f, g) -> cross (nnf_dnf false f) (nnf_dnf false g)
+  and cross d1 d2 =
+    let d = List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) d2) d1 in
+    check d;
+    d
+  in
+  let d = nnf_dnf true f in
+  check d;
+  d
+
+let of_dnf d = disj (List.map (fun c -> conj (List.map (fun a -> Atom a) c)) d)
+
+let eval_conjunction lookup c = List.for_all (eval_atom lookup) c
+let eval_dnf lookup d = List.exists (eval_conjunction lookup) d
+
+let rec equal f g =
+  match f, g with
+  | True, True | False, False -> true
+  | Atom a, Atom b -> a = b
+  | And (f1, f2), And (g1, g2) | Or (f1, f2), Or (g1, g2) ->
+    equal f1 g1 && equal f2 g2
+  | Not f, Not g -> equal f g
+  | (True | False | Atom _ | And _ | Or _ | Not _), _ -> false
+
+let pp_comparator ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Eq -> "="
+    | Neq -> "<>"
+    | Lt -> "<"
+    | Leq -> "<="
+    | Gt -> ">"
+    | Geq -> ">=")
+
+let pp_operand ppf = function
+  | O_var a -> Attr.pp ppf a
+  | O_const v -> Value.pp ppf v
+
+let pp_atom ppf a =
+  if a.shift = 0 then
+    Format.fprintf ppf "%a %a %a" pp_operand a.left pp_comparator a.cmp
+      pp_operand a.right
+  else if a.shift > 0 then
+    Format.fprintf ppf "%a %a %a + %d" pp_operand a.left pp_comparator a.cmp
+      pp_operand a.right a.shift
+  else
+    Format.fprintf ppf "%a %a %a - %d" pp_operand a.left pp_comparator a.cmp
+      pp_operand a.right (-a.shift)
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom a -> pp_atom ppf a
+  | And (f, g) -> Format.fprintf ppf "(%a @,/\\ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a @,\\/ %a)" pp f pp g
+  | Not f -> Format.fprintf ppf "~(%a)" pp f
+
+let pp_dnf ppf d =
+  Format.fprintf ppf "@[%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ \\/ ")
+       (fun ppf c ->
+         Format.fprintf ppf "(%a)"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ /\\ ")
+              pp_atom)
+           c))
+    d
+
+module Dsl = struct
+  (* A term is an operand plus a pending integer offset. *)
+  type term = operand * int
+
+  let v a : term = (O_var a, 0)
+  let i n : term = (O_const (Value.Int n), 0)
+  let s x : term = (O_const (Value.Str x), 0)
+
+  let ( +% ) ((op, shift) : term) c : term = (op, shift + c)
+
+  (* [x + c1  cmp  y + c2] is [x cmp y + (c2 - c1)]. *)
+  let compare_terms cmp ((l, ls) : term) ((r, rs) : term) =
+    Atom (atom l cmp ~shift:(rs - ls) r)
+
+  let ( =% ) a b = compare_terms Eq a b
+  let ( <>% ) a b = compare_terms Neq a b
+  let ( <% ) a b = compare_terms Lt a b
+  let ( <=% ) a b = compare_terms Leq a b
+  let ( >% ) a b = compare_terms Gt a b
+  let ( >=% ) a b = compare_terms Geq a b
+  let ( &&% ) f g = And (f, g)
+  let ( ||% ) f g = Or (f, g)
+  let not_ f = Not f
+end

@@ -1,0 +1,115 @@
+(** Boolean selection conditions.
+
+    Atoms are the paper's three forms — [x op y], [x op y + c] and [x op c]
+    (Section 4) — generalized so that either side may already be a constant,
+    which is exactly what tuple substitution produces.  Arbitrary boolean
+    combinations are supported; the satisfiability machinery works on the
+    DNF, as on p. 64–65 of the paper. *)
+
+open Relalg
+
+type comparator =
+  | Eq
+  | Neq
+  | Lt
+  | Leq
+  | Gt
+  | Geq
+
+type operand =
+  | O_var of Attr.t
+  | O_const of Value.t
+
+(** [left cmp right + shift].  [shift] is only meaningful when the right
+    operand is integer-valued; it is [0] for the plain forms. *)
+type atom = {
+  left : operand;
+  cmp : comparator;
+  right : operand;
+  shift : int;
+}
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** A disjunction of conjunctions of atoms.  [[]] is [False]; a disjunct
+    [[]] is [True]. *)
+type dnf = atom list list
+
+exception Dnf_too_large
+
+(** {1 Atom helpers} *)
+
+val atom : operand -> comparator -> ?shift:int -> operand -> atom
+
+(** Logical negation of a single atom ([Lt] <-> [Geq], etc.). *)
+val negate_atom : atom -> atom
+
+(** [converse c] flips the sides: [x c y] iff [y (converse c) x]. *)
+val converse : comparator -> comparator
+
+(** [eval_cmp c a b] compares two values with {!Value.compare} semantics. *)
+val eval_cmp : comparator -> Value.t -> Value.t -> bool
+
+(** Evaluate an atom under a variable assignment.
+    @raise Invalid_argument when a non-zero shift meets a string value or a
+    variable is unbound. *)
+val eval_atom : (Attr.t -> Value.t) -> atom -> bool
+
+val atom_vars : atom -> Attr.t list
+
+(** {1 Formulas} *)
+
+val conj : t list -> t
+val disj : t list -> t
+val eval : (Attr.t -> Value.t) -> t -> bool
+
+(** Free variables, sorted and deduplicated. *)
+val vars : t -> Attr.t list
+
+(** [to_dnf f] converts to disjunctive normal form, pushing negations onto
+    atoms.  Trivially false conjuncts are not removed (satisfiability does
+    that).
+    @raise Dnf_too_large when the result would exceed [max_disjuncts]
+    (default 4096). *)
+val to_dnf : ?max_disjuncts:int -> t -> dnf
+
+val of_dnf : dnf -> t
+val eval_conjunction : (Attr.t -> Value.t) -> atom list -> bool
+val eval_dnf : (Attr.t -> Value.t) -> dnf -> bool
+
+(** Structural equality (no normalization). *)
+val equal : t -> t -> bool
+
+val pp_comparator : Format.formatter -> comparator -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val pp_dnf : Format.formatter -> dnf -> unit
+
+(** {1 Embedded DSL}
+
+    [Dsl.(v "A" <% i 10 &&% (v "B" =% v "C"))] builds the condition of
+    Example 4.1.  [+%] attaches the integer offset of the [x op y + c]
+    form. *)
+module Dsl : sig
+  type term
+
+  val v : Attr.t -> term
+  val i : int -> term
+  val s : string -> term
+  val ( +% ) : term -> int -> term
+  val ( =% ) : term -> term -> t
+  val ( <>% ) : term -> term -> t
+  val ( <% ) : term -> term -> t
+  val ( <=% ) : term -> term -> t
+  val ( >% ) : term -> term -> t
+  val ( >=% ) : term -> term -> t
+  val ( &&% ) : t -> t -> t
+  val ( ||% ) : t -> t -> t
+  val not_ : t -> t
+end

@@ -1,0 +1,53 @@
+open Relalg
+
+type node =
+  | Zero
+  | Var of Attr.t
+
+type dc = {
+  from_node : node;
+  to_node : node;
+  bound : int;
+}
+
+type result =
+  | Constraints of dc list
+  | Truth of bool
+  | Not_normalizable
+
+let dc from_node to_node bound = { from_node; to_node; bound }
+
+(* [x cmp to_node + c] where [x] is a variable and [to_node] is a variable
+   node or Zero (with the constant folded into [c]). *)
+let of_var_cmp x cmp to_node c =
+  let x = Var x in
+  match (cmp : Formula.comparator) with
+  | Leq -> Constraints [ dc x to_node c ]
+  | Lt -> Constraints [ dc x to_node (c - 1) ]
+  | Geq -> Constraints [ dc to_node x (-c) ]
+  | Gt -> Constraints [ dc to_node x (-c - 1) ]
+  | Eq -> Constraints [ dc x to_node c; dc to_node x (-c) ]
+  | Neq -> Not_normalizable
+
+let reject_string () =
+  invalid_arg "Norm.normalize_atom: string operand in an integer atom"
+
+let normalize_atom (a : Formula.atom) =
+  match a.left, a.right with
+  | Formula.O_var x, Formula.O_var y -> of_var_cmp x a.cmp (Var y) a.shift
+  | Formula.O_var x, Formula.O_const (Value.Int k) ->
+    of_var_cmp x a.cmp Zero (k + a.shift)
+  | Formula.O_const (Value.Int k), Formula.O_var y ->
+    (* k cmp y + c  <=>  y (converse cmp) k - c *)
+    of_var_cmp y (Formula.converse a.cmp) Zero (k - a.shift)
+  | Formula.O_const (Value.Int k), Formula.O_const (Value.Int k') ->
+    Truth (Formula.eval_cmp a.cmp (Value.Int k) (Value.Int (k' + a.shift)))
+  | Formula.O_const (Value.Str _), _ | _, Formula.O_const (Value.Str _) ->
+    reject_string ()
+
+let pp_node ppf = function
+  | Zero -> Format.pp_print_string ppf "0"
+  | Var a -> Attr.pp ppf a
+
+let pp_dc ppf { from_node; to_node; bound } =
+  Format.fprintf ppf "%a - %a <= %d" pp_node from_node pp_node to_node bound

@@ -1,0 +1,33 @@
+(** Normalization of integer atoms into difference constraints.
+
+    The paper (p. 66) normalizes every atomic formula into the comparators
+    [<=] / [>=] and represents the conjunction as a directed weighted graph.
+    We use the single canonical form [from - to <= bound]; an atom of the
+    form [x = y + c] yields two constraints. *)
+
+open Relalg
+
+type node =
+  | Zero  (** the virtual node '0' representing the constant 0 *)
+  | Var of Attr.t
+
+(** [from_node - to_node <= bound]. *)
+type dc = {
+  from_node : node;
+  to_node : node;
+  bound : int;
+}
+
+type result =
+  | Constraints of dc list
+      (** equivalent difference constraints (one or two) *)
+  | Truth of bool  (** both operands constant: the atom's truth value *)
+  | Not_normalizable
+      (** an integer disequality — outside the Rosenkrantz–Hunt class *)
+
+(** Normalize one integer-typed atom.  The caller must only pass atoms whose
+    operands are integer variables or integer constants.
+    @raise Invalid_argument on string operands. *)
+val normalize_atom : Formula.atom -> result
+
+val pp_dc : Format.formatter -> dc -> unit

@@ -1,0 +1,182 @@
+open Relalg
+
+type verdict =
+  | Sat
+  | Unsat
+  | Unknown
+
+let is_unsat = function
+  | Unsat -> true
+  | Sat | Unknown -> false
+
+type typing = Attr.t -> Value.ty
+
+let int_typing : typing = fun _ -> Value.Int_ty
+
+let of_schema schema : typing =
+ fun a ->
+  match Schema.position_opt schema a with
+  | Some i -> Schema.ty_at schema i
+  | None -> Value.Int_ty
+
+type fragment = {
+  int_atoms : Formula.atom list;
+  str_atoms : Formula.atom list;
+  constant_false : bool;
+  unknown : bool;
+}
+
+let operand_ty typing = function
+  | Formula.O_var a -> typing a
+  | Formula.O_const v -> Value.ty_of v
+
+(* Truth of a comparison between operands of different types: under
+   Value.compare every integer sorts before every string. *)
+let cross_type_truth cmp ~int_on_left =
+  let ordering_true =
+    match (cmp : Formula.comparator) with
+    | Formula.Neq -> true
+    | Formula.Eq -> false
+    | Formula.Lt | Formula.Leq -> int_on_left
+    | Formula.Gt | Formula.Geq -> not int_on_left
+  in
+  ordering_true
+
+let partition typing atoms =
+  let acc =
+    { int_atoms = []; str_atoms = []; constant_false = false; unknown = false }
+  in
+  let classify acc (a : Formula.atom) =
+    match a.left, a.right with
+    | Formula.O_const l, Formula.O_const r ->
+      (* Fully constant atom: evaluate directly.  A string right operand
+         with a shift cannot be built (see Formula.atom). *)
+      let truth =
+        match r, a.shift with
+        | Value.Int k, s -> Formula.eval_cmp a.cmp l (Value.Int (k + s))
+        | Value.Str _, _ -> Formula.eval_cmp a.cmp l r
+      in
+      if truth then acc else { acc with constant_false = true }
+    | _ ->
+      let lt = operand_ty typing a.left and rt = operand_ty typing a.right in
+      (match lt, rt with
+      | Value.Int_ty, Value.Int_ty ->
+        { acc with int_atoms = a :: acc.int_atoms }
+      | Value.Str_ty, Value.Str_ty ->
+        if a.shift <> 0 then { acc with unknown = true }
+        else { acc with str_atoms = a :: acc.str_atoms }
+      | Value.Int_ty, Value.Str_ty ->
+        if cross_type_truth a.cmp ~int_on_left:true then acc
+        else { acc with constant_false = true }
+      | Value.Str_ty, Value.Int_ty ->
+        if cross_type_truth a.cmp ~int_on_left:false then acc
+        else { acc with constant_false = true })
+  in
+  let result = List.fold_left classify acc atoms in
+  {
+    result with
+    int_atoms = List.rev result.int_atoms;
+    str_atoms = List.rev result.str_atoms;
+  }
+
+(* Decide a conjunction of normalizable integer atoms via the constraint
+   graph. *)
+let decide_difference_constraints constraints vars =
+  let graph = Constraint_graph.create vars in
+  List.iter (Constraint_graph.add_constraint graph) constraints;
+  let apsp = Constraint_graph.floyd_warshall graph in
+  if apsp.Constraint_graph.negative then Unsat else Sat
+
+let int_fragment ?(neq_budget = 4) atoms =
+  let vars = List.sort_uniq Attr.compare (List.concat_map Formula.atom_vars atoms)
+  in
+  (* Normalize, setting disequalities aside. *)
+  let rec normalize acc neqs = function
+    | [] -> `Go (List.rev acc, List.rev neqs)
+    | a :: rest -> (
+      match Norm.normalize_atom a with
+      | Norm.Constraints cs -> normalize (List.rev_append cs acc) neqs rest
+      | Norm.Truth true -> normalize acc neqs rest
+      | Norm.Truth false -> `False
+      | Norm.Not_normalizable -> normalize acc (a :: neqs) rest)
+  in
+  match normalize [] [] atoms with
+  | `False -> Unsat
+  | `Go (constraints, neqs) ->
+    let base = decide_difference_constraints constraints vars in
+    (match base, neqs with
+    | Unsat, _ -> Unsat
+    | (Sat | Unknown), [] -> base
+    | (Sat | Unknown), neqs when List.length neqs > neq_budget ->
+      (* Too many disequalities to expand: adding constraints can only
+         shrink the solution set, so Sat degrades to Unknown. *)
+      Unknown
+    | (Sat | Unknown), neqs ->
+      (* Expand each [x <> y + c] into the two strict alternatives and
+         test every combination: satisfiable iff some branch is. *)
+      let branches =
+        List.fold_left
+          (fun acc (a : Formula.atom) ->
+            let lt = { a with cmp = Formula.Lt } in
+            let gt = { a with cmp = Formula.Gt } in
+            List.concat_map (fun b -> [ lt :: b; gt :: b ]) acc)
+          [ [] ] neqs
+      in
+      let decide_branch branch =
+        let extra =
+          List.concat_map
+            (fun a ->
+              match Norm.normalize_atom a with
+              | Norm.Constraints cs -> cs
+              | Norm.Truth _ | Norm.Not_normalizable ->
+                (* strict comparators always normalize when a variable is
+                   present, and a fully-constant atom cannot reach here *)
+                assert false)
+            branch
+        in
+        decide_difference_constraints (constraints @ extra) vars
+      in
+      if List.exists (fun b -> decide_branch b = Sat) branches then Sat
+      else Unsat)
+
+let str_fragment atoms =
+  match Eq_solver.solve atoms with
+  | Eq_solver.Sat -> Sat
+  | Eq_solver.Unsat -> Unsat
+  | Eq_solver.Unknown -> Unknown
+
+let conjunction ?(typing = int_typing) ?neq_budget atoms =
+  let fragment = partition typing atoms in
+  if fragment.constant_false then Unsat
+  else
+    let verdict_int = int_fragment ?neq_budget fragment.int_atoms in
+    let verdict_str = str_fragment fragment.str_atoms in
+    match verdict_int, verdict_str with
+    | Unsat, _ | _, Unsat -> Unsat
+    | Sat, Sat -> if fragment.unknown then Unknown else Sat
+    | (Sat | Unknown), (Sat | Unknown) -> Unknown
+
+let dnf ?typing ?neq_budget disjuncts =
+  (* Satisfiable iff some disjunct is; unsatisfiable iff all are. *)
+  List.fold_left
+    (fun acc conj ->
+      match acc with
+      | Sat -> Sat
+      | Unsat | Unknown -> (
+        match conjunction ?typing ?neq_budget conj, acc with
+        | Sat, _ -> Sat
+        | Unknown, _ -> Unknown
+        | Unsat, acc -> acc))
+    Unsat disjuncts
+
+let formula ?typing ?neq_budget ?max_disjuncts f =
+  match Formula.to_dnf ?max_disjuncts f with
+  | d -> dnf ?typing ?neq_budget d
+  | exception Formula.Dnf_too_large -> Unknown
+
+let pp_verdict ppf v =
+  Format.pp_print_string ppf
+    (match v with
+    | Sat -> "satisfiable"
+    | Unsat -> "unsatisfiable"
+    | Unknown -> "unknown")

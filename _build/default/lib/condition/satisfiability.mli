@@ -1,0 +1,77 @@
+(** Satisfiability of selection conditions (Section 4 of the paper).
+
+    Conjunctions of atoms [x op y], [x op y + c], [x op c] with
+    [op ∈ {=, <, >, <=, >=}] over integer attributes are decided exactly in
+    O(n^3) by normalization + negative-cycle detection, following
+    Rosenkrantz and Hunt [RH80].  Disjunctions are decided per disjunct
+    (O(m n^3)).  Extensions beyond the paper's class degrade gracefully:
+
+    - integer [<>] atoms are expanded into [< \/ >] pairs when at most
+      [neq_budget] of them occur in a conjunction, and otherwise yield
+      [Unknown];
+    - string-typed atoms are decided by {!Eq_solver} ([=]/[<>] complete,
+      orderings conservative);
+    - comparisons between operands of different types have constant truth
+      under {!Value.compare} and are folded away.
+
+    [Unknown] must be treated as "possibly satisfiable" by callers; for
+    irrelevant-update detection this errs on the safe side (the update is
+    kept). *)
+
+open Relalg
+
+type verdict =
+  | Sat
+  | Unsat
+  | Unknown
+
+(** [true] iff the verdict is [Unsat]. *)
+val is_unsat : verdict -> bool
+
+(** Typing environment for variables; defaults to all-integer, which matches
+    the paper's examples. *)
+type typing = Attr.t -> Value.ty
+
+val int_typing : typing
+
+(** [of_schema s] derives a typing from a relation schema, defaulting to
+    integer for unknown attributes. *)
+val of_schema : Schema.t -> typing
+
+(** Decide a conjunction of atoms. *)
+val conjunction :
+  ?typing:typing -> ?neq_budget:int -> Formula.atom list -> verdict
+
+(** Decide a DNF: satisfiable iff some disjunct is (p. 64). *)
+val dnf : ?typing:typing -> ?neq_budget:int -> Formula.dnf -> verdict
+
+(** Decide an arbitrary formula by DNF conversion; a formula whose DNF
+    exceeds the bound yields [Unknown]. *)
+val formula :
+  ?typing:typing ->
+  ?neq_budget:int ->
+  ?max_disjuncts:int ->
+  Formula.t ->
+  verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Exposed pieces for Algorithm 4.1}
+
+    The irrelevance screener precomputes the invariant part of a conjunction
+    once and re-checks per tuple; it needs access to the typed partition of
+    a conjunction. *)
+
+type fragment = {
+  int_atoms : Formula.atom list;
+  str_atoms : Formula.atom list;
+  constant_false : bool;  (** some atom is constantly false *)
+  unknown : bool;  (** some atom fell outside every decidable fragment *)
+}
+
+(** Partition a conjunction into typed fragments, folding constant-truth
+    atoms away. *)
+val partition : typing -> Formula.atom list -> fragment
+
+(** Decide the integer fragment alone (with disequality expansion). *)
+val int_fragment : ?neq_budget:int -> Formula.atom list -> verdict

@@ -1,0 +1,42 @@
+open Relalg
+
+let of_tuple schema tuple attr =
+  match Schema.position_opt schema attr with
+  | Some i -> Some (Tuple.get tuple i)
+  | None -> None
+
+let combine lookups attr =
+  List.fold_left
+    (fun acc lookup ->
+      match acc with
+      | Some _ -> acc
+      | None -> lookup attr)
+    None lookups
+
+let substitute_operand lookup = function
+  | Formula.O_const _ as c -> c
+  | Formula.O_var a as v -> (
+    match lookup a with
+    | Some value -> Formula.O_const value
+    | None -> v)
+
+let atom lookup (a : Formula.atom) =
+  let left = substitute_operand lookup a.left in
+  let right = substitute_operand lookup a.right in
+  (* Rebuild through the smart constructor so that a shift over a
+     now-constant integer right side is folded into the constant. *)
+  Formula.atom left a.cmp ~shift:a.shift right
+
+let conjunction lookup atoms = List.map (atom lookup) atoms
+let dnf lookup disjuncts = List.map (conjunction lookup) disjuncts
+
+type split = {
+  invariant : Formula.atom list;
+  variant : Formula.atom list;
+}
+
+let split_conjunction ~bound atoms =
+  let variant, invariant =
+    List.partition (fun a -> List.exists bound (Formula.atom_vars a)) atoms
+  in
+  { invariant; variant }

@@ -1,0 +1,42 @@
+(** Tuple substitution into conditions (Definitions 4.1–4.3).
+
+    Substituting the values of an inserted or deleted tuple [t] for the
+    attributes [Y1 = R ∩ Y] turns some atoms of a conjunction into
+    {e variant} formulae — evaluable when both sides become constants, or of
+    the form [x op c] otherwise — while the rest stay {e invariant}
+    (Definition 4.2).  The irrelevance screener precomputes the invariant
+    part once per (view, relation) pair and processes the variant part per
+    tuple. *)
+
+open Relalg
+
+(** [of_tuple schema tuple] is a partial assignment defined exactly on the
+    schema's attributes. *)
+val of_tuple : Schema.t -> Tuple.t -> Attr.t -> Value.t option
+
+(** [combine lookups] tries each lookup in order — used for the
+    multi-relation substitution of Definition 4.3 (schemas must be
+    disjoint). *)
+val combine :
+  (Attr.t -> Value.t option) list -> Attr.t -> Value.t option
+
+(** [atom lookup a] replaces every bound variable by its value, folding the
+    shift into a constant right-hand side when possible. *)
+val atom : (Attr.t -> Value.t option) -> Formula.atom -> Formula.atom
+
+val conjunction :
+  (Attr.t -> Value.t option) -> Formula.atom list -> Formula.atom list
+
+val dnf : (Attr.t -> Value.t option) -> Formula.dnf -> Formula.dnf
+
+(** Partition of a conjunction with respect to a set of bound attributes. *)
+type split = {
+  invariant : Formula.atom list;
+      (** no variable is bound: unaffected by substitution *)
+  variant : Formula.atom list;
+      (** at least one variable is bound: becomes evaluable or [x op c] *)
+}
+
+(** [split_conjunction ~bound atoms] partitions by whether any variable of
+    the atom satisfies [bound] (Definition 4.2). *)
+val split_conjunction : bound:(Attr.t -> bool) -> Formula.atom list -> split

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Database Format List Query Relalg Relation String View

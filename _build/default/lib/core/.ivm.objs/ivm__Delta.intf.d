@@ -1,0 +1,1 @@
+lib/core/delta.mli: Format Relalg Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/delta_eval.ml: Array Delta Fun Int List Printf Query Relalg Relation Schema String Truth_table

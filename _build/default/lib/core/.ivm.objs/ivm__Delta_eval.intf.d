@@ -1,0 +1,1 @@
+lib/core/delta_eval.mli: Delta Query Relalg Relation Schema

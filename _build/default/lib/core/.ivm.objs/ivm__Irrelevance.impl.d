@@ -1,0 +1,1 @@
+lib/core/irrelevance.ml: Attr Condition Delta List Query Relalg Relation Schema Value

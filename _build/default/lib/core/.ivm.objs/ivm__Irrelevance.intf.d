@@ -1,0 +1,1 @@
+lib/core/irrelevance.mli: Delta Query Relalg Schema Tuple

@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Advisor Database Delta Delta_eval Format Irrelevance List Logs Option Query Relalg Relation Transaction View

@@ -1,0 +1,1 @@
+lib/core/maintenance.mli: Database Delta Format Query Relalg Transaction View

@@ -1,0 +1,1 @@
+lib/core/manager.ml: Database Delta Format Index List Maintenance Option Printf Query Relalg Relation String Transaction View

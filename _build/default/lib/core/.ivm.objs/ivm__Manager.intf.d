@@ -1,0 +1,1 @@
+lib/core/manager.mli: Attr Database Delta Format Maintenance Query Relalg Transaction View

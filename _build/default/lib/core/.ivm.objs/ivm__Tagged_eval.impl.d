@@ -1,0 +1,1 @@
+lib/core/tagged_eval.ml: Array Condition Delta Hashtbl List Option Printf Query Relalg Relation Schema Tag Tuple

@@ -1,0 +1,1 @@
+lib/core/tagged_eval.mli: Attr Condition Delta Query Relalg Relation Schema Tag Tuple

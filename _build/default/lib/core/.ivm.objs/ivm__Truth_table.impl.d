@@ -1,0 +1,1 @@
+lib/core/truth_table.ml: Array Format Fun List String

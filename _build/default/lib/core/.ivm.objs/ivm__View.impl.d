@@ -1,0 +1,1 @@
+lib/core/view.ml: Database Delta Format Hashtbl Irrelevance List Query Relalg Relation Schema

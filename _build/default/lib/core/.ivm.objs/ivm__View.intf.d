@@ -1,0 +1,1 @@
+lib/core/view.mli: Database Delta Format Irrelevance Query Relalg Relation Schema

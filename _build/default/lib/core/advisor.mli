@@ -1,0 +1,35 @@
+(** Adaptive choice between differential and complete re-evaluation.
+
+    The paper's conclusion leaves open "under what circumstances
+    differential re-evaluation is more efficient than complete
+    re-evaluation".  Experiment E9 locates the crossover empirically; this
+    module turns it into a runtime policy: a cheap cost model compares the
+    expected work of both strategies per transaction, so churn-heavy
+    transactions fall back to recomputation automatically.
+
+    The model is deliberately simple (both costs are linear in the sizes a
+    hash-join engine touches):
+
+    - differential: every truth-table row evaluation scans the update sets
+      and probes the old parts it joins with; bounded by
+      [rows * (delta_total + sum of old parts actually joined)], which we
+      approximate with [2^k * (delta_total + (p-1) * avg_source)] damped by
+      the observation that most rows short-circuit on empty operands;
+    - recompute: scans every source and rebuilds the view:
+      [sum sources + |view|].
+
+    The constants were calibrated against E9 on this engine; see
+    EXPERIMENTS.md.  The decision is exposed so callers can log it. *)
+
+type decision = {
+  differential_cost : float;  (** model estimate, abstract units *)
+  recompute_cost : float;
+  choose_differential : bool;
+}
+
+(** [decide view ~db ~net] evaluates the cost model for one transaction.
+    [db] may be in pre- or deletions-applied state (only cardinalities are
+    read). *)
+val decide : View.t -> db:Relalg.Database.t -> net:Relalg.Transaction.net -> decision
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,73 @@
+open Relalg
+
+type t = {
+  inserts : Relation.t;
+  deletes : Relation.t;
+}
+
+let empty schema =
+  { inserts = Relation.create schema; deletes = Relation.create schema }
+
+let is_empty d = Relation.is_empty d.inserts && Relation.is_empty d.deletes
+let size d = Relation.total d.inserts + Relation.total d.deletes
+
+let of_lists schema (inserts, deletes) =
+  {
+    inserts = Relation.of_tuples schema inserts;
+    deletes = Relation.of_tuples schema deletes;
+  }
+
+let copy d =
+  { inserts = Relation.copy d.inserts; deletes = Relation.copy d.deletes }
+
+let reschema d s =
+  { inserts = Relation.reschema d.inserts s; deletes = Relation.reschema d.deletes s }
+
+let merge_into ~into d =
+  Relation.union_into ~into:into.inserts d.inserts;
+  Relation.union_into ~into:into.deletes d.deletes
+
+let normalize d =
+  let out = empty (Relation.schema d.inserts) in
+  Relation.iter
+    (fun t c ->
+      let cancelled = min c (Relation.count d.deletes t) in
+      if c > cancelled then Relation.update out.inserts t (c - cancelled))
+    d.inserts;
+  Relation.iter
+    (fun t c ->
+      let cancelled = min c (Relation.count d.inserts t) in
+      if c > cancelled then Relation.update out.deletes t (c - cancelled))
+    d.deletes;
+  out
+
+let apply d r =
+  Relation.iter (fun t c -> Relation.update r t c) d.inserts;
+  Relation.iter (fun t c -> Relation.update r t (-c)) d.deletes
+
+let compose ~first ~second =
+  let schema = Relation.schema first.inserts in
+  let out = empty schema in
+  (* inserts = (i1 - d2) U (i2 - d1) *)
+  Relation.iter
+    (fun t _ ->
+      if not (Relation.mem second.deletes t) then Relation.add out.inserts t)
+    first.inserts;
+  Relation.iter
+    (fun t _ ->
+      if not (Relation.mem first.deletes t) then Relation.add out.inserts t)
+    second.inserts;
+  (* deletes = (d1 - i2) U (d2 - i1) *)
+  Relation.iter
+    (fun t _ ->
+      if not (Relation.mem second.inserts t) then Relation.add out.deletes t)
+    first.deletes;
+  Relation.iter
+    (fun t _ ->
+      if not (Relation.mem first.inserts t) then Relation.add out.deletes t)
+    second.deletes;
+  out
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>@[<v 2>inserts:@,%a@]@,@[<v 2>deletes:@,%a@]@]"
+    Relation.pp d.inserts Relation.pp d.deletes

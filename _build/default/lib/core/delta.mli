@@ -1,0 +1,48 @@
+(** Update sets: the net effect of a transaction on one relation.
+
+    A delta pairs the set of inserted tuples with the set of deleted tuples
+    (Section 3: [T(r) = r U i_r - d_r] with [r], [i_r], [d_r] mutually
+    disjoint).  Deltas of base relations have unit counts; deltas of derived
+    relations are counted, matching the redefined operators of Section 5.2. *)
+
+open Relalg
+
+type t = {
+  inserts : Relation.t;
+  deletes : Relation.t;
+}
+
+val empty : Schema.t -> t
+val is_empty : t -> bool
+
+(** Total counted size (inserts + deletes). *)
+val size : t -> int
+
+(** [of_lists schema (inserts, deletes)] builds a unit-count delta. *)
+val of_lists : Schema.t -> Tuple.t list * Tuple.t list -> t
+
+val copy : t -> t
+
+(** [reschema d s] renames both parts in O(1) (see {!Relation.reschema}). *)
+val reschema : t -> Schema.t -> t
+
+(** [merge_into ~into d] accumulates [d]'s parts into [into]. *)
+val merge_into : into:t -> t -> unit
+
+(** [normalize d] cancels tuples present in both parts (counter-wise):
+    applying the result to a view has the same effect. *)
+val normalize : t -> t
+
+(** [apply d r] applies the delta to a counted relation: insert counts are
+    added, delete counts subtracted.
+    @raise Relation.Negative_count when deleting more than present — an
+    inconsistency for view maintenance. *)
+val apply : t -> Relation.t -> unit
+
+(** [compose ~first ~second] is the net effect of running [first] then
+    [second] over the same relation, for set-semantics base deltas (all
+    counts one):
+    inserts = (i1 - d2) U (i2 - d1), deletes = (d1 - i2) U (d2 - i1). *)
+val compose : first:t -> second:t -> t
+
+val pp : Format.formatter -> t -> unit

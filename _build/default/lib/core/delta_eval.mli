@@ -1,0 +1,48 @@
+(** Differential re-evaluation of SPJ views (Section 5, Algorithm 5.1).
+
+    Given the pre-transaction state of every source (with deletions already
+    removed: r° = r - d_r) and the per-source update sets, the new view
+    state is the union over the truth-table rows of Section 5.3.  Because
+    mixed insert/delete tag combinations are ignored (Tag.join), each row
+    contributes exactly two evaluations: one with every delta operand bound
+    to its insert part (producing view insertions) and one with every delta
+    operand bound to its delete part (producing view deletions).  A QCheck
+    property asserts this pair form agrees with the literal tagged
+    evaluator {!Tagged_eval}.
+
+    Rows whose operands include an empty relation are skipped without
+    evaluation; with [~reuse:true] the surviving rows share partial join
+    prefixes through {!Query.Planner.run_many}. *)
+
+open Relalg
+
+type source_input = {
+  alias : string;
+  old_part : Relation.t;
+      (** qualified schema; pre-state minus deletions for modified sources *)
+  delta : Delta.t option;  (** qualified; [None] for unmodified sources *)
+}
+
+type result = {
+  delta : Delta.t;  (** view delta over the output schema *)
+  rows_evaluated : int;  (** truth-table rows actually evaluated *)
+}
+
+(** [eval ~spj ~inputs ()] computes the view delta.  [inputs] must cover
+    every source alias of [spj].
+
+    - [order] (default [`Greedy]) picks the join order per row; greedy
+      starts from the smallest operand, typically a delta.
+    - [reuse] (default [false]) shares partial joins across rows.
+    @raise Invalid_argument if an alias is missing. *)
+val eval :
+  ?order:Query.Planner.join_order ->
+  ?join_impl:Query.Planner.join_impl ->
+  ?reuse:bool ->
+  spj:Query.Spj.t ->
+  inputs:source_input list ->
+  unit ->
+  result
+
+(** Output schema of the view delta, derived from the inputs' schemas. *)
+val output_schema : spj:Query.Spj.t -> inputs:source_input list -> Schema.t

@@ -1,0 +1,59 @@
+(** Detection of irrelevant updates (Section 4).
+
+    An inserted or deleted tuple [t] is {e irrelevant} to a view iff the
+    condition obtained by substituting [t]'s values — C(t, Y2) — is
+    unsatisfiable, independently of the database state (Theorem 4.1).
+
+    {!prepare} implements the compile-time part of Algorithm 4.1: the
+    condition is split into invariant and variant formulae with respect to
+    the updated relation (Definition 4.2), the invariant difference
+    constraints are loaded into a graph, and its all-pairs shortest paths
+    are precomputed.  {!relevant} is the per-tuple part: variant evaluable
+    formulae are tested directly, variant non-evaluable formulae [x op c]
+    become edges incident to the virtual node 0, and a negative cycle is
+    detected incrementally in O(n^2) instead of rerunning Floyd–Warshall.
+
+    The test errs on the side of relevance wherever the decidable class is
+    exceeded (integer disequalities, string orderings): it never reports a
+    relevant update as irrelevant. *)
+
+open Relalg
+
+type screen
+
+(** [prepare ~lookup ~spj ~alias] precomputes the screen for updates to the
+    source named [alias] of the view [spj].
+    @raise Not_found if [alias] is not a source of the view. *)
+val prepare :
+  lookup:(string -> Schema.t) -> spj:Query.Spj.t -> alias:string -> screen
+
+(** [true] when the view condition is invariantly unsatisfiable for this
+    source: every update to it is irrelevant. *)
+val always_irrelevant : screen -> bool
+
+(** [relevant screen t] decides Theorem 4.1 for one (unqualified) tuple of
+    the updated relation; [false] means provably irrelevant. *)
+val relevant : screen -> Tuple.t -> bool
+
+(** Per-tuple decision without the incremental precomputation: substitutes
+    into the whole condition and runs the full satisfiability procedure.
+    Semantically identical to {!relevant}; ablation E8a baseline. *)
+val relevant_naive : screen -> Tuple.t -> bool
+
+(** [screen_delta screen d] drops provably irrelevant tuples from both
+    parts of a delta. *)
+val screen_delta : screen -> Delta.t -> Delta.t
+
+(** Statistics of the last [screen_delta] call are returned alongside when
+    using [screen_delta_stats]: (kept, dropped). *)
+val screen_delta_stats : screen -> Delta.t -> Delta.t * (int * int)
+
+(** Theorem 4.2: a set of tuples inserted into (or deleted from) several
+    relations with disjoint schemes is irrelevant iff the simultaneous
+    substitution is unsatisfiable.  [tuples] maps source aliases to
+    (unqualified) tuples. *)
+val combined_relevant :
+  lookup:(string -> Schema.t) ->
+  spj:Query.Spj.t ->
+  (string * Tuple.t) list ->
+  bool

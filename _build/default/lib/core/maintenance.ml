@@ -1,0 +1,166 @@
+open Relalg
+
+let log_src = Logs.Src.create "ivm.maintenance" ~doc:"View maintenance"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type strategy =
+  | Differential
+  | Recompute
+  | Adaptive
+
+type options = {
+  strategy : strategy;
+  screen : bool;
+  reuse : bool;
+  order : Query.Planner.join_order;
+  join_impl : Query.Planner.join_impl;
+}
+
+let default_options =
+  {
+    strategy = Differential;
+    screen = true;
+    reuse = false;
+    order = `Greedy;
+    join_impl = `Hash;
+  }
+
+type report = {
+  view_name : string;
+  strategy_used : strategy;
+  screened_out : int;
+  screened_kept : int;
+  rows_evaluated : int;
+  delta_inserts : int;
+  delta_deletes : int;
+}
+
+let resolve_strategy options view ~db ~net =
+  match options.strategy with
+  | Differential -> Differential
+  | Recompute -> Recompute
+  | Adaptive ->
+    if (Advisor.decide view ~db ~net).Advisor.choose_differential then
+      Differential
+    else Recompute
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s: %s, screened %d/%d irrelevant, %d rows, +%d -%d view tuples"
+    r.view_name
+    (match r.strategy_used with
+    | Differential -> "differential"
+    | Recompute -> "recompute"
+    | Adaptive -> "adaptive")
+    r.screened_out
+    (r.screened_out + r.screened_kept)
+    r.rows_evaluated r.delta_inserts r.delta_deletes
+
+let view_delta ?(options = default_options) view ~db ~net =
+  let spj = View.spj view in
+  let screened_out = ref 0 and screened_kept = ref 0 in
+  let inputs =
+    List.map
+      (fun (source : Query.Spj.source) ->
+        let qualified = View.qualified_schema view ~alias:source.Query.Spj.alias in
+        let base = Database.find db source.Query.Spj.relation in
+        let old_part = Relation.reschema base qualified in
+        let delta =
+          match List.assoc_opt source.Query.Spj.relation net with
+          | None -> None
+          | Some (inserts, deletes) ->
+            let raw = Delta.of_lists qualified (inserts, deletes) in
+            if options.screen then begin
+              let screen = View.screen_for view ~alias:source.Query.Spj.alias in
+              let screened, (kept, out) =
+                Irrelevance.screen_delta_stats screen raw
+              in
+              screened_kept := !screened_kept + kept;
+              screened_out := !screened_out + out;
+              Some screened
+            end
+            else Some raw
+        in
+        { Delta_eval.alias = source.Query.Spj.alias; old_part; delta })
+      spj.Query.Spj.sources
+  in
+  let result =
+    Delta_eval.eval ~order:options.order ~join_impl:options.join_impl
+      ~reuse:options.reuse ~spj ~inputs ()
+  in
+  let delta = result.Delta_eval.delta in
+  Log.debug (fun m ->
+      m "view %s: %d rows evaluated, +%d -%d, screened %d/%d"
+        (View.name view) result.Delta_eval.rows_evaluated
+        (Relation.total delta.Delta.inserts)
+        (Relation.total delta.Delta.deletes)
+        !screened_out
+        (!screened_out + !screened_kept));
+  ( delta,
+    {
+      view_name = View.name view;
+      strategy_used = Differential;
+      screened_out = !screened_out;
+      screened_kept = !screened_kept;
+      rows_evaluated = result.Delta_eval.rows_evaluated;
+      delta_inserts = Relation.total delta.Delta.inserts;
+      delta_deletes = Relation.total delta.Delta.deletes;
+    } )
+
+let apply_deletes db net =
+  List.iter
+    (fun (name, (_, deletes)) ->
+      let r = Database.find db name in
+      List.iter (fun t -> Relation.remove r t) deletes)
+    net
+
+let apply_inserts db net =
+  List.iter
+    (fun (name, (inserts, _)) ->
+      let r = Database.find db name in
+      List.iter (fun t -> Relation.add r t) inserts)
+    net
+
+let process ?(options = default_options) ?(options_for = fun _ -> None) ~views
+    ~db txn =
+  let net = Transaction.net_effect db txn in
+  Log.info (fun m ->
+      m "commit: %d ops, %d relations touched, %d views" (List.length txn)
+        (List.length net) (List.length views));
+  let options_of view =
+    Option.value ~default:options (options_for (View.name view))
+  in
+  let differential, recomputed =
+    List.partition
+      (fun v -> resolve_strategy (options_of v) v ~db ~net = Differential)
+      views
+  in
+  apply_deletes db net;
+  let reports =
+    List.map
+      (fun view ->
+        let delta, report =
+          view_delta ~options:(options_of view) view ~db ~net
+        in
+        View.apply_delta view delta;
+        report)
+      differential
+  in
+  apply_inserts db net;
+  let recompute_reports =
+    List.map
+      (fun view ->
+        View.recompute view db;
+        {
+          view_name = View.name view;
+          strategy_used = Recompute;
+          screened_out = 0;
+          screened_kept = 0;
+          rows_evaluated = 0;
+          delta_inserts = 0;
+          delta_deletes = 0;
+        })
+      recomputed
+  in
+  reports @ recompute_reports

@@ -1,0 +1,88 @@
+(** Per-transaction view maintenance (Algorithm 5.1 end to end).
+
+    The protocol mirrors the paper's assumptions (Section 5): maintenance
+    runs as the final step of a committing transaction, with the
+    pre-transaction base relations, the net update sets, the view
+    definition and the current view contents available.
+
+    Phases of {!process}:
+    + compute the transaction's net effect;
+    + install the deletions into the base relations — they are then in the
+      r° = r - d_r state every truth-table row expects;
+    + for every differential view: screen the update sets against
+      Theorem 4.1, evaluate the surviving truth-table rows, apply the view
+      delta;
+    + install the insertions;
+    + recompute any view maintained by the complete re-evaluation
+      baseline. *)
+
+open Relalg
+
+type strategy =
+  | Differential
+  | Recompute  (** the paper's baseline: re-evaluate from scratch *)
+  | Adaptive
+      (** choose per transaction with {!Advisor}: differential for small
+          update sets, recomputation past the crossover of E9 *)
+
+type options = {
+  strategy : strategy;
+  screen : bool;  (** filter irrelevant updates first (Algorithm 4.1) *)
+  reuse : bool;  (** share partial joins across truth-table rows *)
+  order : Query.Planner.join_order;
+  join_impl : Query.Planner.join_impl;
+}
+
+(** Differential, with screening, greedy join order, hash joins, no row
+    reuse. *)
+val default_options : options
+
+(** [resolve_strategy options view ~db ~net] resolves [Adaptive] into a
+    concrete strategy for this transaction. *)
+val resolve_strategy :
+  options ->
+  View.t ->
+  db:Database.t ->
+  net:Transaction.net ->
+  strategy
+
+type report = {
+  view_name : string;
+  strategy_used : strategy;  (** always [Differential] or [Recompute] *)
+  screened_out : int;  (** update tuples proven irrelevant *)
+  screened_kept : int;
+  rows_evaluated : int;
+  delta_inserts : int;  (** counted tuples inserted into the view *)
+  delta_deletes : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [view_delta ?options view ~db ~net] computes the view delta.  [db] must
+    be in the deletions-applied intermediate state and [net] is the
+    transaction's net effect.  Does not modify anything. *)
+val view_delta :
+  ?options:options ->
+  View.t ->
+  db:Database.t ->
+  net:Transaction.net ->
+  Delta.t * report
+
+(** [process ?options ~views ~db txn] runs the whole commit: nets the
+    transaction, updates the base relations, and maintains every view.
+    Per-view options override the common ones.
+    @raise Transaction.Invalid on invalid transactions (nothing is
+    modified in that case). *)
+val process :
+  ?options:options ->
+  ?options_for:(string -> options option) ->
+  views:View.t list ->
+  db:Database.t ->
+  Transaction.t ->
+  report list
+
+(** [apply_deletes db net] / [apply_inserts db net] install one half of the
+    net effect (exposed for the snapshot-refresh path). *)
+val apply_deletes : Database.t -> Transaction.net -> unit
+
+val apply_inserts : Database.t -> Transaction.net -> unit

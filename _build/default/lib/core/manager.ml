@@ -1,0 +1,246 @@
+open Relalg
+
+type mode =
+  | Immediate
+  | Deferred
+
+type stats = {
+  commits : int;
+  rows_evaluated : int;
+  screened_out : int;
+  screened_kept : int;
+  tuples_inserted : int;
+  tuples_deleted : int;
+  recomputations : int;
+}
+
+let empty_stats =
+  {
+    commits = 0;
+    rows_evaluated = 0;
+    screened_out = 0;
+    screened_kept = 0;
+    tuples_inserted = 0;
+    tuples_deleted = 0;
+    recomputations = 0;
+  }
+
+let add_report stats (r : Maintenance.report) =
+  {
+    commits = stats.commits + 1;
+    rows_evaluated = stats.rows_evaluated + r.Maintenance.rows_evaluated;
+    screened_out = stats.screened_out + r.Maintenance.screened_out;
+    screened_kept = stats.screened_kept + r.Maintenance.screened_kept;
+    tuples_inserted = stats.tuples_inserted + r.Maintenance.delta_inserts;
+    tuples_deleted = stats.tuples_deleted + r.Maintenance.delta_deletes;
+    recomputations =
+      (stats.recomputations
+      +
+      match r.Maintenance.strategy_used with
+      | Maintenance.Recompute -> 1
+      | Maintenance.Differential | Maintenance.Adaptive -> 0);
+  }
+
+type entry = {
+  view : View.t;
+  mode : mode;
+  options : Maintenance.options;
+  mutable pending : (string * Delta.t) list; (* relation -> composed delta *)
+  mutable stats : stats;
+}
+
+type t = {
+  db : Database.t;
+  mutable entries : entry list; (* in definition order *)
+}
+
+let create db = { db; entries = [] }
+let database mgr = mgr.db
+
+let entry_opt mgr name =
+  List.find_opt (fun e -> String.equal (View.name e.view) name) mgr.entries
+
+let define_view mgr ~name ?(mode = Immediate)
+    ?(options = Maintenance.default_options) expr =
+  if Option.is_some (entry_opt mgr name) then
+    invalid_arg (Printf.sprintf "Manager.define_view: %S already exists" name);
+  let view = View.define ~name ~db:mgr.db expr in
+  mgr.entries
+  <- mgr.entries @ [ { view; mode; options; pending = []; stats = empty_stats } ];
+  view
+
+let entry mgr name =
+  match entry_opt mgr name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let create_index mgr ~relation ~attrs =
+  ignore (Index.build (Database.find mgr.db relation) attrs)
+
+let view mgr name = (entry mgr name).view
+let stats mgr name = (entry mgr name).stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d commits (%d recomputed), %d rows evaluated, screened %d/%d, +%d -%d \
+     view tuples"
+    s.commits s.recomputations s.rows_evaluated s.screened_out
+    (s.screened_out + s.screened_kept)
+    s.tuples_inserted s.tuples_deleted
+let view_names mgr = List.map (fun e -> View.name e.view) mgr.entries
+let pending mgr name = (entry mgr name).pending
+
+(* Accumulate a transaction's net effect into a deferred view's pending
+   deltas, composing with what is already queued. *)
+let accumulate mgr e net =
+  let relations_of_view =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (s : Query.Spj.source) -> s.Query.Spj.relation)
+         (View.spj e.view).Query.Spj.sources)
+  in
+  List.iter
+    (fun (relation, (inserts, deletes)) ->
+      if List.mem relation relations_of_view then begin
+        let schema = Relation.schema (Database.find mgr.db relation) in
+        let incoming = Delta.of_lists schema (inserts, deletes) in
+        let composed =
+          match List.assoc_opt relation e.pending with
+          | None -> incoming
+          | Some existing -> Delta.compose ~first:existing ~second:incoming
+        in
+        e.pending <-
+          (relation, composed) :: List.remove_assoc relation e.pending
+      end)
+    net
+
+let commit mgr txn =
+  let net = Transaction.net_effect mgr.db txn in
+  (* Resolve adaptive strategies against the pre-state, before any part of
+     the net effect is installed. *)
+  let resolved =
+    List.map
+      (fun e ->
+        ( e,
+          match e.mode with
+          | Deferred -> Maintenance.Differential (* decided at refresh *)
+          | Immediate ->
+            Maintenance.resolve_strategy e.options e.view ~db:mgr.db ~net ))
+      mgr.entries
+  in
+  Maintenance.apply_deletes mgr.db net;
+  let reports =
+    List.filter_map
+      (fun (e, strategy) ->
+        match e.mode, strategy with
+        | Deferred, _ -> None
+        | Immediate, Maintenance.Recompute ->
+          None (* recomputed below, against the post-state *)
+        | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
+          let delta, report =
+            Maintenance.view_delta ~options:e.options e.view ~db:mgr.db ~net
+          in
+          View.apply_delta e.view delta;
+          e.stats <- add_report e.stats report;
+          Some report)
+      resolved
+  in
+  Maintenance.apply_inserts mgr.db net;
+  let recompute_reports =
+    List.filter_map
+      (fun (e, strategy) ->
+        match e.mode, strategy with
+        | Immediate, Maintenance.Recompute ->
+          View.recompute e.view mgr.db;
+          let report =
+            {
+              Maintenance.view_name = View.name e.view;
+              strategy_used = Maintenance.Recompute;
+              screened_out = 0;
+              screened_kept = 0;
+              rows_evaluated = 0;
+              delta_inserts = 0;
+              delta_deletes = 0;
+            }
+          in
+          e.stats <- add_report e.stats report;
+          Some report
+        | Immediate, (Maintenance.Differential | Maintenance.Adaptive) -> None
+        | Deferred, _ ->
+          accumulate mgr e net;
+          None)
+      resolved
+  in
+  reports @ recompute_reports
+
+(* Snapshot refresh: the current base state S is S0 U i_N - d_N relative to
+   the view's last refresh point S0; the old parts the truth table needs
+   are r° = S0 - d_N = S - i_N, so we temporarily remove the composed
+   insertions, evaluate, and put them back. *)
+let refresh mgr name =
+  let e = entry mgr name in
+  match e.mode with
+  | Immediate -> None
+  | Deferred ->
+    if e.pending = [] then
+      Some
+        {
+          Maintenance.view_name = name;
+          strategy_used = Maintenance.Differential;
+          screened_out = 0;
+          screened_kept = 0;
+          rows_evaluated = 0;
+          delta_inserts = 0;
+          delta_deletes = 0;
+        }
+    else begin
+      let net =
+        Transaction.of_sets
+          (List.map
+             (fun (relation, (d : Delta.t)) ->
+               ( relation,
+                 ( List.map fst (Relation.elements d.Delta.inserts),
+                   List.map fst (Relation.elements d.Delta.deletes) ) ))
+             e.pending)
+      in
+      List.iter
+        (fun (relation, (inserts, _)) ->
+          let r = Database.find mgr.db relation in
+          List.iter (fun t -> Relation.remove r t) inserts)
+        net;
+      let result =
+        match Maintenance.view_delta ~options:e.options e.view ~db:mgr.db ~net
+        with
+        | result -> Ok result
+        | exception exn -> Error exn
+      in
+      (* Restore the insertions even if evaluation failed. *)
+      List.iter
+        (fun (relation, (inserts, _)) ->
+          let r = Database.find mgr.db relation in
+          List.iter (fun t -> Relation.add r t) inserts)
+        net;
+      match result with
+      | Error exn -> raise exn
+      | Ok (delta, report) ->
+        View.apply_delta e.view delta;
+        e.pending <- [];
+        e.stats <- add_report e.stats report;
+        Some report
+    end
+
+let refresh_all mgr =
+  List.filter_map (fun e -> refresh mgr (View.name e.view)) mgr.entries
+
+let consistent mgr name =
+  let e = entry mgr name in
+  match e.mode with
+  | Immediate -> View.consistent e.view mgr.db
+  | Deferred ->
+    (* A deferred view is consistent with the state its pending deltas
+       rewind to; refreshing first makes it comparable. *)
+    ignore (refresh mgr name);
+    View.consistent e.view mgr.db
+
+let all_consistent mgr =
+  List.for_all (fun e -> consistent mgr (View.name e.view)) mgr.entries

@@ -1,0 +1,81 @@
+(** View manager: registers views over a database and keeps them
+    maintained across transactions.
+
+    Two refresh modes, following the paper's Section 6 discussion:
+    - [Immediate]: the view is updated as the last operation of every
+      committing transaction (the paper's main setting);
+    - [Deferred]: update sets accumulate (composed per relation) and are
+      applied on demand — the "snapshot refresh" environment of Adiba and
+      Lindsay [AL80] that the conclusion extends the approach to. *)
+
+open Relalg
+
+type mode =
+  | Immediate
+  | Deferred
+
+type t
+
+val create : Database.t -> t
+val database : t -> Database.t
+
+(** [define_view mgr ~name ?mode ?options expr] registers a new view,
+    materialized immediately.
+    @raise Invalid_argument if the name is taken. *)
+val define_view :
+  t ->
+  name:string ->
+  ?mode:mode ->
+  ?options:Maintenance.options ->
+  Query.Expr.t ->
+  View.t
+
+(** The registered view.
+    @raise Not_found for unknown names. *)
+val view : t -> string -> View.t
+
+val view_names : t -> string list
+
+(** Registered pending update sets of a deferred view (relation name and
+    composed delta), empty for immediate views. *)
+val pending : t -> string -> (string * Delta.t) list
+
+(** [create_index mgr ~relation ~attrs] builds (and keeps maintained) a
+    secondary index on a base relation; differential maintenance probes it
+    instead of scanning the relation when joining small update sets
+    against it.
+    @raise Not_found on unknown relations or attributes. *)
+val create_index : t -> relation:string -> attrs:Attr.t list -> unit
+
+(** [commit mgr txn] nets the transaction, updates the base relations,
+    maintains immediate views and accumulates deltas for deferred views.
+    @raise Transaction.Invalid on invalid transactions. *)
+val commit : t -> Transaction.t -> Maintenance.report list
+
+(** [refresh mgr name] brings a deferred view up to date differentially
+    from its composed pending deltas.  No-op for immediate views. *)
+val refresh : t -> string -> Maintenance.report option
+
+val refresh_all : t -> Maintenance.report list
+
+(** Cumulative per-view maintenance statistics since definition. *)
+type stats = {
+  commits : int;  (** transactions that touched the view's relations *)
+  rows_evaluated : int;
+  screened_out : int;
+  screened_kept : int;
+  tuples_inserted : int;  (** counted, into the view *)
+  tuples_deleted : int;
+  recomputations : int;  (** commits resolved to the recompute strategy *)
+}
+
+(** Statistics for one view.
+    @raise Not_found for unknown names. *)
+val stats : t -> string -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Recompute-from-scratch comparison, counters included. *)
+val consistent : t -> string -> bool
+
+val all_consistent : t -> bool

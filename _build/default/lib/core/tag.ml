@@ -1,0 +1,38 @@
+type t =
+  | Insert
+  | Delete
+  | Old
+
+(* The table on p. 69: insert |x| delete (and delete |x| insert) is
+   "ignore" — such a tuple was neither in the old view nor is in the new
+   one. *)
+let join a b =
+  match a, b with
+  | Insert, Insert -> Some Insert
+  | Insert, Delete -> None
+  | Insert, Old -> Some Insert
+  | Delete, Insert -> None
+  | Delete, Delete -> Some Delete
+  | Delete, Old -> Some Delete
+  | Old, Insert -> Some Insert
+  | Old, Delete -> Some Delete
+  | Old, Old -> Some Old
+
+let select t = t
+let project t = t
+
+let join_table =
+  let tags = [ Insert; Delete; Old ] in
+  List.concat_map (fun a -> List.map (fun b -> ((a, b), join a b)) tags) tags
+
+let equal a b =
+  match a, b with
+  | Insert, Insert | Delete, Delete | Old, Old -> true
+  | (Insert | Delete | Old), _ -> false
+
+let to_string = function
+  | Insert -> "insert"
+  | Delete -> "delete"
+  | Old -> "old"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,30 @@
+(** The insert/delete/old tag algebra of Section 5.3.
+
+    Every tuple flowing through the differential evaluation carries a tag:
+    [Insert] and [Delete] mark tuples from the update sets, [Old] marks
+    tuples of the pre-transaction state with deletions already removed
+    (r° = r - d_r).  The [join] table is the paper's nine-row table
+    verbatim; tuples whose tag combination is "ignore" do not emerge from
+    the join. *)
+
+type t =
+  | Insert
+  | Delete
+  | Old
+
+(** Tag of a joined tuple; [None] is the paper's "ignore". *)
+val join : t -> t -> t option
+
+(** Tags propagate unchanged through selection (paper's sigma/pi table). *)
+val select : t -> t
+
+(** Tags propagate unchanged through projection. *)
+val project : t -> t
+
+(** The full nine-row join table, in the paper's row order
+    (insert/insert, insert/delete, insert/old, delete/insert, ...). *)
+val join_table : ((t * t) * t option) list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

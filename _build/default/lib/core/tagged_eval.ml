@@ -1,0 +1,132 @@
+open Relalg
+module Formula = Condition.Formula
+
+type tagged = {
+  schema : Schema.t;
+  rows : (Tuple.t * Tag.t * int) list;
+}
+
+let of_relation r =
+  {
+    schema = Relation.schema r;
+    rows = Relation.fold (fun t c acc -> (t, Tag.Old, c) :: acc) r [];
+  }
+
+let of_parts ~old_part ~(delta : Delta.t) =
+  let tag_rows tag r acc =
+    Relation.fold (fun t c acc -> (t, tag, c) :: acc) r acc
+  in
+  {
+    schema = Relation.schema old_part;
+    rows =
+      tag_rows Tag.Old old_part
+        (tag_rows Tag.Insert delta.Delta.inserts
+           (tag_rows Tag.Delete delta.Delta.deletes []));
+  }
+
+let product a b =
+  let schema = Schema.concat a.schema b.schema in
+  let rows =
+    List.concat_map
+      (fun (ta, taga, ca) ->
+        List.filter_map
+          (fun (tb, tagb, cb) ->
+            match Tag.join taga tagb with
+            | None -> None
+            | Some tag -> Some (Tuple.concat ta tb, tag, ca * cb))
+          b.rows)
+      a.rows
+  in
+  { schema; rows }
+
+let select dnf tagged =
+  let schema = tagged.schema in
+  let current = ref [||] in
+  let lookup v = Tuple.get !current (Schema.position schema v) in
+  let rows =
+    List.filter
+      (fun (t, tag, _) ->
+        current := t;
+        ignore (Tag.select tag);
+        Formula.eval_dnf lookup dnf)
+      tagged.rows
+  in
+  { tagged with rows }
+
+module Keyed = Hashtbl.Make (struct
+  type t = Tuple.t * Tag.t
+
+  let equal (t1, g1) (t2, g2) = Tuple.equal t1 t2 && Tag.equal g1 g2
+  let hash (t, g) = (Tuple.hash t * 7) + Hashtbl.hash g
+end)
+
+let coalesce tagged =
+  let table = Keyed.create (List.length tagged.rows) in
+  List.iter
+    (fun (t, tag, c) ->
+      let key = (t, tag) in
+      let current = Option.value ~default:0 (Keyed.find_opt table key) in
+      Keyed.replace table key (current + c))
+    tagged.rows;
+  {
+    tagged with
+    rows = Keyed.fold (fun (t, tag) c acc -> (t, tag, c) :: acc) table [];
+  }
+
+let project projection tagged =
+  let positions =
+    Array.of_list
+      (List.map (fun (_, q) -> Schema.position tagged.schema q) projection)
+  in
+  let out_schema =
+    Schema.make
+      (List.map
+         (fun (out, q) -> (out, Schema.ty tagged.schema q))
+         projection)
+  in
+  coalesce
+    {
+      schema = out_schema;
+      rows =
+        List.map
+          (fun (t, tag, c) ->
+            (Tuple.project positions t, Tag.project tag, c))
+          tagged.rows;
+    }
+
+type result = {
+  delta : Delta.t;
+  unchanged : Relation.t;
+}
+
+let eval_spj ~(spj : Query.Spj.t) ~inputs =
+  let tagged_of_alias alias =
+    match List.assoc_opt alias inputs with
+    | Some t -> t
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Tagged_eval.eval_spj: missing input for alias %S"
+           alias)
+  in
+  let joined =
+    match spj.Query.Spj.sources with
+    | [] -> invalid_arg "Tagged_eval.eval_spj: no sources"
+    | first :: rest ->
+      List.fold_left
+        (fun acc source ->
+          product acc (tagged_of_alias source.Query.Spj.alias))
+        (tagged_of_alias first.Query.Spj.alias)
+        rest
+  in
+  let selected = select spj.Query.Spj.condition_dnf joined in
+  let projected = project spj.Query.Spj.projection selected in
+  let delta = Delta.empty projected.schema in
+  let unchanged = Relation.create projected.schema in
+  List.iter
+    (fun (t, tag, c) ->
+      match (tag : Tag.t) with
+      | Tag.Insert -> Relation.update delta.Delta.inserts t c
+      | Tag.Delete -> Relation.update delta.Delta.deletes t c
+      | Tag.Old -> Relation.update unchanged t c)
+    projected.rows;
+  { delta; unchanged }

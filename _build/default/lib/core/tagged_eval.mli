@@ -1,0 +1,47 @@
+(** Reference differential evaluator with explicit per-tuple tags.
+
+    This implements Section 5.3 literally: every operand tuple carries an
+    insert/delete/old tag, joins combine tags through {!Tag.join} (dropping
+    the "ignore" combinations), and selections and projections propagate
+    tags unchanged while counters follow Section 5.2.  It evaluates the
+    whole expression including the all-old row, so it is quadratically
+    slower than {!Delta_eval} — it exists as an executable specification:
+    property tests assert both evaluators agree, and its old-tagged output
+    must equal the current view contents. *)
+
+open Relalg
+
+type tagged = {
+  schema : Schema.t;
+  rows : (Tuple.t * Tag.t * int) list;
+}
+
+(** Tag a plain relation [Old]. *)
+val of_relation : Relation.t -> tagged
+
+(** [of_parts ~old_part ~delta] tags [old_part] (which must already exclude
+    deleted tuples, i.e. r° = r - d) [Old], and the delta parts [Insert] /
+    [Delete]. *)
+val of_parts : old_part:Relation.t -> delta:Delta.t -> tagged
+
+(** Cross product with tag combination; "ignore" pairs do not emerge. *)
+val product : tagged -> tagged -> tagged
+
+(** Filter by a DNF condition over the tagged schema. *)
+val select : Condition.Formula.dnf -> tagged -> tagged
+
+(** Project onto [(output name, qualified attr)] pairs, summing counters
+    per (tuple, tag). *)
+val project : (Attr.t * Attr.t) list -> tagged -> tagged
+
+(** Merge duplicate (tuple, tag) rows by summing counters. *)
+val coalesce : tagged -> tagged
+
+type result = {
+  delta : Delta.t;  (** insert- and delete-tagged output *)
+  unchanged : Relation.t;  (** old-tagged output = the untouched view part *)
+}
+
+(** Evaluate the full SPJ over tagged inputs: one [(alias, input)] per
+    source, in the order of [spj.sources]. *)
+val eval_spj : spj:Query.Spj.t -> inputs:(string * tagged) list -> result

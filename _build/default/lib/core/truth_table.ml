@@ -1,0 +1,42 @@
+type operand =
+  | Old_part
+  | Delta_part
+
+type row = operand array
+
+let row_count ~modified =
+  let k = Array.fold_left (fun n m -> if m then n + 1 else n) 0 modified in
+  (1 lsl k) - 1
+
+let rows ~modified =
+  let p = Array.length modified in
+  let modified_positions =
+    List.filter (fun i -> modified.(i)) (List.init p Fun.id)
+  in
+  let k = List.length modified_positions in
+  (* Count from 1 to 2^k - 1; bit j of the counter drives the j-th modified
+     source.  The all-zero combination (the current view) is skipped. *)
+  List.init ((1 lsl k) - 1) (fun counter ->
+      let code = counter + 1 in
+      let row = Array.make p Old_part in
+      List.iteri
+        (fun j position ->
+          if code land (1 lsl (k - 1 - j)) <> 0 then
+            row.(position) <- Delta_part)
+        modified_positions;
+      row)
+
+let describe ~names row =
+  let cells =
+    List.mapi
+      (fun i name ->
+        match row.(i) with
+        | Old_part -> name
+        | Delta_part -> "u" ^ name)
+      names
+  in
+  String.concat " |x| " cells
+
+let pp_operand ppf = function
+  | Old_part -> Format.pp_print_string ppf "old"
+  | Delta_part -> Format.pp_print_string ppf "delta"

@@ -1,0 +1,32 @@
+(** The binary truth table of Section 5.3.
+
+    For a view joining p relations of which k were modified, associate a
+    binary variable B_i with each source: B_i = 0 selects the old tuples
+    (r°_i) and B_i = 1 selects the update set.  Expanding the join over
+    union enumerates 2^p rows; rows selecting the update set of an
+    unmodified relation are null, and the all-zero row is the current view,
+    so exactly 2^k - 1 rows need evaluation — the paper builds only those,
+    in time O(2^k). *)
+
+type operand =
+  | Old_part  (** B_i = 0 : the old tuples (pre-state minus deletions) *)
+  | Delta_part  (** B_i = 1 : the update set of the transaction *)
+
+(** One row: an operand choice per source, positionally. *)
+type row = operand array
+
+(** [rows ~modified] enumerates the 2^k - 1 non-trivial rows, where
+    [modified.(i)] says whether source [i] has a non-empty update set.
+    Unmodified sources always get [Old_part]; the all-[Old_part] row is
+    excluded.  Rows come in binary-counter order over the modified sources
+    (the paper's table order). *)
+val rows : modified:bool array -> row list
+
+(** [row_count ~modified] is [2^k - 1] without materializing the rows. *)
+val row_count : modified:bool array -> int
+
+(** Render a row like the paper's table: ["ir1 |x| r2 |x| ir3"], given the
+    source names. *)
+val describe : names:string list -> row -> string
+
+val pp_operand : Format.formatter -> operand -> unit

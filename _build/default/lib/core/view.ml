@@ -1,0 +1,64 @@
+open Relalg
+
+type t = {
+  name : string;
+  spj : Query.Spj.t;
+  schema : Schema.t;
+  mutable state : Relation.t;
+  lookup : string -> Schema.t;
+  qualified : (string * Schema.t) list; (* alias -> qualified schema *)
+  screens : (string, Irrelevance.screen) Hashtbl.t;
+  duplicate_free : bool;
+}
+
+let define ?(minimize = true) ?(keys = []) ~name ~db expr =
+  let lookup relation = Relation.schema (Database.find db relation) in
+  let spj = Query.Spj.compile lookup expr in
+  let spj = if minimize then Query.Tableau.minimize spj else spj in
+  let duplicate_free =
+    keys <> [] && Query.Keys.projection_preserves_keys ~keys spj
+  in
+  let schema = Query.Spj.output_schema lookup spj in
+  let qualified =
+    List.map
+      (fun s -> (s.Query.Spj.alias, Query.Spj.qualified_schema lookup s))
+      spj.Query.Spj.sources
+  in
+  {
+    name;
+    spj;
+    schema;
+    state = Query.Spj.eval lookup db spj;
+    lookup;
+    qualified;
+    screens = Hashtbl.create 4;
+    duplicate_free;
+  }
+
+let name v = v.name
+let spj v = v.spj
+let schema v = v.schema
+let contents v = v.state
+let duplicate_free v = v.duplicate_free
+let lookup v = v.lookup
+
+let qualified_schema v ~alias =
+  match List.assoc_opt alias v.qualified with
+  | Some s -> s
+  | None -> raise Not_found
+
+let screen_for v ~alias =
+  match Hashtbl.find_opt v.screens alias with
+  | Some screen -> screen
+  | None ->
+    let screen = Irrelevance.prepare ~lookup:v.lookup ~spj:v.spj ~alias in
+    Hashtbl.replace v.screens alias screen;
+    screen
+
+let apply_delta v delta = Delta.apply delta v.state
+let recompute v db = v.state <- Query.Spj.eval v.lookup db v.spj
+let consistent v db = Relation.equal v.state (Query.Spj.eval v.lookup db v.spj)
+
+let pp ppf v =
+  Format.fprintf ppf "@[<v 2>view %s = %a@,%a@]" v.name Query.Spj.pp v.spj
+    Relation.pp v.state

@@ -1,0 +1,59 @@
+(** Materialized views: a compiled SPJ definition plus counted contents.
+
+    The materialization carries the multiplicity counter of Section 5.2
+    (alternative 1), so project views survive deletions.  A view is bound
+    to the database it was defined over. *)
+
+open Relalg
+
+type t
+
+(** [define ~name ~db expr] compiles [expr], optionally minimizes its join
+    count ([minimize] defaults to [true]; see {!Query.Tableau}), and
+    materializes the initial contents from [db].
+
+    [keys] declares candidate keys of base relations; when the projection
+    preserves a key of every source (Section 5.2, alternative 2) the view
+    is flagged {!duplicate_free}.
+    @raise Query.Spj.Compile_error on malformed definitions. *)
+val define :
+  ?minimize:bool ->
+  ?keys:Query.Keys.t ->
+  name:string ->
+  db:Database.t ->
+  Query.Expr.t ->
+  t
+
+val name : t -> string
+val spj : t -> Query.Spj.t
+val schema : t -> Schema.t
+
+(** Live contents — treat as read-only. *)
+val contents : t -> Relation.t
+
+(** [true] when the key-preservation analysis proved every multiplicity
+    counter is 1 (Section 5.2, alternative 2): key-based maintenance
+    without counters would suffice for this view. *)
+val duplicate_free : t -> bool
+
+(** Schema lookup for the base relations of the defining database. *)
+val lookup : t -> string -> Schema.t
+
+(** Qualified schema of the source with the given alias. *)
+val qualified_schema : t -> alias:string -> Schema.t
+
+(** Irrelevance screen for a source, built on first use and cached. *)
+val screen_for : t -> alias:string -> Irrelevance.screen
+
+(** Apply a view delta to the contents.
+    @raise Relation.Negative_count on an inconsistent delta. *)
+val apply_delta : t -> Delta.t -> unit
+
+(** Replace the contents by complete re-evaluation against [db]. *)
+val recompute : t -> Database.t -> unit
+
+(** [consistent v db] re-evaluates from scratch and compares with the
+    maintained contents, counters included. *)
+val consistent : t -> Database.t -> bool
+
+val pp : Format.formatter -> t -> unit

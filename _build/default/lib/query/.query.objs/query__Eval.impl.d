@@ -1,0 +1,1 @@
+lib/query/eval.ml: Condition Database Expr Hashtbl List Ops Printf Relalg Relation Schema Tuple

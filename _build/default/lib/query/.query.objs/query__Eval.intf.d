@@ -1,0 +1,1 @@
+lib/query/eval.mli: Condition Database Expr Relalg Relation

@@ -1,0 +1,1 @@
+lib/query/expr.ml: Attr Condition Format List Relalg Schema

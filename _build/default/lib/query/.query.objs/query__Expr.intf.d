@@ -1,0 +1,1 @@
+lib/query/expr.mli: Attr Condition Format Relalg Schema

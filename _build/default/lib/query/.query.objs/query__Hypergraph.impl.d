@@ -1,0 +1,1 @@
+lib/query/hypergraph.ml: Attr Condition Format Hashtbl List Ops Option Planner Relalg Relation Schema Spj String

@@ -1,0 +1,1 @@
+lib/query/keys.ml: Attr Condition Hashtbl List Relalg Spj

@@ -1,0 +1,1 @@
+lib/query/keys.mli: Attr Relalg Spj

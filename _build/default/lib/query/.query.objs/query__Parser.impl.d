@@ -1,0 +1,1 @@
+lib/query/parser.ml: Buffer Condition Expr Format List Printf Relalg Schema String Value

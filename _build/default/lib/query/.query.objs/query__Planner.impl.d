@@ -1,0 +1,1 @@
+lib/query/planner.ml: Array Condition Hashtbl Index List Ops Printf Relalg Relation Schema String Tuple

@@ -1,0 +1,1 @@
+lib/query/planner.mli: Attr Condition Relalg Relation

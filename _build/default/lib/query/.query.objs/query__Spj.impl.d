@@ -1,0 +1,1 @@
+lib/query/spj.ml: Attr Condition Database Expr Format Hashtbl List Planner Printf Relalg Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/query/spj.mli: Attr Condition Database Expr Format Relalg Relation Schema

@@ -1,0 +1,1 @@
+lib/query/tableau.ml: Array Attr Condition Hashtbl List Option Relalg Spj String

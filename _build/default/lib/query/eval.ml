@@ -1,0 +1,35 @@
+open Relalg
+
+let select_relation formula r =
+  let schema = Relation.schema r in
+  (* Resolve variable positions once, not per tuple. *)
+  let positions = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      match Schema.position_opt schema v with
+      | Some i -> Hashtbl.replace positions v i
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Eval.select_relation: unknown attribute %S" v))
+    (Condition.Formula.vars formula);
+  let current = ref [||] in
+  let lookup v = Tuple.get !current (Hashtbl.find positions v) in
+  Ops.select
+    (fun t ->
+      current := t;
+      Condition.Formula.eval lookup formula)
+    r
+
+let rec eval db = function
+  | Expr.Base name -> Database.find db name
+  | Expr.Select (f, e) -> select_relation f (eval db e)
+  | Expr.Project (attrs, e) -> Ops.project (eval db e) attrs
+  | Expr.Rename (mapping, e) ->
+    let renamed a =
+      match List.assoc_opt a mapping with
+      | Some fresh -> fresh
+      | None -> a
+    in
+    Ops.rename renamed (eval db e)
+  | Expr.Natural_join (a, b) -> Ops.natural_join (eval db a) (eval db b)
+  | Expr.Product (a, b) -> Ops.product (eval db a) (eval db b)

@@ -1,0 +1,16 @@
+(** Direct bottom-up evaluation of expressions.
+
+    This is the "complete re-evaluation" baseline of the paper: the view
+    expression is recomputed from the current base relations.  Selections
+    evaluate the full formula per tuple; joins are hash joins on the shared
+    attributes. *)
+
+open Relalg
+
+(** [eval db e] materializes [e] against [db] with counted semantics. *)
+val eval : Database.t -> Expr.t -> Relation.t
+
+(** [select_relation f r] filters [r] by formula [f], looking variables up
+    in [r]'s schema.
+    @raise Invalid_argument if the formula mentions unknown attributes. *)
+val select_relation : Condition.Formula.t -> Relation.t -> Relation.t

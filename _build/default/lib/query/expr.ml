@@ -1,0 +1,69 @@
+open Relalg
+
+type t =
+  | Base of string
+  | Select of Condition.Formula.t * t
+  | Project of Attr.t list * t
+  | Rename of (Attr.t * Attr.t) list * t
+  | Natural_join of t * t
+  | Product of t * t
+
+let base name = Base name
+let select f e = Select (f, e)
+let project attrs e = Project (attrs, e)
+let rename mapping e = Rename (mapping, e)
+let join a b = Natural_join (a, b)
+let product a b = Product (a, b)
+
+let join_all = function
+  | [] -> invalid_arg "Expr.join_all: empty list"
+  | e :: rest -> List.fold_left join e rest
+
+let base_names e =
+  let rec collect acc = function
+    | Base name -> name :: acc
+    | Select (_, e) | Project (_, e) | Rename (_, e) -> collect acc e
+    | Natural_join (a, b) | Product (a, b) -> collect (collect acc a) b
+  in
+  List.rev (collect [] e)
+
+let rec schema_of lookup = function
+  | Base name -> lookup name
+  | Select (_, e) -> schema_of lookup e
+  | Project (attrs, e) -> fst (Schema.project (schema_of lookup e) attrs)
+  | Rename (mapping, e) ->
+    let renamed a =
+      match List.assoc_opt a mapping with
+      | Some fresh -> fresh
+      | None -> a
+    in
+    Schema.rename renamed (schema_of lookup e)
+  | Natural_join (a, b) ->
+    let sa = schema_of lookup a and sb = schema_of lookup b in
+    let extra =
+      List.filter_map
+        (fun (n, ty) -> if Schema.mem sa n then None else Some (n, ty))
+        (Schema.attrs sb)
+    in
+    Schema.make (Schema.attrs sa @ extra)
+  | Product (a, b) -> Schema.concat (schema_of lookup a) (schema_of lookup b)
+
+let rec pp ppf = function
+  | Base name -> Format.pp_print_string ppf name
+  | Select (f, e) ->
+    Format.fprintf ppf "@[sigma[%a]@,(%a)@]" Condition.Formula.pp f pp e
+  | Project (attrs, e) ->
+    Format.fprintf ppf "@[pi[%a]@,(%a)@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Attr.pp)
+      attrs pp e
+  | Rename (mapping, e) ->
+    Format.fprintf ppf "@[rho[%a]@,(%a)@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         (fun ppf (old_name, fresh) ->
+           Format.fprintf ppf "%a->%a" Attr.pp old_name Attr.pp fresh))
+      mapping pp e
+  | Natural_join (a, b) -> Format.fprintf ppf "(%a |X| %a)" pp a pp b
+  | Product (a, b) -> Format.fprintf ppf "(%a X %a)" pp a pp b

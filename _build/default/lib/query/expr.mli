@@ -1,0 +1,47 @@
+(** Relational-algebra expressions over named base relations.
+
+    The paper's view class is SPJ: expressions combining selections,
+    projections and joins (Section 3).  [Natural_join] joins on all shared
+    attribute names; [Product] requires disjoint schemas.  Expressions are
+    compiled to the canonical form pi_X(sigma_C(R1 x ... x Rp)) by
+    {!module:Spj}. *)
+
+open Relalg
+
+type t =
+  | Base of string
+  | Select of Condition.Formula.t * t
+  | Project of Attr.t list * t
+  | Rename of (Attr.t * Attr.t) list * t
+      (** [(old name, new name)] pairs; unlisted attributes keep their
+          names.  Needed for self-joins where both occurrences play
+          different roles. *)
+  | Natural_join of t * t
+  | Product of t * t
+
+(** {1 Constructors} *)
+
+val base : string -> t
+val select : Condition.Formula.t -> t -> t
+val project : Attr.t list -> t -> t
+
+(** [rename [(old, new); ...] e]; see {!Rename}. *)
+val rename : (Attr.t * Attr.t) list -> t -> t
+
+val join : t -> t -> t
+val product : t -> t -> t
+
+(** N-ary natural join, left-associated.
+    @raise Invalid_argument on the empty list. *)
+val join_all : t list -> t
+
+(** Names of the base relations, in occurrence order with duplicates. *)
+val base_names : t -> string list
+
+(** [schema_of lookup e] infers the output schema, where [lookup] gives the
+    schema of each base relation.
+    @raise Invalid_argument when a product has overlapping schemas or a
+    projection mentions a missing attribute. *)
+val schema_of : (string -> Schema.t) -> t -> Schema.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,244 @@
+open Relalg
+module Formula = Condition.Formula
+
+type tree = {
+  alias : string;
+  children : tree list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Equality classes of qualified attributes                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec find parent a =
+  match Hashtbl.find_opt parent a with
+  | None -> a
+  | Some p ->
+    let root = find parent p in
+    if not (Attr.equal root p) then Hashtbl.replace parent a root;
+    root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if not (Attr.equal ra rb) then Hashtbl.replace parent ra rb
+
+let equality_var_pair (a : Formula.atom) =
+  match a.Formula.left, a.Formula.cmp, a.Formula.right, a.Formula.shift with
+  | Formula.O_var x, Formula.Eq, Formula.O_var y, 0 -> Some (x, y)
+  | _ -> None
+
+(* The hypergraph view of a conjunctive SPJ: one hyperedge per source,
+   whose vertices are the equality classes its attributes fall into.
+   Classes private to one source are irrelevant to connectivity. *)
+type analysis = {
+  classes : Attr.t -> Attr.t; (* attr -> class representative *)
+  vertices_of : (string * Attr.t list) list; (* alias -> shared classes *)
+  class_attr : string -> Attr.t -> Attr.t option;
+      (* alias, class -> an attribute of that source in the class *)
+}
+
+let analyze ~lookup (spj : Spj.t) conj =
+  let parent = Hashtbl.create 16 in
+  List.iter
+    (fun atom ->
+      match equality_var_pair atom with
+      | Some (x, y) -> union parent x y
+      | None -> ())
+    conj;
+  let classes a = find parent a in
+  let schema_of (s : Spj.source) = Spj.qualified_schema lookup s in
+  (* alias -> (class, attr) list *)
+  let membership =
+    List.map
+      (fun (s : Spj.source) ->
+        ( s.Spj.alias,
+          List.map (fun a -> (classes a, a)) (Schema.names (schema_of s)) ))
+      spj.Spj.sources
+  in
+  let count_sources cls =
+    List.length
+      (List.filter
+         (fun (_, pairs) -> List.exists (fun (c, _) -> Attr.equal c cls) pairs)
+         membership)
+  in
+  let vertices_of =
+    List.map
+      (fun (alias, pairs) ->
+        ( alias,
+          List.sort_uniq Attr.compare
+            (List.filter_map
+               (fun (c, _) -> if count_sources c >= 2 then Some c else None)
+               pairs) ))
+      membership
+  in
+  let class_attr alias cls =
+    match List.assoc_opt alias membership with
+    | None -> None
+    | Some pairs ->
+      List.find_map
+        (fun (c, a) -> if Attr.equal c cls then Some a else None)
+        pairs
+  in
+  { classes; vertices_of; class_attr }
+
+(* ------------------------------------------------------------------ *)
+(* GYO ear removal                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let join_tree ~lookup (spj : Spj.t) =
+  match spj.Spj.condition_dnf with
+  | [ conj ] when spj.Spj.sources <> [] ->
+    let analysis = analyze ~lookup spj conj in
+    (* Mutable working set of edges; children accumulate as ears fold
+       into their witnesses. *)
+    let edges =
+      ref
+        (List.map
+           (fun (alias, vertices) -> (alias, vertices, ref []))
+           analysis.vertices_of)
+    in
+    let subset small big = List.for_all (fun v -> List.mem v big) small in
+    let remove alias =
+      edges := List.filter (fun (a, _, _) -> not (String.equal a alias)) !edges
+    in
+    let children_of alias =
+      let _, _, kids =
+        List.find (fun (a, _, _) -> String.equal a alias) !edges
+      in
+      kids
+    in
+    (* An ear: its vertices shared with OTHER edges all lie in a single
+       witness edge. *)
+    let find_ear () =
+      List.find_map
+        (fun (alias, vertices, kids) ->
+          let others =
+            List.filter (fun (a, _, _) -> not (String.equal a alias)) !edges
+          in
+          if others = [] then None
+          else begin
+            let shared =
+              List.filter
+                (fun v ->
+                  List.exists (fun (_, vs, _) -> List.mem v vs) others)
+                vertices
+            in
+            let witness =
+              List.find_opt (fun (_, vs, _) -> subset shared vs) others
+            in
+            match witness with
+            | Some (walias, _, _) -> Some (alias, kids, walias)
+            | None -> None
+          end)
+        !edges
+    in
+    let rec reduce () =
+      match !edges with
+      | [ (alias, _, kids) ] -> Some { alias; children = !kids }
+      | _ -> (
+        match find_ear () with
+        | None -> None (* cyclic *)
+        | Some (ear_alias, ear_kids, witness_alias) ->
+          let ear_tree = { alias = ear_alias; children = !ear_kids } in
+          remove ear_alias;
+          let witness_kids = children_of witness_alias in
+          witness_kids := ear_tree :: !witness_kids;
+          reduce ())
+    in
+    reduce ()
+  | _ -> None
+
+let acyclic ~lookup spj = Option.is_some (join_tree ~lookup spj)
+
+(* ------------------------------------------------------------------ *)
+(* Yannakakis evaluation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Key pairs between two relations: one per equality class with an
+   attribute on both sides. *)
+let keys_between analysis schema_a schema_b =
+  let classes_of schema =
+    List.sort_uniq Attr.compare (List.map analysis.classes (Schema.names schema))
+  in
+  let attr_in schema cls =
+    List.find_opt
+      (fun a -> Attr.equal (analysis.classes a) cls)
+      (Schema.names schema)
+  in
+  List.filter_map
+    (fun cls ->
+      match attr_in schema_a cls, attr_in schema_b cls with
+      | Some a, Some b -> Some (a, b)
+      | _ -> None)
+    (classes_of schema_a)
+  |> List.filter (fun (_, b) -> Schema.mem schema_b b)
+
+let eval ~lookup ~sources (spj : Spj.t) =
+  match spj.Spj.condition_dnf, join_tree ~lookup spj with
+  | [ conj ], Some tree ->
+    let analysis = analyze ~lookup spj conj in
+    (* Working copies, filtered by source-local predicates. *)
+    let state = Hashtbl.create 8 in
+    List.iter
+      (fun (alias, r) ->
+        Hashtbl.replace state alias
+          (Planner.filter_local spj.Spj.condition_dnf r))
+      sources;
+    let get alias = Hashtbl.find state alias in
+    let set alias r = Hashtbl.replace state alias r in
+    let semijoin_into ~target ~source_rel =
+      let target_rel = get target in
+      let keys =
+        keys_between analysis (Relation.schema target_rel)
+          (Relation.schema source_rel)
+      in
+      set target (Ops.semijoin target_rel source_rel ~keys)
+    in
+    (* Bottom-up pass: parents lose tuples dangling w.r.t. children. *)
+    let rec up node =
+      List.iter
+        (fun child ->
+          up child;
+          semijoin_into ~target:node.alias ~source_rel:(get child.alias))
+        node.children
+    in
+    (* Top-down pass: children lose tuples dangling w.r.t. the parent. *)
+    let rec down node =
+      List.iter
+        (fun child ->
+          semijoin_into ~target:child.alias ~source_rel:(get node.alias);
+          down child)
+        node.children
+    in
+    up tree;
+    down tree;
+    (* Join along the tree: after full reduction, every intermediate is
+       bounded by the output size. *)
+    let rec join_pass node =
+      List.fold_left
+        (fun acc child ->
+          let child_rel = join_pass child in
+          let keys =
+            keys_between analysis (Relation.schema acc)
+              (Relation.schema child_rel)
+          in
+          (* Shared classes may repeat attributes across sides; equijoin
+             keeps both, which the final projection resolves. *)
+          Ops.equijoin acc child_rel ~keys)
+        (get node.alias) node.children
+    in
+    let joined = join_pass tree in
+    (* Residual conditions (cross-class comparisons, constants on classes)
+       and the projection. *)
+    let filtered = Planner.filter spj.Spj.condition_dnf joined in
+    Planner.project_to ~projection:spj.Spj.projection filtered
+  | _ ->
+    Planner.run ~sources ~condition_dnf:spj.Spj.condition_dnf
+      ~projection:spj.Spj.projection ()
+
+let rec pp_tree ppf { alias; children } =
+  if children = [] then Format.pp_print_string ppf alias
+  else
+    Format.fprintf ppf "@[<hov 2>(%s@ %a)@]" alias
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_tree)
+      children

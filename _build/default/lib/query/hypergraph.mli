@@ -1,0 +1,43 @@
+(** Acyclic join detection and semijoin-reduced evaluation.
+
+    Shmueli and Itai [SI84] — discussed in the paper's related work —
+    maintain views over {e acyclic} database schemes with semijoin-based
+    auxiliary structures.  This module provides that machinery as an
+    alternative evaluation strategy: the query's equality hypergraph is
+    tested for acyclicity with the GYO ear-removal reduction, and acyclic
+    queries are evaluated with Yannakakis' algorithm — a full semijoin
+    reduction along the join tree followed by joins in tree order, which
+    bounds every intermediate result by the final output size.
+
+    On adversarial inputs where every pairwise join explodes but the full
+    join is small, this beats the greedy binary-join planner by orders of
+    magnitude (experiment E14); on typical inputs the extra semijoin
+    passes make it slightly slower. *)
+
+open Relalg
+
+(** A rooted join tree over the view's source aliases. *)
+type tree = {
+  alias : string;
+  children : tree list;
+}
+
+(** [join_tree ~lookup spj] builds a join tree via GYO reduction.  Returns
+    [None] when the condition is not a single conjunction, or when the
+    equality hypergraph is cyclic. *)
+val join_tree : lookup:(string -> Schema.t) -> Spj.t -> tree option
+
+(** [true] iff the view's equality hypergraph is acyclic. *)
+val acyclic : lookup:(string -> Schema.t) -> Spj.t -> bool
+
+(** [eval ~lookup ~sources spj] evaluates the SPJ with Yannakakis'
+    algorithm when a join tree exists, and falls back to
+    {!Planner.run} otherwise.  [sources] are [(alias, relation)] pairs
+    with qualified schemas, as for the planner. *)
+val eval :
+  lookup:(string -> Schema.t) ->
+  sources:(string * Relation.t) list ->
+  Spj.t ->
+  Relation.t
+
+val pp_tree : Format.formatter -> tree -> unit

@@ -1,0 +1,54 @@
+open Relalg
+module Formula = Condition.Formula
+
+type t = (string * Attr.t list) list
+
+let rec find parent a =
+  match Hashtbl.find_opt parent a with
+  | None -> a
+  | Some p ->
+    let root = find parent p in
+    if not (Attr.equal root p) then Hashtbl.replace parent a root;
+    root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if not (Attr.equal ra rb) then Hashtbl.replace parent ra rb
+
+let projection_preserves_keys ~keys (spj : Spj.t) =
+  match spj.Spj.condition_dnf with
+  | [ conj ] ->
+    let parent = Hashtbl.create 16 in
+    let pinned = Hashtbl.create 8 in
+    List.iter
+      (fun (a : Formula.atom) ->
+        match a.Formula.left, a.Formula.cmp, a.Formula.right, a.Formula.shift
+        with
+        | Formula.O_var x, Formula.Eq, Formula.O_var y, 0 -> union parent x y
+        | Formula.O_var x, Formula.Eq, Formula.O_const _, _
+        | Formula.O_const _, Formula.Eq, Formula.O_var x, _ ->
+          Hashtbl.replace pinned x ()
+        | _ -> ())
+      conj;
+    let projected_classes =
+      List.map (fun (_, q) -> find parent q) spj.Spj.projection
+    in
+    let pinned_classes =
+      Hashtbl.fold (fun a () acc -> find parent a :: acc) pinned []
+    in
+    let determined q =
+      let cls = find parent q in
+      List.exists (Attr.equal cls) projected_classes
+      || List.exists (Attr.equal cls) pinned_classes
+    in
+    List.for_all
+      (fun (source : Spj.source) ->
+        match List.assoc_opt source.Spj.relation keys with
+        | None -> false
+        | Some key ->
+          key <> []
+          && List.for_all
+               (fun a -> determined (Attr.qualify ~alias:source.Spj.alias a))
+               key)
+      spj.Spj.sources
+  | _ -> false

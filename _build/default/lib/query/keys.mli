@@ -1,0 +1,30 @@
+(** Candidate keys and the key-preservation analysis.
+
+    Section 5.2 of the paper offers two ways to make project views
+    maintainable under deletions: multiplicity counters (alternative 1,
+    which this library implements as the general mechanism) or including
+    a key of the underlying relation in the projection (alternative 2),
+    which makes every view tuple uniquely identified so deletions map
+    one-to-one.
+
+    This module provides the static analysis behind alternative 2: a view
+    is {e duplicate-free} when the projection functionally determines a
+    candidate key of every source, in which case every multiplicity
+    counter is provably 1 and key-based maintenance would suffice. *)
+
+open Relalg
+
+(** Candidate keys: [(relation name, key attributes)].  A relation may
+    appear once; multi-attribute keys are supported. *)
+type t = (string * Attr.t list) list
+
+(** [projection_preserves_keys ~keys spj] holds when, for every source,
+    each (alias-qualified) key attribute is determined by the view output:
+    its equality class contains a projected attribute or is pinned to a
+    constant by the condition.  Views with disjunctive conditions are
+    conservatively rejected.
+
+    Soundness: when this returns [true], the materialized view is a set —
+    every counter equals 1 in every reachable state (tested by property
+    P-keys in the test suite). *)
+val projection_preserves_keys : keys:t -> Spj.t -> bool

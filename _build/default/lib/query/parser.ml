@@ -1,0 +1,328 @@
+open Relalg
+module Formula = Condition.Formula
+
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_string of string
+  | T_keyword of string (* SELECT FROM WHERE AND OR NOT AS JOIN *)
+  | T_symbol of string (* , ( ) * + - = <> < <= > >= *)
+  | T_end
+
+let keyword_list = [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "AS"; "JOIN" ]
+
+let pp_token = function
+  | T_ident s -> Printf.sprintf "identifier %S" s
+  | T_int n -> Printf.sprintf "integer %d" n
+  | T_string s -> Printf.sprintf "string %S" s
+  | T_keyword k -> k
+  | T_symbol s -> Printf.sprintf "%S" s
+  | T_end -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let emit t position = tokens := (t, position) :: !tokens in
+  let rec go i =
+    if i >= n then emit T_end i
+    else
+      match text.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ',' | '(' | ')' | '*' | '+' | '-' | '=' ->
+        emit (T_symbol (String.make 1 text.[i])) i;
+        go (i + 1)
+      | '<' when i + 1 < n && text.[i + 1] = '=' ->
+        emit (T_symbol "<=") i;
+        go (i + 2)
+      | '<' when i + 1 < n && text.[i + 1] = '>' ->
+        emit (T_symbol "<>") i;
+        go (i + 2)
+      | '<' ->
+        emit (T_symbol "<") i;
+        go (i + 1)
+      | '>' when i + 1 < n && text.[i + 1] = '=' ->
+        emit (T_symbol ">=") i;
+        go (i + 2)
+      | '>' ->
+        emit (T_symbol ">") i;
+        go (i + 1)
+      | '!' when i + 1 < n && text.[i + 1] = '=' ->
+        emit (T_symbol "<>") i;
+        go (i + 2)
+      | '\'' ->
+        (* single-quoted string, '' escapes a quote *)
+        let buffer = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then parse_error "position %d: unterminated string" i
+          else if text.[j] = '\'' then
+            if j + 1 < n && text.[j + 1] = '\'' then begin
+              Buffer.add_char buffer '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buffer text.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        emit (T_string (Buffer.contents buffer)) i;
+        go next
+      | c when c >= '0' && c <= '9' ->
+        let j = ref i in
+        while !j < n && text.[!j] >= '0' && text.[!j] <= '9' do
+          incr j
+        done;
+        emit (T_int (int_of_string (String.sub text i (!j - i)))) i;
+        go !j
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char text.[!j] do
+          incr j
+        done;
+        let word = String.sub text i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keyword_list then emit (T_keyword upper) i
+        else emit (T_ident word) i;
+        go !j
+      | c -> parse_error "position %d: unexpected character %C" i c
+  in
+  go 0;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Token stream                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable tokens : (token * int) list }
+
+let peek stream =
+  match stream.tokens with
+  | (t, _) :: _ -> t
+  | [] -> T_end
+
+let position stream =
+  match stream.tokens with
+  | (_, p) :: _ -> p
+  | [] -> -1
+
+let advance stream =
+  match stream.tokens with
+  | _ :: rest -> stream.tokens <- rest
+  | [] -> ()
+
+let expect stream token =
+  if peek stream = token then advance stream
+  else
+    parse_error "position %d: expected %s, found %s" (position stream)
+      (pp_token token)
+      (pp_token (peek stream))
+
+let accept stream token =
+  if peek stream = token then begin
+    advance stream;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Condition grammar                                                   *)
+(*   disjunction := conjunction (OR conjunction)*                      *)
+(*   conjunction := negation (AND negation)*                           *)
+(*   negation    := NOT negation | '(' disjunction ')' | comparison    *)
+(*   comparison  := operand cmp operand [('+'|'-') INT]                *)
+(*   operand     := IDENT | INT | STRING                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_operand stream =
+  match peek stream with
+  | T_ident name ->
+    advance stream;
+    Formula.O_var name
+  | T_int x ->
+    advance stream;
+    Formula.O_const (Value.Int x)
+  | T_string s ->
+    advance stream;
+    Formula.O_const (Value.Str s)
+  | other ->
+    parse_error "position %d: expected an attribute or literal, found %s"
+      (position stream) (pp_token other)
+
+let comparator_of = function
+  | "=" -> Some Formula.Eq
+  | "<>" -> Some Formula.Neq
+  | "<" -> Some Formula.Lt
+  | "<=" -> Some Formula.Leq
+  | ">" -> Some Formula.Gt
+  | ">=" -> Some Formula.Geq
+  | _ -> None
+
+let parse_comparison stream =
+  let left = parse_operand stream in
+  let cmp =
+    match peek stream with
+    | T_symbol s -> (
+      match comparator_of s with
+      | Some cmp ->
+        advance stream;
+        cmp
+      | None ->
+        parse_error "position %d: expected a comparator, found %S"
+          (position stream) s)
+    | other ->
+      parse_error "position %d: expected a comparator, found %s"
+        (position stream) (pp_token other)
+  in
+  let right = parse_operand stream in
+  let shift =
+    match peek stream with
+    | T_symbol "+" ->
+      advance stream;
+      (match peek stream with
+      | T_int x ->
+        advance stream;
+        x
+      | other ->
+        parse_error "position %d: expected an integer after '+', found %s"
+          (position stream) (pp_token other))
+    | T_symbol "-" ->
+      advance stream;
+      (match peek stream with
+      | T_int x ->
+        advance stream;
+        -x
+      | other ->
+        parse_error "position %d: expected an integer after '-', found %s"
+          (position stream) (pp_token other))
+    | _ -> 0
+  in
+  Formula.Atom (Formula.atom left cmp ~shift right)
+
+let rec parse_disjunction stream =
+  let first = parse_conjunction stream in
+  if accept stream (T_keyword "OR") then
+    Formula.Or (first, parse_disjunction stream)
+  else first
+
+and parse_conjunction stream =
+  let first = parse_negation stream in
+  if accept stream (T_keyword "AND") then
+    Formula.And (first, parse_conjunction stream)
+  else first
+
+and parse_negation stream =
+  if accept stream (T_keyword "NOT") then Formula.Not (parse_negation stream)
+  else if accept stream (T_symbol "(") then begin
+    let inner = parse_disjunction stream in
+    expect stream (T_symbol ")");
+    inner
+  end
+  else parse_comparison stream
+
+let condition text =
+  let stream = { tokens = tokenize text } in
+  let f = parse_disjunction stream in
+  expect stream T_end;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* SELECT statement                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type from_item = {
+  relation : string;
+  table_alias : string option;
+}
+
+let parse_ident stream what =
+  match peek stream with
+  | T_ident name ->
+    advance stream;
+    name
+  | other ->
+    parse_error "position %d: expected %s, found %s" (position stream) what
+      (pp_token other)
+
+let parse_from_item stream =
+  let relation = parse_ident stream "a relation name" in
+  let table_alias =
+    if accept stream (T_keyword "AS") then
+      Some (parse_ident stream "an alias")
+    else None
+  in
+  { relation; table_alias }
+
+let parse_from_list stream =
+  let first = parse_from_item stream in
+  let rec more acc =
+    if accept stream (T_symbol ",") || accept stream (T_keyword "JOIN") then
+      more (parse_from_item stream :: acc)
+    else List.rev acc
+  in
+  more [ first ]
+
+let parse_select_list stream =
+  if accept stream (T_symbol "*") then `Star
+  else begin
+    let first = parse_ident stream "an attribute" in
+    let rec more acc =
+      if accept stream (T_symbol ",") then
+        more (parse_ident stream "an attribute" :: acc)
+      else List.rev acc
+    in
+    `Columns (more [ first ])
+  end
+
+let view ~lookup text =
+  let stream = { tokens = tokenize text } in
+  expect stream (T_keyword "SELECT");
+  let select = parse_select_list stream in
+  expect stream (T_keyword "FROM");
+  let from = parse_from_list stream in
+  let where =
+    if accept stream (T_keyword "WHERE") then Some (parse_disjunction stream)
+    else None
+  in
+  expect stream T_end;
+  (* FROM items: aliased tables rename every attribute to alias_attr. *)
+  let item_expr { relation; table_alias } =
+    let base = Expr.base relation in
+    match table_alias with
+    | None -> base
+    | Some alias ->
+      let schema =
+        match lookup relation with
+        | schema -> schema
+        | exception (Not_found | Failure _) ->
+          parse_error "unknown relation %S" relation
+      in
+      Expr.rename
+        (List.map
+           (fun a -> (a, alias ^ "_" ^ a))
+           (Schema.names schema))
+        base
+  in
+  let joined = Expr.join_all (List.map item_expr from) in
+  let selected =
+    match where with
+    | None -> joined
+    | Some f -> Expr.select f joined
+  in
+  match select with
+  | `Star -> selected
+  | `Columns columns -> Expr.project columns selected

@@ -1,0 +1,29 @@
+(** A small SQL-like surface syntax for view definitions.
+
+    {v
+    SELECT A, D
+    FROM R, S
+    WHERE A < 10 AND C > 5 AND B = C
+    v}
+
+    - [FROM] items are combined with natural join (shared attribute names
+      join; disjoint schemas give a product), matching {!Expr.join_all};
+    - [SELECT *] keeps every attribute;
+    - [WHERE] supports [AND]/[OR]/[NOT], parentheses, the comparators
+      [=, <>, <, <=, >, >=], integer and ['single-quoted'] string
+      literals, and the paper's shifted form [A < B + 3] / [A >= B - 2];
+    - [FROM R AS x] renames every attribute of [R] to [x_<attr>], giving
+      self-joins distinct roles.
+
+    The grammar compiles to {!Expr.t}; everything downstream (compilation
+    to canonical SPJ form, maintenance, screening) is unchanged. *)
+
+exception Parse_error of string
+(** Raised with a position-qualified message on malformed input. *)
+
+(** [view text] parses a full [SELECT ... FROM ... [WHERE ...]] statement.
+    Needs the base-relation schemas to expand [*] and qualify aliases. *)
+val view : lookup:(string -> Relalg.Schema.t) -> string -> Expr.t
+
+(** [condition text] parses a bare boolean expression. *)
+val condition : string -> Condition.Formula.t

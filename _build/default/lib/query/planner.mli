@@ -1,0 +1,71 @@
+(** SPJ evaluation with predicate pushdown and join ordering.
+
+    Evaluates pi_X(sigma_C(S1 x ... x Sp)) given already-qualified source
+    relations.  Used both for complete re-evaluation and for every row of
+    the differential truth table, where some sources are tiny delta
+    relations — the [`Greedy] order then starts from the deltas, which is
+    the join-order optimization the paper alludes to at the end of
+    Section 5.3. *)
+
+open Relalg
+
+type join_order =
+  [ `Greedy  (** smallest (filtered) source first, preferring connected *)
+  | `Declaration  (** join in declaration order (ablation baseline) *) ]
+
+type join_impl =
+  [ `Hash
+  | `Nested_loop  (** ablation baseline *) ]
+
+(** [run ~sources ~condition_dnf ~projection ()] evaluates the SPJ.
+
+    [sources] are [(alias, relation)] pairs whose schemas are pairwise
+    disjoint (alias-qualified).  [projection] maps output names to
+    qualified attributes.
+
+    Single-disjunct conditions get full pushdown: source-local atoms filter
+    before joining, equality atoms become hash-join keys, and every atom is
+    applied as soon as its variables are bound.  Multi-disjunct conditions
+    push source-local {e implied} disjunctions down and apply the full DNF
+    at the end; equality atoms common to all disjuncts still serve as join
+    keys. *)
+val run :
+  ?order:join_order ->
+  ?join_impl:join_impl ->
+  sources:(string * Relation.t) list ->
+  condition_dnf:Condition.Formula.dnf ->
+  projection:(Attr.t * Attr.t) list ->
+  unit ->
+  Relation.t
+
+(** [run_many ~variants ~condition_dnf ~projection ()] evaluates several
+    SPJ instances that differ only in which relation instance each source
+    denotes — the rows of the differential truth table.  Variants must list
+    sources in the same order; consecutive variants sharing a prefix of
+    physically identical relations share the partial join of that prefix
+    (the "re-using partial subexpressions" optimization of Section 5.3).
+    Returns one result per variant, in order.
+
+    Falls back to independent {!run} calls (declaration order) when the
+    condition has more than one disjunct. *)
+val run_many :
+  ?join_impl:join_impl ->
+  variants:(string * Relation.t) list list ->
+  condition_dnf:Condition.Formula.dnf ->
+  projection:(Attr.t * Attr.t) list ->
+  unit ->
+  Relation.t list
+
+(** [filter dnf r] keeps the tuples satisfying the whole condition; every
+    variable must be in [r]'s schema. *)
+val filter : Condition.Formula.dnf -> Relation.t -> Relation.t
+
+(** [filter_local dnf r] applies the strongest filter implied by [dnf] that
+    only mentions attributes of [r]'s schema — full local atoms for a
+    single disjunct, the local implied disjunction otherwise (identity when
+    some disjunct has no local atom). *)
+val filter_local : Condition.Formula.dnf -> Relation.t -> Relation.t
+
+(** [project_to ~projection r] projects [(output name, source attr)] pairs
+    with counter summation. *)
+val project_to : projection:(Attr.t * Attr.t) list -> Relation.t -> Relation.t

@@ -1,0 +1,52 @@
+(** Canonical SPJ form: pi_X(sigma_C(R1 x R2 x ... x Rp)).
+
+    Every {!Expr.t} compiles to this shape (Section 3 of the paper).  Each
+    occurrence of a base relation becomes a {e source} with a unique alias;
+    attributes inside the condition and projection are alias-qualified, so
+    source schemas are pairwise disjoint — the setting assumed by
+    Definition 4.3.  Natural joins become explicit equality atoms. *)
+
+open Relalg
+
+type source = {
+  relation : string;  (** base relation name *)
+  alias : string;  (** unique within the view; qualifies attributes *)
+}
+
+type t = {
+  sources : source list;
+  condition : Condition.Formula.t;  (** over qualified attributes *)
+  condition_dnf : Condition.Formula.dnf;  (** cached DNF of [condition] *)
+  projection : (Attr.t * Attr.t) list;
+      (** [(output name, qualified attribute)] in output order *)
+}
+
+exception Compile_error of string
+
+(** [compile lookup e] flattens [e]; [lookup] supplies base schemas.
+    @raise Compile_error on selections or projections referring to missing
+    attributes, or products with overlapping schemas. *)
+val compile : (string -> Schema.t) -> Expr.t -> t
+
+(** Schema of a source with alias-qualified attribute names. *)
+val qualified_schema : (string -> Schema.t) -> source -> Schema.t
+
+(** Schema of the materialized view (output names). *)
+val output_schema : (string -> Schema.t) -> t -> Schema.t
+
+(** Typing of qualified attributes, for {!Condition.Satisfiability}. *)
+val typing : (string -> Schema.t) -> t -> Condition.Satisfiability.typing
+
+(** [source_with_alias spj alias] finds a source.
+    @raise Not_found on unknown alias. *)
+val source_with_alias : t -> string -> source
+
+(** Sources whose relation is [name] (a relation may appear under several
+    aliases, e.g. self-joins). *)
+val sources_of_relation : t -> string -> source list
+
+(** [eval lookup db spj] materializes the view from scratch via the
+    planner — the paper's "complete re-evaluation". *)
+val eval : (string -> Schema.t) -> Database.t -> t -> Relation.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,318 @@
+module Formula = Condition.Formula
+open Relalg
+
+(* Union-find over qualified attribute names, with path compression. *)
+let rec find parent a =
+  match Hashtbl.find_opt parent a with
+  | None -> a
+  | Some p ->
+    let root = find parent p in
+    if not (Attr.equal root p) then Hashtbl.replace parent a root;
+    root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if not (Attr.equal ra rb) then Hashtbl.replace parent ra rb
+
+let equality_var_pair (a : Formula.atom) =
+  match a.Formula.left, a.Formula.cmp, a.Formula.right, a.Formula.shift with
+  | Formula.O_var x, Formula.Eq, Formula.O_var y, 0 -> Some (x, y)
+  | _ -> None
+
+let reflexive (a : Formula.atom) =
+  match a.Formula.left, a.Formula.cmp, a.Formula.right, a.Formula.shift with
+  | Formula.O_var x, (Formula.Eq | Formula.Leq | Formula.Geq), Formula.O_var y, 0
+    ->
+    Attr.equal x y
+  | _ -> false
+
+let rec dedupe = function
+  | [] -> []
+  | a :: rest -> a :: dedupe (List.filter (fun b -> b <> a) rest)
+
+(* ------------------------------------------------------------------ *)
+(* Tableau extraction                                                 *)
+(*                                                                    *)
+(* The tableau of a conjunctive SPJ: one row per source, one variable  *)
+(* per equality class.  Distinguished variables are the projected      *)
+(* classes; classes compared to constants or mentioned by non-equality *)
+(* atoms are tracked so homomorphisms preserve them.                   *)
+(* ------------------------------------------------------------------ *)
+
+type tableau = {
+  spj : Spj.t;
+  conj : Formula.atom list;
+  classes : Attr.t -> Attr.t;
+  (* per source alias, the class of each schema attribute in order *)
+  rows : (Spj.source * Attr.t array) list;
+  distinguished : Attr.t list; (* classes a homomorphism must fix *)
+  (* non-equality atoms normalized over class representatives *)
+  residual_atoms : Formula.atom list;
+}
+
+let normalize_atom_classes classes (a : Formula.atom) =
+  let operand = function
+    | Formula.O_var v -> Formula.O_var (classes v)
+    | Formula.O_const _ as c -> c
+  in
+  { a with Formula.left = operand a.Formula.left; right = operand a.Formula.right }
+
+let extract ~attrs_of (spj : Spj.t) conj =
+  let parent = Hashtbl.create 16 in
+  List.iter
+    (fun atom ->
+      match equality_var_pair atom with
+      | Some (x, y) -> union parent x y
+      | None -> ())
+    conj;
+  let classes a = find parent a in
+  let rows =
+    List.map
+      (fun (s : Spj.source) ->
+        (s, Array.of_list (List.map classes (attrs_of s))))
+      spj.Spj.sources
+  in
+  let residual_atoms =
+    List.filter (fun a -> equality_var_pair a = None) conj
+    |> List.map (normalize_atom_classes classes)
+  in
+  (* Classes a homomorphism must fix: the projected ones, and every class
+     mentioned by a residual atom (mapping those away could strengthen or
+     weaken the condition). *)
+  let residual_classes =
+    List.concat_map Formula.atom_vars residual_atoms
+  in
+  let distinguished =
+    List.sort_uniq Attr.compare
+      (List.map (fun (_, q) -> classes q) spj.Spj.projection
+      @ residual_classes)
+  in
+  { spj; conj; classes; rows; distinguished; residual_atoms }
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphism search                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Find a mapping h from rows to [targets] (same relation) inducing a
+   well-defined class substitution that fixes the distinguished classes.
+   Backtracking over rows; theta is the partial class map. *)
+let find_homomorphism tableau ~targets =
+  let theta : (Attr.t, Attr.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace theta c c) tableau.distinguished;
+  let assign cls target =
+    match Hashtbl.find_opt theta cls with
+    | Some existing ->
+      if Attr.equal existing target then `Ok `Existing else `Conflict
+    | None ->
+      Hashtbl.replace theta cls target;
+      `Ok `Fresh
+  in
+  let unassign = Hashtbl.remove theta in
+  let rec map_row row_classes target_classes idx acc =
+    if idx = Array.length row_classes then Some acc
+    else
+      match assign row_classes.(idx) target_classes.(idx) with
+      | `Conflict ->
+        List.iter unassign acc;
+        None
+      | `Ok `Existing -> map_row row_classes target_classes (idx + 1) acc
+      | `Ok `Fresh ->
+        map_row row_classes target_classes (idx + 1) (row_classes.(idx) :: acc)
+  in
+  let rec search = function
+    | [] -> true
+    | (source, row_classes) :: rest ->
+      List.exists
+        (fun ((target : Spj.source), target_classes) ->
+          String.equal source.Spj.relation target.Spj.relation
+          &&
+          match map_row row_classes target_classes 0 [] with
+          | None -> false
+          | Some fresh ->
+            if search rest then true
+            else begin
+              List.iter unassign fresh;
+              false
+            end)
+        targets
+  in
+  if search tableau.rows then Some (fun c -> Option.value ~default:c (Hashtbl.find_opt theta c))
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Minimization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let substitute_attr tableau theta attr =
+  (* Rewrite an attribute through the class substitution: if its class
+     maps to a different class, use that class's representative source
+     attribute.  Distinguished classes are fixed, so projected attributes
+     keep their class (and therefore their value). *)
+  let cls = tableau.classes attr in
+  let image = theta cls in
+  if Attr.equal image cls then attr else image
+
+let minimize_once ~attrs_of (spj : Spj.t) =
+  match spj.Spj.condition_dnf with
+  | [ conj ] when List.length spj.Spj.sources > 1 ->
+    let tableau = extract ~attrs_of spj conj in
+    (* Try to retract onto the sources minus one victim. *)
+    let candidates = List.rev spj.Spj.sources in
+    List.find_map
+      (fun (victim : Spj.source) ->
+        let targets =
+          List.filter
+            (fun (s, _) ->
+              not (String.equal s.Spj.alias victim.Spj.alias))
+            tableau.rows
+        in
+        match find_homomorphism tableau ~targets with
+        | None -> None
+        | Some theta ->
+          (* Verify the residual atoms are preserved: each image atom must
+             already be implied (structurally present modulo classes). *)
+          let image_atom a =
+            let operand = function
+              | Formula.O_var v -> Formula.O_var (theta v)
+              | Formula.O_const _ as c -> c
+            in
+            {
+              a with
+              Formula.left = operand a.Formula.left;
+              right = operand a.Formula.right;
+            }
+          in
+          let preserved =
+            List.for_all
+              (fun a -> List.mem (image_atom a) tableau.residual_atoms)
+              tableau.residual_atoms
+          in
+          if not preserved then None
+          else begin
+            (* Build the image query: keep the sources h maps onto. *)
+            let subst = substitute_attr tableau theta in
+            let kept_aliases =
+              List.sort_uniq String.compare
+                (List.filter_map
+                   (fun (s : Spj.source) ->
+                     if String.equal s.Spj.alias victim.Spj.alias then None
+                     else Some s.Spj.alias)
+                   spj.Spj.sources)
+            in
+            (* The victim's attributes must be rewritten into kept
+               sources; a class whose representative lives on the victim
+               needs a member attribute on a kept source. *)
+            let rewrite attr =
+              let attr = subst attr in
+              match Attr.alias_of attr with
+              | Some alias when not (List.mem alias kept_aliases) -> (
+                (* pick any class member on a kept source *)
+                let cls = tableau.classes attr in
+                let member =
+                  List.find_map
+                    (fun (s, _) ->
+                      if String.equal s.Spj.alias victim.Spj.alias then None
+                      else
+                        List.find_opt
+                          (fun a -> Attr.equal (tableau.classes a) cls)
+                          (attrs_of s))
+                    tableau.rows
+                in
+                match member with
+                | Some a -> a
+                | None -> attr (* dangling: handled by caller check *))
+              | Some _ | None -> attr
+            in
+            let rewrite_atom (a : Formula.atom) =
+              let operand = function
+                | Formula.O_var v -> Formula.O_var (rewrite v)
+                | Formula.O_const _ as c -> c
+              in
+              {
+                a with
+                Formula.left = operand a.Formula.left;
+                right = operand a.Formula.right;
+              }
+            in
+            let conj' =
+              dedupe
+                (List.filter
+                   (fun a -> not (reflexive a))
+                   (List.map rewrite_atom conj))
+            in
+            let projection =
+              List.map (fun (out, q) -> (out, rewrite q)) spj.Spj.projection
+            in
+            (* Abort if anything still references the victim (a dangling
+               private class would change semantics). *)
+            let mentions_victim attr =
+              match Attr.alias_of attr with
+              | Some alias -> String.equal alias victim.Spj.alias
+              | None -> false
+            in
+            let dangling =
+              List.exists (fun (_, q) -> mentions_victim q) projection
+              || List.exists
+                   (fun a -> List.exists mentions_victim (Formula.atom_vars a))
+                   conj'
+            in
+            if dangling then None
+            else
+              Some
+                {
+                  Spj.sources =
+                    List.filter
+                      (fun (s : Spj.source) ->
+                        not (String.equal s.Spj.alias victim.Spj.alias))
+                      spj.Spj.sources;
+                  condition = Formula.of_dnf [ conj' ];
+                  condition_dnf = [ conj' ];
+                  projection;
+                }
+          end)
+      candidates
+  | _ -> None
+
+(* Public entry points keep the historical lookup-free signature: source
+   schemas are recovered from the attribute occurrences, which is enough
+   because every attribute of a source that matters occurs qualified. *)
+let attrs_of_spj (spj : Spj.t) =
+  (* Rows of same-relation sources must align positionally, so derive a
+     canonical base-attribute order per relation from every occurrence of
+     that relation's attributes (attributes that never occur are free
+     variables either way and can be omitted). *)
+  let occurring =
+    List.sort_uniq Attr.compare
+      (List.concat_map
+         (fun conj -> List.concat_map Formula.atom_vars conj)
+         spj.Spj.condition_dnf
+      @ List.map snd spj.Spj.projection)
+  in
+  let aliases_of relation =
+    List.filter_map
+      (fun (s : Spj.source) ->
+        if String.equal s.Spj.relation relation then Some s.Spj.alias else None)
+      spj.Spj.sources
+  in
+  let base_names_of relation =
+    let aliases = aliases_of relation in
+    List.sort_uniq Attr.compare
+      (List.filter_map
+         (fun q ->
+           match Attr.alias_of q with
+           | Some alias when List.mem alias aliases -> Some (Attr.base q)
+           | Some _ | None -> None)
+         occurring)
+  in
+  fun (s : Spj.source) ->
+    List.map
+      (fun base -> Attr.qualify ~alias:s.Spj.alias base)
+      (base_names_of s.Spj.relation)
+
+let rec minimize spj =
+  match minimize_once ~attrs_of:(attrs_of_spj spj) spj with
+  | None -> spj
+  | Some spj' -> minimize spj'
+
+let folded_sources spj =
+  List.length spj.Spj.sources - List.length (minimize spj).Spj.sources

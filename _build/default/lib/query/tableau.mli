@@ -1,0 +1,23 @@
+(** Join minimization by duplicate-source folding.
+
+    Algorithm 5.1 observes that the view expression should first be reduced
+    to a minimal number of joins using the tableau method of Aho, Sagiv and
+    Ullman [ASU79] (extended to inequalities in [K80]).  We implement the
+    sound core of that reduction: a source that is {e attribute-wise
+    equivalent} to another source over the same base relation — every one
+    of its attributes is forced equal to the corresponding attribute of the
+    other source by the condition's equality atoms — corresponds to a
+    duplicate tableau row and can be folded away.
+
+    Folding preserves the set of visible view tuples; multiplicity counters
+    may differ, which is harmless because minimization is applied once, at
+    view-definition time, and both materialization and differential
+    maintenance then use the minimized expression. *)
+
+(** [minimize spj] repeatedly folds duplicate sources until a fixpoint.
+    Views whose condition is not a single conjunction are returned
+    unchanged. *)
+val minimize : Spj.t -> Spj.t
+
+(** Number of sources folded away by [minimize]. *)
+val folded_sources : Spj.t -> int

@@ -1,0 +1,1 @@
+lib/relalg/attr.ml: Format Hashtbl Option String

@@ -1,0 +1,1 @@
+lib/relalg/csv.ml: Array Buffer Database Filename Format In_channel List Out_channel Printf Relation Schema String Sys Tuple Value

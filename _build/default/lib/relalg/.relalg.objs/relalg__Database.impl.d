@@ -1,0 +1,1 @@
+lib/relalg/database.ml: Format Hashtbl List Printf Relation String

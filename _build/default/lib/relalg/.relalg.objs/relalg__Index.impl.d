@@ -1,0 +1,1 @@
+lib/relalg/index.ml: Array Hashtbl List Option Relation Schema Tuple

@@ -1,0 +1,1 @@
+lib/relalg/ops.ml: Array Hashtbl List Option Relation Schema Tuple Value

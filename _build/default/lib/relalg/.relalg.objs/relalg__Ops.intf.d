@@ -1,0 +1,1 @@
+lib/relalg/ops.mli: Attr Relation Tuple

@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Array Format Fun Hashtbl List Option Schema String Tuple Value

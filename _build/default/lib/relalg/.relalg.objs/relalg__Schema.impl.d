@@ -1,0 +1,1 @@
+lib/relalg/schema.ml: Array Attr Format Hashtbl List Printf Value

@@ -1,0 +1,1 @@
+lib/relalg/transaction.ml: Database Format Hashtbl List Printf Relation String Tuple

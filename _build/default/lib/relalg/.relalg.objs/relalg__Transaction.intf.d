@@ -1,0 +1,1 @@
+lib/relalg/transaction.mli: Database Format Tuple

@@ -1,0 +1,18 @@
+type t = string
+
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+let qualify ~alias name = alias ^ "." ^ name
+
+let split a =
+  match String.index_opt a '.' with
+  | None -> (None, a)
+  | Some i ->
+    (Some (String.sub a 0 i), String.sub a (i + 1) (String.length a - i - 1))
+
+let base a = snd (split a)
+let alias_of a = fst (split a)
+let is_qualified a = Option.is_some (alias_of a)

@@ -1,0 +1,25 @@
+(** Attribute names.
+
+    An attribute is identified by a plain string.  When several base
+    relations participate in a view, the canonical SPJ form qualifies each
+    attribute with the source alias ("alias.attr"), guaranteeing disjoint
+    schemas as assumed in Definition 4.3 of the paper. *)
+
+type t = string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** [qualify ~alias name] is ["alias.name"]. *)
+val qualify : alias:string -> t -> t
+
+(** [base a] strips a qualification prefix: [base "o.price" = "price"];
+    unqualified names are returned unchanged. *)
+val base : t -> t
+
+(** [alias_of a] is [Some "o"] for ["o.price"], [None] for ["price"]. *)
+val alias_of : t -> string option
+
+val is_qualified : t -> bool

@@ -1,0 +1,43 @@
+(** Plain-text serialization of relations and databases.
+
+    Format: a header line describing the schema, then one line per
+    distinct tuple.
+
+    {v
+    A:int[0..9],name:str,#
+    3,"north",2
+    7,"south, east",1
+    v}
+
+    - each header cell is [name:int] or [name:str], with an optional
+      inclusive domain [\[lo..hi\]] on integers;
+    - a final [#] column holds multiplicity counters and is written only
+      when some counter exceeds one (it is always accepted on input);
+    - string cells are double-quoted when they contain a comma, a quote or
+      leading/trailing space, with embedded quotes doubled;
+    - newlines inside strings are not supported.
+
+    The format is deliberately minimal: it exists so example datasets and
+    benchmark workloads can be inspected and checked in. *)
+
+exception Parse_error of string
+(** Raised with a line- and column-qualified message on malformed input. *)
+
+val output_relation : out_channel -> Relation.t -> unit
+val input_relation : in_channel -> Relation.t
+
+(** [save path r] / [load path]: whole-file convenience wrappers. *)
+val save : string -> Relation.t -> unit
+
+val load : string -> Relation.t
+
+(** [save_database ~dir db] writes one [<name>.csv] per relation (creating
+    [dir] if needed); [load_database ~dir] reads every [.csv] back. *)
+val save_database : dir:string -> Database.t -> unit
+
+val load_database : dir:string -> Database.t
+
+(** String round-trip helpers (used by tests and the CLI). *)
+val to_string : Relation.t -> string
+
+val of_string : string -> Relation.t

@@ -1,0 +1,31 @@
+type t = (string, Relation.t) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register db name relation =
+  if Hashtbl.mem db name then
+    invalid_arg (Printf.sprintf "Database.register: %S already exists" name);
+  Hashtbl.replace db name relation
+
+let find_opt db name = Hashtbl.find_opt db name
+
+let find db name =
+  match find_opt db name with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "Database.find: unknown relation %S" name)
+
+let mem db name = Hashtbl.mem db name
+
+let names db =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) db [])
+
+let copy db =
+  let out = create () in
+  Hashtbl.iter (fun name r -> Hashtbl.replace out name (Relation.copy r)) db;
+  out
+
+let pp ppf db =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf name ->
+      Format.fprintf ppf "@[<v 2>%s:@,%a@]" name Relation.pp (find db name))
+    ppf (names db)

@@ -1,0 +1,25 @@
+(** A database instance: a catalog of named base relations. *)
+
+type t
+
+val create : unit -> t
+
+(** [register db name relation] adds a base relation.
+    @raise Invalid_argument if [name] is already registered. *)
+val register : t -> string -> Relation.t -> unit
+
+(** [find db name] returns the named relation.
+    @raise Not_found (with the name in the message via [Failure]) when
+    missing. *)
+val find : t -> string -> Relation.t
+
+val find_opt : t -> string -> Relation.t option
+val mem : t -> string -> bool
+
+(** Registered relation names, sorted. *)
+val names : t -> string list
+
+(** Deep copy: relations are copied, so mutations do not alias. *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Tuple_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+type t = {
+  positions : int array;
+  buckets : int Tuple_table.t Tuple_table.t; (* key -> tuple -> count *)
+  mutable active : bool; (* dropped indexes ignore updates *)
+}
+
+(* Process-wide registry: (storage id, positions) -> index. *)
+let registry : (int * int list, t) Hashtbl.t = Hashtbl.create 16
+
+let registry_key r positions_list = (Relation.storage_id r, positions_list)
+
+let positions index = index.positions
+
+let apply index tuple delta =
+  if index.active then begin
+    let key = Tuple.project index.positions tuple in
+    let bucket =
+      match Tuple_table.find_opt index.buckets key with
+      | Some bucket -> bucket
+      | None ->
+        let bucket = Tuple_table.create 4 in
+        Tuple_table.replace index.buckets key bucket;
+        bucket
+    in
+    let current =
+      Option.value ~default:0 (Tuple_table.find_opt bucket tuple)
+    in
+    let updated = current + delta in
+    if updated <= 0 then begin
+      Tuple_table.remove bucket tuple;
+      if Tuple_table.length bucket = 0 then Tuple_table.remove index.buckets key
+    end
+    else Tuple_table.replace bucket tuple updated
+  end
+
+let positions_of r attrs =
+  let schema = Relation.schema r in
+  List.map (Schema.position schema) attrs
+
+let build r attrs =
+  let positions_list = positions_of r attrs in
+  match Hashtbl.find_opt registry (registry_key r positions_list) with
+  | Some index -> index
+  | None ->
+    let index =
+      {
+        positions = Array.of_list positions_list;
+        buckets = Tuple_table.create (max 16 (Relation.cardinal r));
+        active = true;
+      }
+    in
+    Relation.iter (fun t c -> apply index t c) r;
+    Relation.subscribe r (apply index);
+    Hashtbl.replace registry (registry_key r positions_list) index;
+    index
+
+let find r ~positions =
+  Hashtbl.find_opt registry (registry_key r (Array.to_list positions))
+
+let drop r attrs =
+  let positions_list = positions_of r attrs in
+  match Hashtbl.find_opt registry (registry_key r positions_list) with
+  | None -> ()
+  | Some index ->
+    index.active <- false;
+    Hashtbl.remove registry (registry_key r positions_list)
+
+let iter_matches index key f =
+  match Tuple_table.find_opt index.buckets key with
+  | None -> ()
+  | Some bucket -> Tuple_table.iter f bucket
+
+let key_count index = Tuple_table.length index.buckets

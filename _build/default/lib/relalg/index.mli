@@ -1,0 +1,38 @@
+(** Incrementally-maintained secondary hash indexes.
+
+    An index mirrors one relation, keyed by a subset of its attributes,
+    and follows every counter change through {!Relation.subscribe}.  The
+    planner uses indexes to turn the repeated delta-against-base joins of
+    differential maintenance from full scans of the base relation into
+    per-delta-tuple probes — the dominant cost of small-update maintenance
+    on join views (ablation E15).
+
+    Built indexes register in a process-wide registry keyed by the
+    relation's {!Relation.storage_id}, so {!Relation.reschema} views (the
+    alias-qualified "old parts" of the differential evaluator) find the
+    index of their underlying store. *)
+
+type t
+
+(** [build r attrs] builds (or returns the existing) index of [r] on
+    [attrs], in the given order, and keeps it maintained.
+    @raise Not_found if an attribute is missing from the schema. *)
+val build : Relation.t -> Attr.t list -> t
+
+(** [find r ~positions] looks the registry up by the underlying store of
+    [r] and the attribute positions (order-sensitive). *)
+val find : Relation.t -> positions:int array -> t option
+
+(** [drop r attrs] unregisters the index (it stops receiving updates and
+    is no longer found). *)
+val drop : Relation.t -> Attr.t list -> unit
+
+(** Key positions the index is built on. *)
+val positions : t -> int array
+
+(** [iter_matches index key f] calls [f tuple count] for every indexed
+    tuple whose key columns equal [key]. *)
+val iter_matches : t -> Tuple.t -> (Tuple.t -> int -> unit) -> unit
+
+(** Number of distinct keys currently indexed. *)
+val key_count : t -> int

@@ -1,0 +1,42 @@
+(** Counted relational-algebra operators.
+
+    These are the paper's redefined operators of Section 5.2: selection
+    preserves counters, projection sums the counters of coalescing tuples,
+    and joins multiply the counters of the participating tuples ('*' denotes
+    scalar multiplication in the paper's definition). *)
+
+(** [select p r] keeps the tuples satisfying [p], counters unchanged. *)
+val select : (Tuple.t -> bool) -> Relation.t -> Relation.t
+
+(** [project r attrs] projects onto [attrs]; coalescing tuples add their
+    counters (the redefined pi of Section 5.2).
+    @raise Not_found if an attribute is missing from the schema. *)
+val project : Relation.t -> Attr.t list -> Relation.t
+
+(** [product a b] is the cross product; result counters are products.
+    @raise Invalid_argument if the schemas are not disjoint. *)
+val product : Relation.t -> Relation.t -> Relation.t
+
+(** [natural_join a b] hash-joins on all attributes common to both schemas
+    (cross product when none); result counters are products and the shared
+    attributes appear once, in [a]'s positions. *)
+val natural_join : Relation.t -> Relation.t -> Relation.t
+
+(** [equijoin a b ~keys] hash-joins on explicit attribute pairs
+    [(attr_of_a, attr_of_b)], keeping all attributes of both sides.
+    @raise Invalid_argument if the schemas are not disjoint. *)
+val equijoin : Relation.t -> Relation.t -> keys:(Attr.t * Attr.t) list -> Relation.t
+
+(** Nested-loop variant of [equijoin]; used as an evaluation baseline in the
+    E8e ablation. Semantically identical. *)
+val nested_loop_join :
+  Relation.t -> Relation.t -> keys:(Attr.t * Attr.t) list -> Relation.t
+
+(** [semijoin a b ~keys] keeps the tuples of [a] (counters unchanged) that
+    match at least one tuple of [b] on the key pairs [(attr_of_a,
+    attr_of_b)].  With [keys = []] this is [a] if [b] is non-empty, empty
+    otherwise. *)
+val semijoin : Relation.t -> Relation.t -> keys:(Attr.t * Attr.t) list -> Relation.t
+
+(** [rename f r] renames every attribute through [f]. *)
+val rename : (Attr.t -> Attr.t) -> Relation.t -> Relation.t

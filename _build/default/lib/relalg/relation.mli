@@ -1,0 +1,101 @@
+(** Counted relations.
+
+    A relation maps each tuple to a strictly positive multiplicity counter.
+    This implements alternative (1) of Section 5.2 of the paper: view
+    materializations carry a counter recording how many operand tuples
+    contribute to each visible tuple, which restores the distributivity of
+    projection over difference.  Base relations are plain sets, i.e. counted
+    relations in which every counter equals one (enforced by
+    {!module:Transaction}). *)
+
+type t
+
+exception Negative_count of Tuple.t
+
+val create : ?size_hint:int -> Schema.t -> t
+val schema : t -> Schema.t
+
+(** Number of distinct tuples. *)
+val cardinal : t -> int
+
+(** Sum of all counters. *)
+val total : t -> int
+
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+
+(** [count r t] is the multiplicity of [t] (0 when absent). *)
+val count : t -> Tuple.t -> int
+
+(** [update r t delta] adds [delta] to the counter of [t], removing the
+    tuple when the counter reaches zero.
+    @raise Negative_count if the counter would become negative. *)
+val update : t -> Tuple.t -> int -> unit
+
+(** [add r t] is [update r t 1]; [add ~count r t] uses a larger increment.
+    @raise Invalid_argument if [count <= 0]. *)
+val add : ?count:int -> t -> Tuple.t -> unit
+
+(** [remove r t] is [update r t (-1)].
+    @raise Negative_count if [t] is absent. *)
+val remove : t -> Tuple.t -> unit
+
+val iter : (Tuple.t -> int -> unit) -> t -> unit
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Distinct tuples with their counts, in unspecified order. *)
+val elements : t -> (Tuple.t * int) list
+
+(** Distinct tuples with their counts, sorted by tuple order (stable for
+    printing and comparison in tests). *)
+val sorted_elements : t -> (Tuple.t * int) list
+
+(** [of_tuples schema tuples] builds a relation with counter increments of
+    one per listed tuple (duplicates accumulate). Type-checks every tuple. *)
+val of_tuples : Schema.t -> Tuple.t list -> t
+
+val of_counted : Schema.t -> (Tuple.t * int) list -> t
+val copy : t -> t
+
+(** Identity of the underlying tuple store: preserved by {!reschema},
+    fresh for {!copy} and {!create}.  Used to associate {!Index.t}es with
+    the store they mirror. *)
+val storage_id : t -> int
+
+(** [subscribe r observe] registers a callback invoked as [observe tuple
+    delta] after every counter change (including removals, where the new
+    counter is zero).  Used by incrementally-maintained indexes. *)
+val subscribe : t -> (Tuple.t -> int -> unit) -> unit
+
+(** [reschema r s] is [r] viewed under schema [s] (same arity, same value
+    types positionally — checked on attribute types only when both schemas
+    are non-empty).  O(1): storage is shared, so the result must be treated
+    as read-only while [r] is live.
+    @raise Invalid_argument on arity mismatch. *)
+val reschema : t -> Schema.t -> t
+
+(** [union_into ~into r] adds every counted tuple of [r] into [into]. *)
+val union_into : into:t -> t -> unit
+
+(** [diff_into ~into r] subtracts every counted tuple of [r] from [into].
+    @raise Negative_count if some counter would go negative. *)
+val diff_into : into:t -> t -> unit
+
+val union : t -> t -> t
+
+(** Multiset difference.
+    @raise Negative_count when the second operand is not contained in the
+    first — for view maintenance this signals an inconsistent delta. *)
+val diff : t -> t -> t
+
+(** Counter-wise equality (schemas must match too). *)
+val equal : t -> t -> bool
+
+(** [set_equal a b] ignores counters and compares tuple sets only. *)
+val set_equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** Render as an ASCII table with a header row; counters are shown in a
+    [#] column when some counter exceeds one or [counts] is [true]. *)
+val to_ascii : ?counts:bool -> t -> string

@@ -1,0 +1,92 @@
+type t = {
+  attrs : (Attr.t * Value.ty) array;
+  domain_bounds : (int * int) option array;
+  positions : (Attr.t, int) Hashtbl.t;
+}
+
+let make_bounded attr_list =
+  let attrs =
+    Array.of_list (List.map (fun (name, ty, _) -> (name, ty)) attr_list)
+  in
+  let domain_bounds =
+    Array.of_list (List.map (fun (_, _, b) -> b) attr_list)
+  in
+  let positions = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i (name, ty) ->
+      if Hashtbl.mem positions name then
+        invalid_arg
+          (Printf.sprintf "Schema.make: duplicate attribute %S" name);
+      if ty = Value.Str_ty && domain_bounds.(i) <> None then
+        invalid_arg
+          (Printf.sprintf
+             "Schema.make_bounded: bounds on string attribute %S" name);
+      (match domain_bounds.(i) with
+      | Some (lo, hi) when lo > hi ->
+        invalid_arg
+          (Printf.sprintf "Schema.make_bounded: empty domain for %S" name)
+      | Some _ | None -> ());
+      Hashtbl.add positions name i)
+    attrs;
+  { attrs; domain_bounds; positions }
+
+let make attr_list =
+  make_bounded (List.map (fun (name, ty) -> (name, ty, None)) attr_list)
+
+let bounds_at s i = s.domain_bounds.(i)
+
+let attrs s = Array.to_list s.attrs
+let names s = Array.to_list (Array.map fst s.attrs)
+let arity s = Array.length s.attrs
+let position_opt s a = Hashtbl.find_opt s.positions a
+
+let position s a =
+  match position_opt s a with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem s a = Hashtbl.mem s.positions a
+let ty s a = snd s.attrs.(position s a)
+let bounds s a = s.domain_bounds.(position s a)
+let ty_at s i = snd s.attrs.(i)
+let name_at s i = fst s.attrs.(i)
+
+let common a b = List.filter (mem b) (names a)
+
+let disjoint a b = List.for_all (fun n -> not (mem b n)) (names a)
+
+let bounded_attrs s =
+  List.mapi
+    (fun i (name, ty) -> (name, ty, s.domain_bounds.(i)))
+    (Array.to_list s.attrs)
+
+let concat a b =
+  if not (disjoint a b) then
+    invalid_arg "Schema.concat: schemas share attribute names";
+  make_bounded (bounded_attrs a @ bounded_attrs b)
+
+let project s attr_names =
+  let positions = Array.of_list (List.map (position s) attr_names) in
+  let sub =
+    make_bounded
+      (List.map (fun a -> (a, ty s a, bounds s a)) attr_names)
+  in
+  (sub, positions)
+
+let rename f s =
+  make_bounded (List.map (fun (a, t, b) -> (f a, t, b)) (bounded_attrs s))
+
+let qualify ~alias s = rename (Attr.qualify ~alias) s
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun (n1, t1) (n2, t2) -> Attr.equal n1 n2 && t1 = t2)
+       a.attrs b.attrs
+
+let pp ppf s =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (a, t) -> Format.fprintf ppf "%a:%a" Attr.pp a Value.pp_ty t))
+    (attrs s)

@@ -1,0 +1,59 @@
+(** Relation schemas: an ordered sequence of distinct, typed attributes. *)
+
+type t
+
+(** [make attrs] builds a schema.
+    @raise Invalid_argument on duplicate attribute names. *)
+val make : (Attr.t * Value.ty) list -> t
+
+(** [make_bounded attrs] additionally declares inclusive integer domain
+    bounds for some attributes — the paper assumes all domains are
+    discrete and finite, and declared bounds let the irrelevance screen
+    refute more conditions.  Bounds on string attributes are rejected.
+    @raise Invalid_argument on duplicates or bounds on non-integer
+    attributes. *)
+val make_bounded : (Attr.t * Value.ty * (int * int) option) list -> t
+
+(** Declared domain of an attribute, if any. *)
+val bounds : t -> Attr.t -> (int * int) option
+
+val bounds_at : t -> int -> (int * int) option
+
+val attrs : t -> (Attr.t * Value.ty) list
+val names : t -> Attr.t list
+val arity : t -> int
+
+(** [position s a] is the index of attribute [a].
+    @raise Not_found if [a] is not in [s]. *)
+val position : t -> Attr.t -> int
+
+val position_opt : t -> Attr.t -> int option
+val mem : t -> Attr.t -> bool
+val ty : t -> Attr.t -> Value.ty
+val ty_at : t -> int -> Value.ty
+val name_at : t -> int -> Attr.t
+
+(** Attributes common to both schemas, in the order of the first. *)
+val common : t -> t -> Attr.t list
+
+(** [disjoint a b] holds when the schemas share no attribute name. *)
+val disjoint : t -> t -> bool
+
+(** [concat a b] appends [b]'s attributes after [a]'s.
+    @raise Invalid_argument if the schemas are not disjoint. *)
+val concat : t -> t -> t
+
+(** [project s attrs] is the sub-schema with exactly [attrs] in the given
+    order, paired with their positions in [s].
+    @raise Not_found if some attribute is missing. *)
+val project : t -> Attr.t list -> t * int array
+
+(** [rename f s] applies [f] to every attribute name.
+    @raise Invalid_argument if renaming introduces duplicates. *)
+val rename : (Attr.t -> Attr.t) -> t -> t
+
+(** [qualify ~alias s] prefixes every attribute with ["alias."]. *)
+val qualify : alias:string -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,119 @@
+type op =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+
+type t = op list
+
+exception Invalid of string
+
+type net = (string * (Tuple.t list * Tuple.t list)) list
+
+let insert name tuple = Insert (name, tuple)
+let delete name tuple = Delete (name, tuple)
+
+module Tuple_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Per relation we track, for every touched tuple, whether it was present
+   before the transaction and whether it is present now.  The net effect
+   falls out of comparing the two, which automatically cancels
+   insert-then-delete pairs. *)
+type track = {
+  relation : Relation.t;
+  touched : (bool * bool ref) Tuple_table.t; (* before, current *)
+}
+
+let net_effect ?(strict = true) db txn =
+  let tracks : (string, track) Hashtbl.t = Hashtbl.create 8 in
+  let track_of name =
+    match Hashtbl.find_opt tracks name with
+    | Some tr -> tr
+    | None ->
+      let tr = { relation = Database.find db name; touched = Tuple_table.create 16 }
+      in
+      Hashtbl.replace tracks name tr;
+      tr
+  in
+  let presence tr tuple =
+    match Tuple_table.find_opt tr.touched tuple with
+    | Some (_, current) -> current
+    | None ->
+      let before = Relation.mem tr.relation tuple in
+      let current = ref before in
+      Tuple_table.replace tr.touched tuple (before, current);
+      current
+  in
+  let step = function
+    | Insert (name, tuple) ->
+      let tr = track_of name in
+      Tuple.check (Relation.schema tr.relation) tuple;
+      let current = presence tr tuple in
+      if !current then begin
+        if strict then
+          raise
+            (Invalid
+               (Printf.sprintf "insert of tuple %s already present in %S"
+                  (Tuple.to_string tuple) name))
+      end
+      else current := true
+    | Delete (name, tuple) ->
+      let tr = track_of name in
+      Tuple.check (Relation.schema tr.relation) tuple;
+      let current = presence tr tuple in
+      if not !current then begin
+        if strict then
+          raise
+            (Invalid
+               (Printf.sprintf "delete of tuple %s absent from %S"
+                  (Tuple.to_string tuple) name))
+      end
+      else current := false
+  in
+  List.iter step txn;
+  let per_relation =
+    Hashtbl.fold
+      (fun name tr acc ->
+        let inserts, deletes =
+          Tuple_table.fold
+            (fun tuple (before, current) (ins, del) ->
+              match before, !current with
+              | false, true -> (tuple :: ins, del)
+              | true, false -> (ins, tuple :: del)
+              | true, true | false, false -> (ins, del))
+            tr.touched ([], [])
+        in
+        if inserts = [] && deletes = [] then acc
+        else (name, (inserts, deletes)) :: acc)
+      tracks []
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) per_relation
+
+let apply db net =
+  List.iter
+    (fun (name, (inserts, deletes)) ->
+      let r = Database.find db name in
+      List.iter (fun t -> Relation.add r t) inserts;
+      List.iter (fun t -> Relation.remove r t) deletes)
+    net
+
+let of_sets assoc =
+  assoc
+  |> List.filter (fun (_, (ins, del)) -> ins <> [] || del <> [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_net ppf net =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf (name, (ins, del)) ->
+      Format.fprintf ppf "@[<v 2>%s: +%d -%d@,%a@,%a@]" name (List.length ins)
+        (List.length del)
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf t ->
+             Format.fprintf ppf "+ %a" Tuple.pp t))
+        ins
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf t ->
+             Format.fprintf ppf "- %a" Tuple.pp t))
+        del)
+    ppf net

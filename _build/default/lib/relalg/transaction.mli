@@ -1,0 +1,44 @@
+(** Transactions over base relations.
+
+    A transaction is an indivisible sequence of tuple insertions and
+    deletions, possibly touching several relations (Section 3 of the paper).
+    Its {e net effect} on a relation [r] is a pair of disjoint tuple sets
+    [(i_r, d_r)] with [i_r] disjoint from [r] and [d_r] contained in [r],
+    such that the post-state is [r U i_r - d_r].  A tuple inserted and then
+    deleted inside the transaction (or vice versa) does not appear in the
+    net effect at all, exactly as the paper requires. *)
+
+type op =
+  | Insert of string * Tuple.t
+  | Delete of string * Tuple.t
+
+type t = op list
+
+exception Invalid of string
+
+(** Net effect per relation: [(name, (inserts, deletes))], sorted by name.
+    Only relations with a non-empty net effect appear. *)
+type net = (string * (Tuple.t list * Tuple.t list)) list
+
+(** [net_effect db txn] simulates [txn] against the current state of [db]
+    (without modifying it) and returns the net effect.
+
+    With [~strict:true] (the default), inserting a tuple that is already
+    present, or deleting one that is absent, raises {!Invalid}; with
+    [~strict:false] such operations are ignored. *)
+val net_effect : ?strict:bool -> Database.t -> t -> net
+
+(** [apply db net] installs the net effect into the base relations. *)
+val apply : Database.t -> net -> unit
+
+(** [of_sets assoc] builds a net effect directly from per-relation insert and
+    delete lists, normalizing order and dropping empty entries. It does not
+    validate against any database state. *)
+val of_sets : (string * (Tuple.t list * Tuple.t list)) list -> net
+
+(** Convenience constructors. *)
+val insert : string -> Tuple.t -> op
+
+val delete : string -> Tuple.t -> op
+
+val pp_net : Format.formatter -> net -> unit

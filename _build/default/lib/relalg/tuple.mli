@@ -1,0 +1,31 @@
+(** Tuples: flat arrays of values, positionally matching a schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+(** Convenience constructors for all-integer / all-string tuples. *)
+val of_ints : int list -> t
+
+val arity : t -> int
+val get : t -> int -> Value.t
+
+(** [value schema tuple attr] looks an attribute value up by name.
+    @raise Not_found if [attr] is not in [schema]. *)
+val value : Schema.t -> t -> Attr.t -> Value.t
+
+(** [project positions t] keeps the components at [positions], in order. *)
+val project : int array -> t -> t
+
+val concat : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [check schema t] verifies arity, per-position types, and declared
+    domain bounds.
+    @raise Invalid_argument on mismatch. *)
+val check : Schema.t -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,49 @@
+type ty =
+  | Int_ty
+  | Str_ty
+
+type t =
+  | Int of int
+  | Str of string
+
+let ty_of = function
+  | Int _ -> Int_ty
+  | Str _ -> Str_ty
+
+let equal a b =
+  match a, b with
+  | Int x, Int y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Int _, Str _ | Str _, Int _ -> false
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+let pp ppf = function
+  | Int x -> Format.pp_print_int ppf x
+  | Str s -> Format.fprintf ppf "%S" s
+
+let pp_ty ppf = function
+  | Int_ty -> Format.pp_print_string ppf "int"
+  | Str_ty -> Format.pp_print_string ppf "str"
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+
+let int = function
+  | Int x -> x
+  | Str s -> invalid_arg (Printf.sprintf "Value.int: %S is not an integer" s)
+
+let str = function
+  | Str s -> s
+  | Int x ->
+    invalid_arg (Printf.sprintf "Value.str: %d is not a string" x)

@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Database Hashtbl List Printf Relalg Relation Rng Transaction Value

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Database Relalg Relation Rng Schema Transaction Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Database Generate List Printf Relalg Relation Schema Value

@@ -1,0 +1,68 @@
+open Relalg
+
+type column =
+  | Uniform of int * int
+  | Weighted of float array * int
+  | Strings of string array
+
+let zipf_column ~n ~skew ~offset = Weighted (Rng.zipf_cdf ~n ~skew, offset)
+
+let value rng = function
+  | Uniform (lo, hi) -> Value.Int (Rng.range rng ~lo ~hi)
+  | Weighted (cdf, offset) -> Value.Int (offset + Rng.zipf rng cdf)
+  | Strings pool -> Value.Str (Rng.choice rng pool)
+
+let tuple rng columns = Array.of_list (List.map (value rng) columns)
+
+let relation rng schema columns size =
+  let r = Relation.create ~size_hint:size schema in
+  let attempts = ref 0 in
+  let budget = (size * 100) + 1000 in
+  while Relation.cardinal r < size do
+    incr attempts;
+    if !attempts > budget then
+      invalid_arg
+        (Printf.sprintf
+           "Generate.relation: could not produce %d distinct tuples" size);
+    let t = tuple rng columns in
+    if not (Relation.mem r t) then Relation.add r t
+  done;
+  r
+
+let pick rng r n =
+  let all = Array.of_list (List.map fst (Relation.elements r)) in
+  Rng.shuffle rng all;
+  Array.to_list (Array.sub all 0 (min n (Array.length all)))
+
+let fresh rng r columns n =
+  let out = ref [] in
+  let seen = Hashtbl.create (2 * n) in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  let budget = (n * 100) + 1000 in
+  while !count < n do
+    incr attempts;
+    if !attempts > budget then
+      invalid_arg
+        (Printf.sprintf "Generate.fresh: could not produce %d fresh tuples" n);
+    let t = tuple rng columns in
+    if (not (Relation.mem r t)) && not (Hashtbl.mem seen t) then begin
+      Hashtbl.replace seen t ();
+      out := t :: !out;
+      incr count
+    end
+  done;
+  !out
+
+let transaction rng db name ~columns ~inserts ~deletes =
+  let r = Database.find db name in
+  let to_delete = pick rng r deletes in
+  let to_insert = fresh rng r columns inserts in
+  List.map (fun t -> Transaction.delete name t) to_delete
+  @ List.map (fun t -> Transaction.insert name t) to_insert
+
+let mixed_transaction rng db specs =
+  List.concat_map
+    (fun (name, columns, inserts, deletes) ->
+      transaction rng db name ~columns ~inserts ~deletes)
+    specs

@@ -1,0 +1,50 @@
+(** Synthetic relations and update streams for benchmarks and tests. *)
+
+open Relalg
+
+(** Per-attribute value generator. *)
+type column =
+  | Uniform of int * int  (** inclusive integer range *)
+  | Weighted of float array * int
+      (** Zipf-style CDF over ranks, plus offset: value = offset + rank *)
+  | Strings of string array  (** uniform choice *)
+
+(** Zipf column helper: values [offset + 1 .. offset + n], rank 1 the most
+    frequent. *)
+val zipf_column : n:int -> skew:float -> offset:int -> column
+
+val value : Rng.t -> column -> Value.t
+val tuple : Rng.t -> column list -> Tuple.t
+
+(** [relation rng schema columns size] generates a base relation of exactly
+    [size] {e distinct} tuples.
+    @raise Invalid_argument when the column domains cannot produce [size]
+    distinct tuples within a retry budget. *)
+val relation : Rng.t -> Schema.t -> column list -> int -> Relation.t
+
+(** [pick rng r n] samples up to [n] distinct existing tuples. *)
+val pick : Rng.t -> Relation.t -> int -> Tuple.t list
+
+(** [fresh rng r columns n] generates [n] distinct tuples that are not in
+    [r].
+    @raise Invalid_argument when the domain is too small. *)
+val fresh : Rng.t -> Relation.t -> column list -> int -> Tuple.t list
+
+(** [transaction rng db name ~columns ~inserts ~deletes] builds a valid
+    transaction against the current state: deletions sample existing
+    tuples, insertions are fresh. *)
+val transaction :
+  Rng.t ->
+  Database.t ->
+  string ->
+  columns:column list ->
+  inserts:int ->
+  deletes:int ->
+  Transaction.t
+
+(** [mixed_transaction] spreads updates over several relations. *)
+val mixed_transaction :
+  Rng.t ->
+  Database.t ->
+  (string * column list * int * int) list ->
+  Transaction.t

@@ -1,0 +1,40 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; seed lxor 0x9e3779b9; 42 |]
+let int rng n = Random.State.int rng n
+let range rng ~lo ~hi = lo + Random.State.int rng (hi - lo + 1)
+let float rng bound = Random.State.float rng bound
+let chance rng p = Random.State.float rng 1.0 < p
+let choice rng a = a.(Random.State.int rng (Array.length a))
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let zipf_cdf ~n ~skew =
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** skew)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  cdf
+
+let zipf rng cdf =
+  let u = Random.State.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cdf - 1)

@@ -1,0 +1,30 @@
+(** Seeded pseudo-random helpers: every generator in {!module:Generate} is
+    deterministic given the seed, so tests and benchmarks are
+    reproducible. *)
+
+type t
+
+val make : int -> t
+
+(** [int rng n] is uniform in [0, n). *)
+val int : t -> int -> int
+
+(** [range rng ~lo ~hi] is uniform in [lo, hi] inclusive. *)
+val range : t -> lo:int -> hi:int -> int
+
+val float : t -> float -> float
+
+(** [chance rng p] is true with probability [p]. *)
+val chance : t -> float -> bool
+
+val choice : t -> 'a array -> 'a
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit
+
+(** [zipf_cdf ~n ~skew] precomputes the cumulative distribution of a Zipf
+    law over ranks 1..n with exponent [skew]. *)
+val zipf_cdf : n:int -> skew:float -> float array
+
+(** [zipf rng cdf] samples a rank in 1..n from a precomputed CDF. *)
+val zipf : t -> float array -> int

@@ -1,0 +1,118 @@
+open Relalg
+
+type t = {
+  db : Database.t;
+  columns : (string * Generate.column list) list;
+}
+
+let columns_of t name =
+  match List.assoc_opt name t.columns with
+  | Some c -> c
+  | None -> raise Not_found
+
+let single ~rng ~size ~key_range =
+  let schema =
+    Schema.make
+      [ ("A", Value.Int_ty); ("B", Value.Int_ty); ("C", Value.Int_ty) ]
+  in
+  let columns =
+    [
+      Generate.Uniform (0, (size * 10) + 100);
+      Generate.Uniform (0, key_range - 1);
+      Generate.Uniform (0, 100);
+    ]
+  in
+  let db = Database.create () in
+  Database.register db "R" (Generate.relation rng schema columns size);
+  { db; columns = [ ("R", columns) ] }
+
+let pair ~rng ~size_r ~size_s ~key_range =
+  let r_schema = Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ] in
+  let s_schema = Schema.make [ ("B", Value.Int_ty); ("C", Value.Int_ty) ] in
+  let r_columns =
+    [ Generate.Uniform (0, (size_r * 10) + 100); Generate.Uniform (0, key_range - 1) ]
+  in
+  let s_columns =
+    [ Generate.Uniform (0, key_range - 1); Generate.Uniform (0, (size_s * 10) + 100) ]
+  in
+  let db = Database.create () in
+  Database.register db "R" (Generate.relation rng r_schema r_columns size_r);
+  Database.register db "S" (Generate.relation rng s_schema s_columns size_s);
+  { db; columns = [ ("R", r_columns); ("S", s_columns) ] }
+
+let chain ~rng ~p ~size ~key_range =
+  let db = Database.create () in
+  let names = List.init p (fun i -> Printf.sprintf "R%d" (i + 1)) in
+  let columns =
+    List.mapi
+      (fun i name ->
+        let schema =
+          Schema.make
+            [
+              (Printf.sprintf "K%d" i, Value.Int_ty);
+              (Printf.sprintf "K%d" (i + 1), Value.Int_ty);
+              (* A wide id column so relations can exceed key_range^2
+                 distinct tuples. *)
+              (Printf.sprintf "I%d" (i + 1), Value.Int_ty);
+            ]
+        in
+        let cols =
+          [
+            Generate.Uniform (0, key_range - 1);
+            Generate.Uniform (0, key_range - 1);
+            Generate.Uniform (0, (size * 10) + 100);
+          ]
+        in
+        Database.register db name (Generate.relation rng schema cols size);
+        (name, cols))
+      names
+  in
+  ({ db; columns }, names)
+
+let orders ~rng ~customers ~orders =
+  let regions = [| "north"; "south"; "east"; "west" |] in
+  let customer_schema =
+    Schema.make
+      [
+        ("cid", Value.Int_ty); ("region", Value.Str_ty); ("status", Value.Int_ty);
+      ]
+  in
+  let order_schema =
+    Schema.make
+      [
+        ("oid", Value.Int_ty);
+        ("cid", Value.Int_ty);
+        ("amount", Value.Int_ty);
+        ("priority", Value.Int_ty);
+      ]
+  in
+  let customer_columns =
+    [
+      Generate.Uniform (0, customers - 1);
+      Generate.Strings regions;
+      Generate.Uniform (0, 3);
+    ]
+  in
+  let order_columns =
+    [
+      Generate.Uniform (0, (orders * 10) + 100);
+      Generate.Uniform (0, customers - 1);
+      Generate.Uniform (1, 1000);
+      Generate.Uniform (0, 5);
+    ]
+  in
+  let db = Database.create () in
+  (* Customers get distinct cids: generate then fix the id column. *)
+  let customer_relation = Relation.create customer_schema in
+  for cid = 0 to customers - 1 do
+    Relation.add customer_relation
+      [|
+        Value.Int cid;
+        Generate.value rng (Generate.Strings regions);
+        Generate.value rng (Generate.Uniform (0, 3));
+      |]
+  done;
+  Database.register db "customers" customer_relation;
+  Database.register db "orders"
+    (Generate.relation rng order_schema order_columns orders);
+  { db; columns = [ ("customers", customer_columns); ("orders", order_columns) ] }

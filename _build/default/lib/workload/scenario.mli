@@ -1,0 +1,32 @@
+(** Prebuilt schemas and databases used by the examples and the benchmark
+    harness, so every experiment describes its workload in one place. *)
+
+open Relalg
+
+type t = {
+  db : Database.t;
+  columns : (string * Generate.column list) list;
+      (** generator recipe per relation, for building update streams *)
+}
+
+(** Column recipe of a relation.
+    @raise Not_found for unknown names. *)
+val columns_of : t -> string -> Generate.column list
+
+(** Single relation [R(A, B, C)]: [A] is a wide id-like column, [B] a join
+    key in [0, key_range), [C] a payload in [0, 100]. *)
+val single : rng:Rng.t -> size:int -> key_range:int -> t
+
+(** Two relations [R(A, B)] and [S(B, C)] natural-joinable on [B], with
+    keys drawn from [0, key_range). *)
+val pair : rng:Rng.t -> size_r:int -> size_s:int -> key_range:int -> t
+
+(** A p-way chain [R1(K0, K1, I1)], [R2(K1, K2, I2)], ..., joinable into a
+    path on the K columns (the I columns are wide ids keeping tuples
+    distinct); returns the relation names in order. *)
+val chain : rng:Rng.t -> p:int -> size:int -> key_range:int -> t * string list
+
+(** The order-monitoring schema of the examples:
+    [customers(cid, region, status)] and
+    [orders(oid, cid, amount, priority)]. Regions are strings. *)
+val orders : rng:Rng.t -> customers:int -> orders:int -> t

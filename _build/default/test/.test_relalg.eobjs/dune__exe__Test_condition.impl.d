@@ -1,0 +1,1 @@
+test/test_condition.ml: Alcotest Condition Helpers List Printf Relalg String Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Condition Csv Database Helpers Ivm List Printf Query Relalg Relation Transaction Tuple Workload

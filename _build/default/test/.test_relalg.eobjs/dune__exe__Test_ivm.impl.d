@@ -1,0 +1,1 @@
+test/test_ivm.ml: Alcotest Condition Database Helpers Ivm List Printf Query Relalg Relation Schema String Transaction Tuple Value Workload

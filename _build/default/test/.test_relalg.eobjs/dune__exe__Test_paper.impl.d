@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array Condition Database Helpers Ivm List Printf Query Relalg Relation Transaction Tuple

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Condition Database Helpers Ivm List Query Relalg Relation Transaction Tuple Value

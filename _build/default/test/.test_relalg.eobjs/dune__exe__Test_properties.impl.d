@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Condition Database Fun Helpers Ivm List Ops Option QCheck QCheck_alcotest Query Relalg Relation Schema Transaction Tuple Value Workload

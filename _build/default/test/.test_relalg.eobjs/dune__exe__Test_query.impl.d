@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Condition Database Helpers Ivm List Printf Query Relalg Relation Schema String Transaction Tuple Value Workload

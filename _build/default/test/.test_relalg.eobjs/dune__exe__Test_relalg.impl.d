@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Attr Csv Database Filename Helpers Index Ivm List Ops Printf Query Relalg Relation Schema String Sys Transaction Tuple Value Workload
