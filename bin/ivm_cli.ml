@@ -193,6 +193,172 @@ let run_query dir statement materialize =
     1
 
 (* ------------------------------------------------------------------ *)
+(* ivm-cli lint                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Built-in view definitions covering the paper's worked examples and the
+   workload scenarios the other subcommands exercise; `lint
+   --all-scenarios` doubles as a self-test of the analyzer and a CI gate
+   (tools/check.sh). *)
+let builtin_scenarios () =
+  let open Condition.Formula.Dsl in
+  let lookup_of db name = Relation.schema (Database.find db name) in
+  let example_4_1 () =
+    let db = Database.create () in
+    Database.register db "R"
+      (Relation.of_tuples
+         (Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ])
+         []);
+    Database.register db "S"
+      (Relation.of_tuples
+         (Schema.make [ ("C", Value.Int_ty); ("D", Value.Int_ty) ])
+         []);
+    db
+  in
+  let rng = Rng.make 42 in
+  let pair = Scenario.pair ~rng ~size_r:10 ~size_s:10 ~key_range:5 in
+  let orders = Scenario.orders ~rng ~customers:10 ~orders:20 in
+  [
+    ( "example-4.1",
+      lookup_of (example_4_1 ()),
+      Query.Expr.(
+        project [ "A"; "D" ]
+          (select
+             ((v "A" <% i 10) &&% (v "C" >% i 5) &&% (v "B" =% v "C"))
+             (product (base "R") (base "S")))),
+      [] );
+    ( "example-5.1",
+      lookup_of (example_4_1 ()),
+      Query.Expr.(project [ "B" ] (base "R")),
+      [ ("R", [ "A" ]) ] );
+    ( "pair-join",
+      lookup_of pair.Scenario.db,
+      Query.Expr.(join (base "R") (base "S")),
+      [] );
+    ( "pair-project",
+      lookup_of pair.Scenario.db,
+      Query.Expr.(project [ "B" ] (base "R")),
+      [] );
+    ( "pair-filtered-join",
+      lookup_of pair.Scenario.db,
+      Query.Expr.(
+        project [ "A"; "C" ]
+          (select ((v "C" <% i 1500) ||% (v "A" >% i 100))
+             (join (base "R") (base "S")))),
+      [] );
+    ( "orders-dashboard",
+      lookup_of orders.Scenario.db,
+      Query.Expr.(
+        project
+          [ "oid"; "cid"; "amount" ]
+          (select
+             ((v "amount" >% i 900) &&% (v "region" =% s "north"))
+             (join (base "orders") (base "customers")))),
+      [ ("orders", [ "oid" ]); ("customers", [ "cid" ]) ] );
+  ]
+
+let parse_key_spec spec =
+  (* "R:A,B" -> ("R", ["A"; "B"]) *)
+  match String.index_opt spec ':' with
+  | None ->
+    Printf.eprintf "bad --key %S (expected RELATION:ATTR[,ATTR...])\n" spec;
+    exit 2
+  | Some i ->
+    let relation = String.sub spec 0 i in
+    let attrs =
+      String.split_on_char ','
+        (String.sub spec (i + 1) (String.length spec - i - 1))
+    in
+    let attrs = List.filter (fun a -> a <> "") (List.map String.trim attrs) in
+    if relation = "" || attrs = [] then begin
+      Printf.eprintf "bad --key %S (expected RELATION:ATTR[,ATTR...])\n" spec;
+      exit 2
+    end;
+    (relation, attrs)
+
+let lint_one ~quiet (label, lookup, expr, keys) =
+  let diagnostics = Analysis.Analyzer.run_expr ~keys ~lookup expr in
+  let failed = Analysis.Diagnostic.has_errors diagnostics in
+  if diagnostics = [] then begin
+    if not quiet then Printf.printf "== %s ==\nok\n" label
+  end
+  else
+    Printf.printf "== %s ==\n%s\n" label
+      (Format.asprintf "%a" Analysis.Diagnostic.pp_report diagnostics);
+  failed
+
+let run_lint all_scenarios dir file keys quiet statements =
+  let keys = List.map parse_key_spec keys in
+  let from_statements =
+    match statements, file with
+    | [], None -> []
+    | _ ->
+      let dir =
+        match dir with
+        | Some dir -> dir
+        | None ->
+          Printf.eprintf
+            "lint: statements need --dir DIR to resolve base schemas\n";
+          exit 2
+      in
+      let db = Csv.load_database ~dir in
+      let lookup name = Relation.schema (Database.find db name) in
+      let file_statements =
+        match file with
+        | None -> []
+        | Some path ->
+          let ic = open_in path in
+          let rec lines acc =
+            match input_line ic with
+            | line -> lines (line :: acc)
+            | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+          in
+          List.filter
+            (fun line ->
+              let line = String.trim line in
+              line <> ""
+              && (not (String.length line >= 1 && line.[0] = '#'))
+              && not (String.length line >= 2 && String.sub line 0 2 = "--"))
+            (lines [])
+      in
+      List.mapi
+        (fun i statement ->
+          let label = Printf.sprintf "statement %d: %s" (i + 1) statement in
+          match Query.Parser.view ~lookup statement with
+          | expr -> (label, lookup, expr, keys)
+          | exception Query.Parser.Parse_error message ->
+            Printf.eprintf "parse error in %s: %s\n" label message;
+            exit 2)
+        (statements @ file_statements)
+  in
+  let targets =
+    (if all_scenarios then
+       List.map
+         (fun (label, lookup, expr, ks) -> (label, lookup, expr, ks @ keys))
+         (builtin_scenarios ())
+     else [])
+    @ from_statements
+  in
+  if targets = [] then begin
+    Printf.eprintf
+      "lint: nothing to lint (pass statements, --file or --all-scenarios)\n";
+    exit 2
+  end;
+  let failures = List.filter Fun.id (List.map (lint_one ~quiet) targets) in
+  if failures = [] then begin
+    if not quiet then
+      Printf.printf "lint: %d definition(s), no errors\n" (List.length targets);
+    0
+  end
+  else begin
+    Printf.printf "lint: %d of %d definition(s) carry errors\n"
+      (List.length failures) (List.length targets);
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* command definitions                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -273,6 +439,62 @@ let query_cmd =
        ~doc:"Evaluate a SQL-like query over a directory of CSV relations.")
     Term.(const run_query $ dir $ statement $ materialize)
 
+let lint_cmd =
+  let all_scenarios =
+    Arg.(
+      value & flag
+      & info [ "all-scenarios" ]
+          ~doc:
+            "Lint the built-in scenario view definitions (paper examples \
+             and the workloads the other subcommands use).")
+  in
+  let dir =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "dir"; "d" ] ~docv:"DIR"
+          ~doc:
+            "Directory of <relation>.csv files supplying base schemas for \
+             SELECT statements.")
+  in
+  let file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file"; "f" ] ~docv:"FILE"
+          ~doc:
+            "Lint SELECT statements from $(docv), one per line; blank lines \
+             and lines starting with # or -- are skipped.")
+  in
+  let keys =
+    Arg.(
+      value & opt_all string []
+      & info [ "key" ] ~docv:"REL:ATTRS"
+          ~doc:
+            "Declare a candidate key, e.g. $(b,--key orders:oid), enabling \
+             the Section 5.2 key-retention hint (IVM031).  Repeatable.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Only print definitions with diagnostics.")
+  in
+  let statements =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"SELECT" ~doc:"View definitions to lint.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze view definitions before registration: \
+          unsatisfiable or redundant conditions, unscreenable sources, \
+          hidden Cartesian products, projection and typing problems \
+          (diagnostic codes IVM001-IVM040).  Exits nonzero when an \
+          Error-level diagnostic is found, making it usable as a CI gate.")
+    Term.(
+      const run_lint $ all_scenarios $ dir $ file $ keys $ quiet $ statements)
+
 let () =
   let info =
     Cmd.info "ivm-cli" ~version:"1.0.0"
@@ -280,4 +502,6 @@ let () =
         "Efficiently updating materialized views (Blakeley, Larson & Tompa, \
          SIGMOD 1986)"
   in
-  exit (Cmd.eval' (Cmd.group info [ example_cmd; check_cmd; stream_cmd; query_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ example_cmd; check_cmd; stream_cmd; query_cmd; lint_cmd ]))

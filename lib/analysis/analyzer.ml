@@ -1,0 +1,24 @@
+let run ?(keys = []) ~lookup spj =
+  List.stable_sort Diagnostic.compare
+    (List.concat
+       [
+         Check_satisfiable.check ~lookup spj;
+         Check_redundancy.check ~lookup spj;
+         Check_screening.check ~lookup spj;
+         Check_join_graph.check ~lookup spj;
+         Check_projection.check ~keys ~lookup spj;
+         Check_types.check ~lookup spj;
+       ])
+
+let run_expr ?keys ?(minimize = true) ~lookup expr =
+  match Query.Spj.compile lookup expr with
+  | spj ->
+    let spj = if minimize then Query.Tableau.minimize spj else spj in
+    run ?keys ~lookup spj
+  | exception Query.Spj.Compile_error message ->
+    [
+      Diagnostic.make ~code:"IVM000" ~severity:Diagnostic.Error
+        (Printf.sprintf "the definition does not compile: %s" message);
+    ]
+
+let ok diagnostics = not (Diagnostic.has_errors diagnostics)

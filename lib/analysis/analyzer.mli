@@ -1,0 +1,52 @@
+(** Entry point of the view-definition static analyzer.
+
+    Runs every check over a compiled SPJ definition and returns the
+    diagnostics sorted by severity.  The checks and their codes:
+
+    - [IVM001] Error — unsatisfiable condition, view provably empty
+      ({!Check_satisfiable}, Theorem 4.1);
+    - [IVM002] Hint — redundant atoms / dead disjuncts with a simplified
+      equivalent condition ({!Check_redundancy}, Section 4);
+    - [IVM010] Warning — source the irrelevance screen can never reject
+      updates to ({!Check_screening}, Algorithm 4.1);
+    - [IVM011] Hint — base relation all of whose updates are provably
+      irrelevant ({!Check_screening}, Theorems 4.1–4.2);
+    - [IVM020] Warning — disconnected join graph, hidden Cartesian product
+      ({!Check_join_graph}, Section 3);
+    - [IVM030] Error — dangling projection attributes, duplicate output
+      names ({!Check_projection});
+    - [IVM031] Hint — key retention: counters provably redundant or
+      provably required ({!Check_projection}, Section 5.2);
+    - [IVM040] Warning — mixed-type comparisons folded to constants
+      ({!Check_types});
+    - [IVM000] Error — the definition does not compile at all (only from
+      {!run_expr}).
+
+    The registration gate ({!Ivm.Manager.define_view}) refuses definitions
+    with [Error]-level diagnostics unless forced; the [ivm_cli lint]
+    subcommand exposes the same analysis as a CI gate. *)
+
+open Relalg
+
+(** [run ~lookup spj] analyzes a compiled definition.  [keys] declares
+    candidate keys of base relations for the Section 5.2 key-retention
+    analysis; omitting it skips [IVM031]. *)
+val run :
+  ?keys:Query.Keys.t ->
+  lookup:(string -> Schema.t) ->
+  Query.Spj.t ->
+  Diagnostic.t list
+
+(** [run_expr ~lookup e] compiles (and, by default, tableau-minimizes —
+    matching what {!Ivm.View.define} maintains) before analyzing; a
+    {!Query.Spj.Compile_error} becomes a single [IVM000] error
+    diagnostic instead of an exception. *)
+val run_expr :
+  ?keys:Query.Keys.t ->
+  ?minimize:bool ->
+  lookup:(string -> Schema.t) ->
+  Query.Expr.t ->
+  Diagnostic.t list
+
+(** [true] when no [Error]-level diagnostic is present. *)
+val ok : Diagnostic.t list -> bool

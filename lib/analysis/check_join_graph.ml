@@ -1,0 +1,16 @@
+let check ~lookup (spj : Query.Spj.t) =
+  if List.length spj.Query.Spj.sources < 2 then []
+  else
+    match Query.Hypergraph.components ~lookup spj with
+    | [] | [ _ ] -> []
+    | components ->
+      let describe c = "{" ^ String.concat ", " c ^ "}" in
+      [
+        Diagnostic.make ~code:"IVM020" ~severity:Diagnostic.Warning
+          ~paper:"Section 3 (view class)"
+          (Printf.sprintf
+             "the join graph is disconnected: no predicate links the source \
+              groups %s, so the view is their Cartesian product and every \
+              maintenance step pays the multiplied cardinality"
+             (String.concat " x " (List.map describe components)));
+      ]

@@ -1,0 +1,13 @@
+(** IVM020 — hidden Cartesian products.
+
+    The paper's SPJ class (Section 3) is a projection over a selection over
+    a product of sources; joins are just products whose condition links the
+    operands.  When the source-connection graph (two sources connected iff
+    some atom mentions attributes of both — see {!Query.Hypergraph.components})
+    has more than one component, the view is the Cartesian product of the
+    components: its cardinality and every differential maintenance step
+    multiply across them.  Rarely intended, hence a Warning. *)
+
+open Relalg
+
+val check : lookup:(string -> Schema.t) -> Query.Spj.t -> Diagnostic.t list

@@ -1,0 +1,82 @@
+open Relalg
+module Keys = Query.Keys
+
+type key_verdict =
+  | Counters_redundant
+  | Counters_required of string list
+
+let key_retention ~keys (spj : Query.Spj.t) =
+  if keys = [] then None
+  else
+    match Keys.undetermined_sources ~keys spj with
+    | [] -> Some Counters_redundant
+    | aliases -> Some (Counters_required aliases)
+
+let check ?(keys = []) ~lookup (spj : Query.Spj.t) =
+  let projection = spj.Query.Spj.projection in
+  let sources = spj.Query.Spj.sources in
+  (* Duplicate output names. *)
+  let outputs = List.map fst projection in
+  let duplicates =
+    List.sort_uniq Attr.compare
+      (List.filter
+         (fun o ->
+           List.length (List.filter (Attr.equal o) outputs) > 1)
+         outputs)
+  in
+  let dup_diags =
+    List.map
+      (fun o ->
+        Diagnostic.make ~code:"IVM030" ~severity:Diagnostic.Error ~context:o
+          (Printf.sprintf
+             "output attribute %s appears more than once in the projection: \
+              the view schema would contain duplicate names"
+             o))
+      duplicates
+  in
+  (* Dangling qualified attributes. *)
+  let provided =
+    List.concat_map
+      (fun (s : Query.Spj.source) ->
+        Schema.names (Query.Spj.qualified_schema lookup s))
+      sources
+  in
+  let dangling_diags =
+    List.filter_map
+      (fun (out, q) ->
+        if List.exists (Attr.equal q) provided then None
+        else
+          Some
+            (Diagnostic.make ~code:"IVM030" ~severity:Diagnostic.Error
+               ~context:q
+               (Printf.sprintf
+                  "projection output %s is bound to %s, which no source of \
+                   the view provides"
+                  out q)))
+      projection
+  in
+  (* Key retention, Section 5.2. *)
+  let key_diags =
+    match key_retention ~keys spj with
+    | None -> []
+    | Some Counters_redundant ->
+      [
+        Diagnostic.make ~code:"IVM031" ~severity:Diagnostic.Hint
+          ~paper:"Section 5.2, alternative 2"
+          "the projection retains a candidate key of every source: every \
+           multiplicity counter is provably 1, so counters are redundant \
+           and key-based maintenance would suffice";
+      ]
+    | Some (Counters_required aliases) ->
+      [
+        Diagnostic.make ~code:"IVM031" ~severity:Diagnostic.Hint
+          ~context:(String.concat ", " aliases)
+          ~paper:"Section 5.2, alternative 1; Example 5.1"
+          (Printf.sprintf
+             "the projection retains no candidate key of source(s) %s: \
+              duplicate rows can arise, so multiplicity counters are \
+              required to survive deletions"
+             (String.concat ", " aliases));
+      ]
+  in
+  dup_diags @ dangling_diags @ key_diags

@@ -1,0 +1,32 @@
+(** IVM030 / IVM031 — projection safety and key retention (Section 5.2).
+
+    [IVM030] (Error) covers structurally broken projections: an output
+    attribute bound to a qualified attribute that no source provides, or
+    two outputs sharing a name (the materialized schema would be invalid).
+    The compiler rejects most of these already; the analyzer re-checks so
+    hand-built or programmatically transformed {!Query.Spj.t} values get
+    the same guarantees.
+
+    [IVM031] (Hint) is the Section 5.2 choice point: when candidate keys of
+    the base relations are declared, the analyzer decides whether the
+    projection retains a key of every source (alternative 2 — every
+    multiplicity counter is provably 1 and counters are redundant) or drops
+    one (alternative 1 — duplicates can arise, as in Example 5.1, and the
+    counted-projection counters are required). *)
+
+open Relalg
+
+type key_verdict =
+  | Counters_redundant
+      (** the projection determines a key of every source *)
+  | Counters_required of string list
+      (** aliases whose key is not retained by the projection *)
+
+(** [None] when no keys are declared; otherwise the Section 5.2 verdict. *)
+val key_retention : keys:Query.Keys.t -> Query.Spj.t -> key_verdict option
+
+val check :
+  ?keys:Query.Keys.t ->
+  lookup:(string -> Schema.t) ->
+  Query.Spj.t ->
+  Diagnostic.t list

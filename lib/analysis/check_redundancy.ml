@@ -1,0 +1,65 @@
+module F = Condition.Formula
+module Sat = Condition.Satisfiability
+
+let simplify_conjunction ~typing atoms =
+  let rec go kept removed = function
+    | [] -> (List.rev kept, List.rev removed)
+    | a :: rest -> (
+      let others = List.rev_append kept rest in
+      match Sat.conjunction ~typing (F.negate_atom a :: others) with
+      | Sat.Unsat -> go kept (a :: removed) rest
+      | Sat.Sat | Sat.Unknown -> go (a :: kept) removed rest)
+  in
+  go [] [] atoms
+
+let check ~lookup (spj : Query.Spj.t) =
+  let typing = Query.Spj.typing lookup spj in
+  let dnf = spj.Query.Spj.condition_dnf in
+  match Sat.dnf ~typing dnf with
+  | Sat.Unsat -> [] (* IVM001 owns the globally unsatisfiable case *)
+  | Sat.Sat | Sat.Unknown ->
+    let multi = List.length dnf > 1 in
+    let dead = ref 0 and dropped = ref 0 in
+    let simplified =
+      List.filter_map
+        (fun conj ->
+          match Sat.conjunction ~typing conj with
+          | Sat.Unsat ->
+            (* Only reachable with several disjuncts, since the whole DNF
+               is not unsatisfiable. *)
+            incr dead;
+            None
+          | Sat.Unknown -> Some conj
+          | Sat.Sat ->
+            let kept, removed = simplify_conjunction ~typing conj in
+            dropped := !dropped + List.length removed;
+            Some kept)
+        dnf
+    in
+    if !dead = 0 && !dropped = 0 then []
+    else begin
+      let parts =
+        List.filter_map Fun.id
+          [
+            (if !dropped > 0 then
+               Some
+                 (Printf.sprintf "%d atom(s) are implied by the rest of their \
+                                  conjunction"
+                    !dropped)
+             else None);
+            (if !dead > 0 && multi then
+               Some (Printf.sprintf "%d disjunct(s) are unsatisfiable" !dead)
+             else None);
+          ]
+      in
+      [
+        Diagnostic.make ~code:"IVM002" ~severity:Diagnostic.Hint
+          ~paper:"Section 4 (satisfiability, p. 64)"
+          (Format.asprintf
+             "the condition can be simplified (%s); an equivalent condition \
+              is: %a"
+             (String.concat "; " parts)
+             F.pp
+             (F.of_dnf simplified));
+      ]
+    end

@@ -1,0 +1,22 @@
+(** IVM002 — redundant atoms and dead disjuncts.
+
+    An atom implied by the rest of its conjunction (the conjunction with
+    the atom negated is unsatisfiable) can be dropped without changing the
+    view; a disjunct that is itself unsatisfiable contributes nothing and
+    only slows down screening and evaluation.  Both facts are established
+    with the Section 4 satisfiability procedure, so every suggestion is a
+    proof, not a heuristic.  Runs only on conditions that are not globally
+    unsatisfiable — {!Check_satisfiable} owns that case. *)
+
+open Relalg
+
+(** [simplify_conjunction ~typing atoms] greedily removes atoms implied by
+    the remaining ones; returns [(kept, removed)].  Equivalence is
+    preserved at every step: an atom is removed only when its negation
+    together with the currently surviving atoms is provably unsatisfiable. *)
+val simplify_conjunction :
+  typing:Condition.Satisfiability.typing ->
+  Condition.Formula.atom list ->
+  Condition.Formula.atom list * Condition.Formula.atom list
+
+val check : lookup:(string -> Schema.t) -> Query.Spj.t -> Diagnostic.t list

@@ -1,0 +1,13 @@
+module Satisfiability = Condition.Satisfiability
+
+let check ~lookup (spj : Query.Spj.t) =
+  let typing = Query.Spj.typing lookup spj in
+  match Satisfiability.dnf ~typing spj.Query.Spj.condition_dnf with
+  | Satisfiability.Unsat ->
+    [
+      Diagnostic.make ~code:"IVM001" ~severity:Diagnostic.Error
+        ~paper:"Section 4, Theorem 4.1"
+        "the selection condition is unsatisfiable: the view is provably \
+         empty in every database state and no update can ever populate it";
+    ]
+  | Satisfiability.Sat | Satisfiability.Unknown -> []

@@ -1,0 +1,11 @@
+(** IVM001 — provably empty view.
+
+    A view whose selection condition is unsatisfiable is empty in every
+    database state, and by Theorem 4.1 no update can ever populate it:
+    registering such a view is almost certainly a definition mistake, so
+    this is the analyzer's flagship [Error].  Decided by the Section 4
+    satisfiability procedure over the compiled condition's DNF (p. 64). *)
+
+open Relalg
+
+val check : lookup:(string -> Schema.t) -> Query.Spj.t -> Diagnostic.t list

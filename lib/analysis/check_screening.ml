@@ -1,0 +1,89 @@
+open Relalg
+module Sat = Condition.Satisfiability
+module Substitute = Condition.Substitute
+
+type split = {
+  alias : string;
+  relation : string;
+  per_disjunct : (Condition.Formula.atom list * Condition.Formula.atom list) list;
+}
+
+let splits ~lookup (spj : Query.Spj.t) =
+  List.map
+    (fun (s : Query.Spj.source) ->
+      let schema = Query.Spj.qualified_schema lookup s in
+      let bound = Schema.mem schema in
+      let per_disjunct =
+        List.map
+          (fun conj ->
+            let parts = Substitute.split_conjunction ~bound conj in
+            (parts.Substitute.invariant, parts.Substitute.variant))
+          spj.Query.Spj.condition_dnf
+      in
+      {
+        alias = s.Query.Spj.alias;
+        relation = s.Query.Spj.relation;
+        per_disjunct;
+      })
+    spj.Query.Spj.sources
+
+let check ~lookup (spj : Query.Spj.t) =
+  let typing = Query.Spj.typing lookup spj in
+  let source_splits = splits ~lookup spj in
+  (* IVM010: a satisfiable disjunct the source cannot influence keeps the
+     substituted condition satisfiable for every tuple. *)
+  let unscreenable =
+    List.filter
+      (fun s ->
+        List.exists
+          (fun (invariant, variant) ->
+            variant = [] && Sat.conjunction ~typing invariant <> Sat.Unsat)
+          s.per_disjunct)
+      source_splits
+  in
+  let ivm010 =
+    List.map
+      (fun s ->
+        Diagnostic.make ~code:"IVM010" ~severity:Diagnostic.Warning
+          ~context:s.alias ~paper:"Algorithm 4.1, Definition 4.2"
+          (Printf.sprintf
+             "no attribute of source %s (relation %s) occurs in a variant \
+              position of the condition: the irrelevance screen can never \
+              reject an update to it, so screening this source is pure \
+              overhead"
+             s.alias s.relation))
+      unscreenable
+  in
+  (* IVM011: the invariant part alone refutes every disjunct, so no tuple
+     substituted for this source can revive the condition. *)
+  let always_irrelevant s =
+    List.for_all
+      (fun (invariant, _) -> Sat.conjunction ~typing invariant = Sat.Unsat)
+      s.per_disjunct
+  in
+  let relations =
+    List.sort_uniq String.compare
+      (List.map (fun s -> s.relation) source_splits)
+  in
+  let ivm011 =
+    List.filter_map
+      (fun relation ->
+        let occurrences =
+          List.filter
+            (fun s -> String.equal s.relation relation)
+            source_splits
+        in
+        if occurrences <> [] && List.for_all always_irrelevant occurrences then
+          Some
+            (Diagnostic.make ~code:"IVM011" ~severity:Diagnostic.Hint
+               ~context:relation ~paper:"Theorems 4.1 and 4.2"
+               (Printf.sprintf
+                  "every update to relation %s is provably irrelevant: the \
+                   invariant part of the condition is unsatisfiable for each \
+                   of its occurrences, so maintenance can skip this relation \
+                   entirely"
+                  relation))
+        else None)
+      relations
+  in
+  ivm010 @ ivm011

@@ -1,0 +1,30 @@
+(** IVM010 / IVM011 — static screening power per source (Algorithm 4.1).
+
+    For every source the condition splits, disjunct by disjunct, into an
+    {e invariant} part (no attribute of the source) and a {e variant} part
+    (at least one attribute of the source) — Definition 4.2.  Two
+    diagnostics fall out of the split alone, before any update arrives:
+
+    - [IVM010] (Warning): some satisfiable disjunct has an {e empty variant
+      part} for the source.  Substituting a tuple of that source leaves the
+      disjunct untouched and satisfiable, so the Theorem 4.1 test can never
+      reject an update to it — the irrelevance screen is pure overhead for
+      this source.
+    - [IVM011] (Hint): for every occurrence (alias) of a base relation, the
+      invariant part of {e every} disjunct is unsatisfiable.  Then no update
+      to that relation can ever affect the view (cf. Theorems 4.1–4.2) and
+      maintenance may skip it entirely. *)
+
+open Relalg
+
+type split = {
+  alias : string;
+  relation : string;
+  per_disjunct : (Condition.Formula.atom list * Condition.Formula.atom list) list;
+      (** [(invariant, variant)] for each disjunct of the condition's DNF *)
+}
+
+(** The Definition 4.2 split of the condition for every source. *)
+val splits : lookup:(string -> Schema.t) -> Query.Spj.t -> split list
+
+val check : lookup:(string -> Schema.t) -> Query.Spj.t -> Diagnostic.t list

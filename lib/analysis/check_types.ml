@@ -1,0 +1,47 @@
+open Relalg
+module F = Condition.Formula
+module Sat = Condition.Satisfiability
+
+(* Atoms of the original condition, not its DNF: conversion duplicates
+   shared atoms across disjuncts and would repeat the diagnostic. *)
+let rec atoms_of = function
+  | F.True | F.False -> []
+  | F.Atom a -> [ a ]
+  | F.And (f, g) | F.Or (f, g) -> atoms_of f @ atoms_of g
+  | F.Not f -> atoms_of f
+
+let check ~lookup (spj : Query.Spj.t) =
+  let typing = Query.Spj.typing lookup spj in
+  let operand_ty = function
+    | F.O_var a -> typing a
+    | F.O_const v -> Value.ty_of v
+  in
+  let atoms =
+    List.sort_uniq compare (atoms_of spj.Query.Spj.condition)
+  in
+  List.filter_map
+    (fun (a : F.atom) ->
+      let lt = operand_ty a.F.left and rt = operand_ty a.F.right in
+      if lt <> rt then
+        let truth =
+          Sat.cross_type_truth a.F.cmp ~int_on_left:(lt = Value.Int_ty)
+        in
+        Some
+          (Diagnostic.make ~code:"IVM040" ~severity:Diagnostic.Warning
+             ~paper:"Section 4 (decidable class)"
+             (Format.asprintf
+                "comparison %a mixes INT and STRING operands and is \
+                 constantly %b under Value.compare — probably a mistyped \
+                 attribute or literal"
+                F.pp_atom a truth))
+      else if lt = Value.Str_ty && a.F.shift <> 0 then
+        Some
+          (Diagnostic.make ~code:"IVM040" ~severity:Diagnostic.Warning
+             ~paper:"Section 4 (decidable class)"
+             (Format.asprintf
+                "atom %a applies an integer offset to string-typed operands: \
+                 it falls outside every decidable fragment and weakens \
+                 screening to Unknown"
+                F.pp_atom a))
+      else None)
+    atoms

@@ -1,0 +1,13 @@
+(** IVM040 — comparisons whose truth never depends on the data.
+
+    The satisfiability machinery folds a comparison between an integer and
+    a string operand to a constant (under {!Relalg.Value.compare} every
+    integer sorts before every string), and an integer offset attached to
+    string operands pushes the atom outside every decidable fragment.
+    Both almost always indicate a mistyped attribute or literal in the
+    view definition, so the analyzer surfaces them as Warnings with the
+    folded truth value. *)
+
+open Relalg
+
+val check : lookup:(string -> Schema.t) -> Query.Spj.t -> Diagnostic.t list

@@ -1,0 +1,60 @@
+type severity =
+  | Error
+  | Warning
+  | Hint
+
+type t = {
+  code : string;
+  severity : severity;
+  message : string;
+  context : string option;
+  paper : string option;
+}
+
+let make ~code ~severity ?context ?paper message =
+  { code; severity; message; context; paper }
+
+let severity_rank = function
+  | Error -> 0
+  | Warning -> 1
+  | Hint -> 2
+
+let compare_severity a b = Int.compare (severity_rank a) (severity_rank b)
+
+let compare a b =
+  match compare_severity a.severity b.severity with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> Option.compare String.compare a.context b.context
+    | c -> c)
+  | c -> c
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let with_code code ds = List.filter (fun d -> String.equal d.code code) ds
+
+let pp_severity ppf s =
+  Format.pp_print_string ppf
+    (match s with
+    | Error -> "error"
+    | Warning -> "warning"
+    | Hint -> "hint")
+
+let pp ppf d =
+  Format.fprintf ppf "@[<hov 2>%a %s" pp_severity d.severity d.code;
+  (match d.context with
+  | Some c -> Format.fprintf ppf " [%s]" c
+  | None -> ());
+  Format.fprintf ppf ":@ %s" d.message;
+  (match d.paper with
+  | Some p -> Format.fprintf ppf "@ (paper: %s)" p
+  | None -> ());
+  Format.fprintf ppf "@]"
+
+let pp_report ppf ds =
+  let ds = List.stable_sort compare ds in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp d) ds;
+  let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d hint(s)@]" (count Error)
+    (count Warning) (count Hint)

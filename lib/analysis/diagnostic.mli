@@ -1,0 +1,47 @@
+(** Structured diagnostics for the view-definition static analyzer.
+
+    Every check emits diagnostics with a stable code ([IVM001], [IVM002],
+    ...), a severity and a human-readable message tied to the section of
+    the paper that grounds the check.  [Error]-level diagnostics reject
+    view registration (unless forced); [Warning]s flag probable definition
+    mistakes or performance traps; [Hint]s surface facts the maintenance
+    machinery could exploit. *)
+
+type severity =
+  | Error  (** the definition is broken; registration is refused *)
+  | Warning  (** almost certainly not what the author meant *)
+  | Hint  (** a provable fact worth knowing, not a defect *)
+
+type t = {
+  code : string;  (** stable code, e.g. ["IVM001"] *)
+  severity : severity;
+  message : string;
+  context : string option;  (** source alias, relation or attribute *)
+  paper : string option;  (** paper section grounding the check *)
+}
+
+val make :
+  code:string ->
+  severity:severity ->
+  ?context:string ->
+  ?paper:string ->
+  string ->
+  t
+
+(** [Error] before [Warning] before [Hint]. *)
+val compare_severity : severity -> severity -> int
+
+(** Orders by severity, then code, then context. *)
+val compare : t -> t -> int
+
+val errors : t list -> t list
+val has_errors : t list -> bool
+
+(** Diagnostics carrying the given code. *)
+val with_code : string -> t list -> t list
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Severity-sorted listing followed by a one-line summary. *)
+val pp_report : Format.formatter -> t list -> unit

@@ -73,5 +73,11 @@ type fragment = {
     atoms away. *)
 val partition : typing -> Formula.atom list -> fragment
 
+(** Constant truth value of a comparison whose operands have different
+    types: under {!Value.compare} every integer sorts before every string,
+    so such an atom does not depend on the operand values at all.  Exposed
+    for the static analyzer's mixed-type diagnostic. *)
+val cross_type_truth : Formula.comparator -> int_on_left:bool -> bool
+
 (** Decide the integer fragment alone (with disequality expansion). *)
 val int_fragment : ?neq_budget:int -> Formula.atom list -> verdict

@@ -60,11 +60,21 @@ let database mgr = mgr.db
 let entry_opt mgr name =
   List.find_opt (fun e -> String.equal (View.name e.view) name) mgr.entries
 
+exception Rejected of Analysis.Diagnostic.t list
+
 let define_view mgr ~name ?(mode = Immediate)
-    ?(options = Maintenance.default_options) expr =
+    ?(options = Maintenance.default_options) ?(force = false) ?(keys = []) expr
+    =
   if Option.is_some (entry_opt mgr name) then
     invalid_arg (Printf.sprintf "Manager.define_view: %S already exists" name);
-  let view = View.define ~name ~db:mgr.db expr in
+  (* Lint before materializing: a rejected definition should not pay for a
+     full evaluation.  The analyzer sees the same tableau-minimized form
+     that View.define maintains. *)
+  let lookup relation = Relation.schema (Database.find mgr.db relation) in
+  let diagnostics = Analysis.Analyzer.run_expr ~keys ~lookup expr in
+  if (not force) && Analysis.Diagnostic.has_errors diagnostics then
+    raise (Rejected diagnostics);
+  let view = View.define ~keys ~name ~db:mgr.db expr in
   mgr.entries
   <- mgr.entries @ [ { view; mode; options; pending = []; stats = empty_stats } ];
   view

@@ -19,14 +19,27 @@ type t
 val create : Database.t -> t
 val database : t -> Database.t
 
-(** [define_view mgr ~name ?mode ?options expr] registers a new view,
-    materialized immediately.
+(** Registration was refused by the static analyzer: the definition
+    carries [Error]-level diagnostics (see {!Analysis.Analyzer}). *)
+exception Rejected of Analysis.Diagnostic.t list
+
+(** [define_view mgr ~name ?mode ?options expr] runs the static analyzer
+    over the definition and, when it is clean, registers the view and
+    materializes it immediately.  [keys] declares candidate keys of base
+    relations, feeding both the analyzer's Section 5.2 key-retention check
+    and {!View.duplicate_free}.  [force] registers the view even when the
+    analyzer reports [Error]-level diagnostics (it never skips the
+    analysis itself — warnings and hints remain available via
+    {!View.lint}).
+    @raise Rejected when the analyzer reports errors and [force] is unset.
     @raise Invalid_argument if the name is taken. *)
 val define_view :
   t ->
   name:string ->
   ?mode:mode ->
   ?options:Maintenance.options ->
+  ?force:bool ->
+  ?keys:Query.Keys.t ->
   Query.Expr.t ->
   View.t
 

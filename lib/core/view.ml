@@ -9,6 +9,7 @@ type t = {
   qualified : (string * Schema.t) list; (* alias -> qualified schema *)
   screens : (string, Irrelevance.screen) Hashtbl.t;
   duplicate_free : bool;
+  keys : Query.Keys.t;
 }
 
 let define ?(minimize = true) ?(keys = []) ~name ~db expr =
@@ -33,6 +34,7 @@ let define ?(minimize = true) ?(keys = []) ~name ~db expr =
     qualified;
     screens = Hashtbl.create 4;
     duplicate_free;
+    keys;
   }
 
 let name v = v.name
@@ -54,6 +56,10 @@ let screen_for v ~alias =
     let screen = Irrelevance.prepare ~lookup:v.lookup ~spj:v.spj ~alias in
     Hashtbl.replace v.screens alias screen;
     screen
+
+let lint ?keys v =
+  let keys = Option.value keys ~default:v.keys in
+  Analysis.Analyzer.run ~keys ~lookup:v.lookup v.spj
 
 let apply_delta v delta = Delta.apply delta v.state
 let recompute v db = v.state <- Query.Spj.eval v.lookup db v.spj

@@ -45,6 +45,11 @@ val qualified_schema : t -> alias:string -> Schema.t
 (** Irrelevance screen for a source, built on first use and cached. *)
 val screen_for : t -> alias:string -> Irrelevance.screen
 
+(** [lint v] runs the static analyzer (see {!Analysis.Analyzer}) over the
+    compiled definition.  [keys] defaults to the candidate keys supplied at
+    definition time. *)
+val lint : ?keys:Query.Keys.t -> t -> Analysis.Diagnostic.t list
+
 (** Apply a view delta to the contents.
     @raise Relation.Negative_count on an inconsistent delta. *)
 val apply_delta : t -> Delta.t -> unit

@@ -151,6 +151,45 @@ let join_tree ~lookup (spj : Spj.t) =
 let acyclic ~lookup spj = Option.is_some (join_tree ~lookup spj)
 
 (* ------------------------------------------------------------------ *)
+(* Source connectivity                                                *)
+(* ------------------------------------------------------------------ *)
+
+let components ~lookup (spj : Spj.t) =
+  let aliases = List.map (fun (s : Spj.source) -> s.Spj.alias) spj.Spj.sources in
+  (* Map every qualified attribute to the alias of its source; constants and
+     foreign names simply don't connect anything. *)
+  let attr_alias =
+    let table = Hashtbl.create 32 in
+    List.iter
+      (fun (s : Spj.source) ->
+        List.iter
+          (fun a -> Hashtbl.replace table a s.Spj.alias)
+          (Schema.names (Spj.qualified_schema lookup s)))
+      spj.Spj.sources;
+    fun a -> Hashtbl.find_opt table a
+  in
+  let parent = Hashtbl.create 8 in
+  List.iter
+    (fun conj ->
+      List.iter
+        (fun atom ->
+          match
+            List.sort_uniq String.compare
+              (List.filter_map attr_alias (Formula.atom_vars atom))
+          with
+          | first :: rest -> List.iter (fun other -> union parent first other) rest
+          | [] -> ())
+        conj)
+    spj.Spj.condition_dnf;
+  let roots =
+    List.sort_uniq String.compare (List.map (fun a -> find parent a) aliases)
+  in
+  List.map
+    (fun root ->
+      List.filter (fun a -> String.equal (find parent a) root) aliases)
+    roots
+
+(* ------------------------------------------------------------------ *)
 (* Yannakakis evaluation                                              *)
 (* ------------------------------------------------------------------ *)
 

@@ -30,6 +30,14 @@ val join_tree : lookup:(string -> Schema.t) -> Spj.t -> tree option
 (** [true] iff the view's equality hypergraph is acyclic. *)
 val acyclic : lookup:(string -> Schema.t) -> Spj.t -> bool
 
+(** Connected components of the source-connection graph: two sources are
+    connected when some atom of the condition (in any disjunct) mentions
+    attributes of both.  More than one component means the view contains a
+    hidden Cartesian product of the components — a structural smell the
+    static analyzer flags.  Each component lists aliases in source order;
+    components are ordered by their smallest representative. *)
+val components : lookup:(string -> Schema.t) -> Spj.t -> string list list
+
 (** [eval ~lookup ~sources spj] evaluates the SPJ with Yannakakis'
     algorithm when a join tree exists, and falls back to
     {!Planner.run} otherwise.  [sources] are [(alias, relation)] pairs

@@ -15,7 +15,7 @@ let union parent a b =
   let ra = find parent a and rb = find parent b in
   if not (Attr.equal ra rb) then Hashtbl.replace parent ra rb
 
-let projection_preserves_keys ~keys (spj : Spj.t) =
+let undetermined_sources ~keys (spj : Spj.t) =
   match spj.Spj.condition_dnf with
   | [ conj ] ->
     let parent = Hashtbl.create 16 in
@@ -41,14 +41,19 @@ let projection_preserves_keys ~keys (spj : Spj.t) =
       List.exists (Attr.equal cls) projected_classes
       || List.exists (Attr.equal cls) pinned_classes
     in
-    List.for_all
+    List.filter_map
       (fun (source : Spj.source) ->
-        match List.assoc_opt source.Spj.relation keys with
-        | None -> false
-        | Some key ->
-          key <> []
-          && List.for_all
-               (fun a -> determined (Attr.qualify ~alias:source.Spj.alias a))
-               key)
+        let preserved =
+          match List.assoc_opt source.Spj.relation keys with
+          | None -> false
+          | Some key ->
+            key <> []
+            && List.for_all
+                 (fun a -> determined (Attr.qualify ~alias:source.Spj.alias a))
+                 key
+        in
+        if preserved then None else Some source.Spj.alias)
       spj.Spj.sources
-  | _ -> false
+  | _ -> List.map (fun (s : Spj.source) -> s.Spj.alias) spj.Spj.sources
+
+let projection_preserves_keys ~keys spj = undetermined_sources ~keys spj = []

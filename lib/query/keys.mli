@@ -28,3 +28,11 @@ type t = (string * Attr.t list) list
     every counter equals 1 in every reachable state (tested by property
     P-keys in the test suite). *)
 val projection_preserves_keys : keys:t -> Spj.t -> bool
+
+(** [undetermined_sources ~keys spj] lists the aliases of sources whose
+    declared key the projection does {e not} determine — including sources
+    with no declared key at all.  Empty exactly when
+    {!projection_preserves_keys} holds.  Views with disjunctive conditions
+    conservatively report every source.  The static analyzer uses this to
+    name the sources that force multiplicity counters (Example 5.1). *)
+val undetermined_sources : keys:t -> Spj.t -> string list

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full pre-merge gate: build everything, run the test suites, and lint
+# every built-in view-definition scenario (nonzero exit on any Error
+# diagnostic).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+dune exec bin/ivm_cli.exe -- lint --all-scenarios
