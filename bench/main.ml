@@ -14,6 +14,7 @@ let sections =
     ("ablation", Bench_ablation.run);
     ("crossover", Bench_crossover.run);
     ("snapshot", Bench_snapshot.run);
+    ("obs", Bench_obs.run);
   ]
 
 let () =
@@ -32,4 +33,8 @@ let () =
         Printf.eprintf "unknown section %S; available: %s\n" name
           (String.concat " " (List.map fst sections));
         exit 1)
-    requested
+    requested;
+  (* Every harness run leaves a machine-readable perf snapshot behind,
+     regenerated from the canonical workload so it is comparable across
+     runs regardless of which sections were requested. *)
+  Bench_obs.write_snapshot ()

@@ -72,3 +72,158 @@ let pp_decision ppf d =
   Format.fprintf ppf "differential=%.0f recompute=%.0f -> %s"
     d.differential_cost d.recompute_cost
     (if d.choose_differential then "differential" else "recompute")
+
+(* ------------------------------------------------------------------ *)
+(* calibration: predicted cost units vs measured wall time             *)
+(* ------------------------------------------------------------------ *)
+
+type sample = {
+  view : string;
+  decision : decision;
+  used_differential : bool;
+  actual_ns : int;
+}
+
+let sample_capacity = 10_000
+let store_mutex = Mutex.create ()
+let store : sample Queue.t = Queue.create ()
+
+let locked f =
+  Mutex.lock store_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock store_mutex) f
+
+let record ~view ~used_differential ~actual_ns decision =
+  locked (fun () ->
+      if Queue.length store >= sample_capacity then ignore (Queue.pop store);
+      Queue.push { view; decision; used_differential; actual_ns } store);
+  if Obs.Control.enabled () then begin
+    let choice d = if d then "differential" else "recompute" in
+    Obs.Metrics.add "ivm_advisor_decisions_total"
+      ~labels:
+        [
+          ("view", view);
+          ("predicted", choice decision.choose_differential);
+          ("used", choice used_differential);
+        ]
+      1;
+    Obs.Metrics.observe "ivm_advisor_actual_ns"
+      ~labels:[ ("view", view); ("used", choice used_differential) ]
+      actual_ns;
+    Obs.Metrics.set_gauge "ivm_advisor_predicted_cost"
+      ~labels:[ ("view", view); ("strategy", "differential") ]
+      decision.differential_cost;
+    Obs.Metrics.set_gauge "ivm_advisor_predicted_cost"
+      ~labels:[ ("view", view); ("strategy", "recompute") ]
+      decision.recompute_cost
+  end
+
+let samples () = locked (fun () -> List.of_seq (Queue.to_seq store))
+let reset_samples () = locked (fun () -> Queue.clear store)
+
+type calibration = {
+  n_samples : int;
+  agreements : int;
+  scale_differential : float option;
+  scale_recompute : float option;
+  mean_abs_rel_error : float option;
+}
+
+let calibrate () =
+  let samples = samples () in
+  let n_samples = List.length samples in
+  let agreements =
+    List.length
+      (List.filter
+         (fun s -> s.decision.choose_differential = s.used_differential)
+         samples)
+  in
+  let predicted s =
+    if s.used_differential then s.decision.differential_cost
+    else s.decision.recompute_cost
+  in
+  let scale_for strategy_differential =
+    let relevant =
+      List.filter
+        (fun s -> s.used_differential = strategy_differential && predicted s > 0.0)
+        samples
+    in
+    let sum_pred = List.fold_left (fun acc s -> acc +. predicted s) 0.0 relevant in
+    let sum_actual =
+      List.fold_left (fun acc s -> acc +. float_of_int s.actual_ns) 0.0 relevant
+    in
+    if sum_pred > 0.0 then Some (sum_actual /. sum_pred) else None
+  in
+  let scale_differential = scale_for true in
+  let scale_recompute = scale_for false in
+  let errors =
+    List.filter_map
+      (fun s ->
+        let scale =
+          if s.used_differential then scale_differential else scale_recompute
+        in
+        match scale with
+        | Some scale when predicted s > 0.0 && s.actual_ns > 0 ->
+          Some
+            (Float.abs ((predicted s *. scale) -. float_of_int s.actual_ns)
+            /. float_of_int s.actual_ns)
+        | _ -> None)
+      samples
+  in
+  let mean_abs_rel_error =
+    match errors with
+    | [] -> None
+    | _ ->
+      Some
+        (List.fold_left ( +. ) 0.0 errors /. float_of_int (List.length errors))
+  in
+  { n_samples; agreements; scale_differential; scale_recompute;
+    mean_abs_rel_error }
+
+let sample_json s =
+  Obs.Json.Obj
+    [
+      ("view", Obs.Json.Str s.view);
+      ("predicted_differential", Obs.Json.Float s.decision.differential_cost);
+      ("predicted_recompute", Obs.Json.Float s.decision.recompute_cost);
+      ("chose_differential", Obs.Json.Bool s.decision.choose_differential);
+      ( "used",
+        Obs.Json.Str
+          (if s.used_differential then "differential" else "recompute") );
+      ("actual_ns", Obs.Json.Int s.actual_ns);
+    ]
+
+let samples_json ?limit () =
+  let all = samples () in
+  let all =
+    match limit with
+    | None -> all
+    | Some k ->
+      let n = List.length all in
+      if n <= k then all else List.filteri (fun i _ -> i >= n - k) all
+  in
+  Obs.Json.List (List.map sample_json all)
+
+let calibration_json () =
+  let c = calibrate () in
+  let opt = function
+    | None -> Obs.Json.Null
+    | Some x -> Obs.Json.Float x
+  in
+  Obs.Json.Obj
+    [
+      ("samples", Obs.Json.Int c.n_samples);
+      ("agreements", Obs.Json.Int c.agreements);
+      ("scale_differential_ns_per_unit", opt c.scale_differential);
+      ("scale_recompute_ns_per_unit", opt c.scale_recompute);
+      ("mean_abs_rel_error", opt c.mean_abs_rel_error);
+    ]
+
+let pp_calibration ppf c =
+  let opt ppf = function
+    | None -> Format.pp_print_string ppf "n/a"
+    | Some x -> Format.fprintf ppf "%.3g" x
+  in
+  Format.fprintf ppf
+    "%d samples, %d/%d agree; scale diff=%a rec=%a ns/unit; mean |rel err| %a"
+    c.n_samples c.agreements c.n_samples opt c.scale_differential opt
+    c.scale_recompute opt c.mean_abs_rel_error

@@ -33,3 +33,59 @@ type decision = {
 val decide : View.t -> db:Relalg.Database.t -> net:Relalg.Transaction.net -> decision
 
 val pp_decision : Format.formatter -> decision -> unit
+
+(** {2 Calibration}
+
+    The model predicts abstract cost units; the pipeline measures wall
+    time.  Recording every (prediction, measured ns) pair — on {e every}
+    commit, not only when the strategy is [Adaptive] — accumulates the
+    data needed to validate and recalibrate the model: a least-squares
+    scale (ns per cost unit) per strategy, and the mean relative error of
+    the scaled prediction.  The store is a bounded in-memory ring
+    ({!sample_capacity} newest samples); {!record} also feeds the
+    [ivm_advisor_*] metrics in {!Obs.Metrics} when telemetry is on. *)
+
+type sample = {
+  view : string;
+  decision : decision;
+  used_differential : bool;  (** strategy actually executed *)
+  actual_ns : int;  (** measured wall time of the maintenance *)
+}
+
+val sample_capacity : int
+
+(** [record ~view ~used_differential ~actual_ns decision] appends one
+    calibration sample (oldest dropped past capacity). *)
+val record :
+  view:string -> used_differential:bool -> actual_ns:int -> decision -> unit
+
+(** Newest-last; at most {!sample_capacity}. *)
+val samples : unit -> sample list
+
+val reset_samples : unit -> unit
+
+type calibration = {
+  n_samples : int;
+  agreements : int;
+      (** samples where the model's choice matches the strategy used *)
+  scale_differential : float option;
+      (** ns per differential cost unit: [sum actual / sum predicted] over
+          samples that ran differentially; [None] without such samples *)
+  scale_recompute : float option;
+  mean_abs_rel_error : float option;
+      (** mean of [|scaled prediction - actual| / actual] over all samples
+          whose strategy has a scale *)
+}
+
+val calibrate : unit -> calibration
+val pp_calibration : Format.formatter -> calibration -> unit
+
+(** {2 JSON export} — used by [ivm_cli stats --json] and the bench
+    snapshot ([BENCH_IVM.json]). *)
+
+(** The newest [limit] samples (all, by default) as a JSON array of
+    [{view, predicted_differential, predicted_recompute,
+    chose_differential, used, actual_ns}] objects. *)
+val samples_json : ?limit:int -> unit -> Obs.Json.t
+
+val calibration_json : unit -> Obs.Json.t

@@ -112,22 +112,37 @@ let eval ?(order = `Greedy) ?(join_impl = `Hash) ?(reuse = false)
       | `Deletes -> Relation.union_into ~into:out.Delta.deletes relation
     in
     let rows_evaluated = List.length tasks in
+    let part_name = function `Inserts -> "inserts" | `Deletes -> "deletes" in
     if reuse then begin
+      (* Shared-prefix evaluation runs all rows as one batch, so the rows
+         cannot be traced individually; one span covers the batch. *)
       let results =
-        Query.Planner.run_many ~join_impl
-          ~variants:(List.map snd tasks)
-          ~condition_dnf:spj.Query.Spj.condition_dnf
-          ~projection:spj.Query.Spj.projection ()
+        Obs.Span.with_span "row"
+          ~args:(fun () ->
+            [ ("mode", Obs.Json.Str "reuse"); ("rows", Obs.Json.Int rows_evaluated) ])
+          (fun () ->
+            Query.Planner.run_many ~join_impl
+              ~variants:(List.map snd tasks)
+              ~condition_dnf:spj.Query.Spj.condition_dnf
+              ~projection:spj.Query.Spj.projection ())
       in
       List.iter2 (fun (part, _) r -> merge (part, r)) tasks results
     end
     else
-      List.iter
-        (fun (part, sources) ->
+      List.iteri
+        (fun row_index (part, sources) ->
           let r =
-            Query.Planner.run ~order ~join_impl ~sources
-              ~condition_dnf:spj.Query.Spj.condition_dnf
-              ~projection:spj.Query.Spj.projection ()
+            Obs.Span.with_span "row"
+              ~args:(fun () ->
+                [
+                  ("row", Obs.Json.Int row_index);
+                  ("part", Obs.Json.Str (part_name part));
+                  ("operands", Obs.Json.Int (List.length sources));
+                ])
+              (fun () ->
+                Query.Planner.run ~order ~join_impl ~sources
+                  ~condition_dnf:spj.Query.Spj.condition_dnf
+                  ~projection:spj.Query.Spj.projection ())
           in
           merge (part, r))
         tasks;

@@ -266,6 +266,12 @@ let screen_delta_stats screen (d : Delta.t) =
   let screened =
     { Delta.inserts = filter d.Delta.inserts; deletes = filter d.Delta.deletes }
   in
+  (* Bulk counter updates after the per-tuple loop: the hot path stays
+     free of telemetry except for this one guarded pair of adds. *)
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.add "ivm_screen_kept_total" !kept;
+    Obs.Metrics.add "ivm_screen_dropped_total" !dropped
+  end;
   (screened, (!kept, !dropped))
 
 let screen_delta screen d = fst (screen_delta_stats screen d)

@@ -34,7 +34,33 @@ type report = {
   rows_evaluated : int;
   delta_inserts : int;
   delta_deletes : int;
+  screen_ns : int;
+  eval_ns : int;
+  apply_ns : int;
+  total_ns : int;
+  advisor : Advisor.decision option;
 }
+
+let empty_report ~view_name ~strategy_used =
+  {
+    view_name;
+    strategy_used;
+    screened_out = 0;
+    screened_kept = 0;
+    rows_evaluated = 0;
+    delta_inserts = 0;
+    delta_deletes = 0;
+    screen_ns = 0;
+    eval_ns = 0;
+    apply_ns = 0;
+    total_ns = 0;
+    advisor = None;
+  }
+
+let strategy_name = function
+  | Differential -> "differential"
+  | Recompute -> "recompute"
+  | Adaptive -> "adaptive"
 
 let resolve_strategy options view ~db ~net =
   match options.strategy with
@@ -45,21 +71,68 @@ let resolve_strategy options view ~db ~net =
       Differential
     else Recompute
 
+(* [resolve_with_decision] always evaluates the cost model, so its
+   prediction can be recorded against the measured cost even when the
+   strategy is forced — that is what calibrates the advisor. *)
+let resolve_with_decision options view ~db ~net =
+  let decision = Advisor.decide view ~db ~net in
+  let strategy =
+    match options.strategy with
+    | Differential -> Differential
+    | Recompute -> Recompute
+    | Adaptive ->
+      if decision.Advisor.choose_differential then Differential else Recompute
+  in
+  (strategy, decision)
+
 let pp_report ppf r =
   Format.fprintf ppf
-    "%s: %s, screened %d/%d irrelevant, %d rows, +%d -%d view tuples"
+    "%s: %s, screened %d/%d irrelevant, %d rows, +%d -%d view tuples, %s"
     r.view_name
-    (match r.strategy_used with
-    | Differential -> "differential"
-    | Recompute -> "recompute"
-    | Adaptive -> "adaptive")
+    (strategy_name r.strategy_used)
     r.screened_out
     (r.screened_out + r.screened_kept)
     r.rows_evaluated r.delta_inserts r.delta_deletes
+    (Obs.Summary.fmt_ns r.total_ns);
+  match r.advisor with
+  | None -> ()
+  | Some d -> Format.fprintf ppf " [advisor: %a]" Advisor.pp_decision d
+
+(* Feed one finished report into the metrics registry (no-op when
+   telemetry is off). *)
+let record_report r =
+  if Obs.Control.enabled () then begin
+    let view_label = [ ("view", r.view_name) ] in
+    Obs.Metrics.observe "ivm_maintenance_ns" ~labels:view_label r.total_ns;
+    Obs.Metrics.add "ivm_commits_total"
+      ~labels:
+        (view_label @ [ ("strategy", strategy_name r.strategy_used) ])
+      1;
+    if r.screen_ns > 0 then
+      Obs.Metrics.observe "ivm_phase_ns"
+        ~labels:(view_label @ [ ("phase", "screen") ])
+        r.screen_ns;
+    if r.eval_ns > 0 then
+      Obs.Metrics.observe "ivm_phase_ns"
+        ~labels:(view_label @ [ ("phase", "eval") ])
+        r.eval_ns;
+    if r.apply_ns > 0 then
+      Obs.Metrics.observe "ivm_phase_ns"
+        ~labels:(view_label @ [ ("phase", "apply") ])
+        r.apply_ns;
+    Obs.Metrics.add "ivm_rows_evaluated_total" ~labels:view_label
+      r.rows_evaluated;
+    Obs.Metrics.add "ivm_view_tuples_inserted_total" ~labels:view_label
+      r.delta_inserts;
+    Obs.Metrics.add "ivm_view_tuples_deleted_total" ~labels:view_label
+      r.delta_deletes
+  end
 
 let view_delta ?(options = default_options) view ~db ~net =
+  let t_start = Obs.Clock.now_ns () in
   let spj = View.spj view in
   let screened_out = ref 0 and screened_kept = ref 0 in
+  let screen_ns = ref 0 in
   let inputs =
     List.map
       (fun (source : Query.Spj.source) ->
@@ -73,9 +146,27 @@ let view_delta ?(options = default_options) view ~db ~net =
             let raw = Delta.of_lists qualified (inserts, deletes) in
             if options.screen then begin
               let screen = View.screen_for view ~alias:source.Query.Spj.alias in
-              let screened, (kept, out) =
-                Irrelevance.screen_delta_stats screen raw
+              let t0 = Obs.Clock.now_ns () in
+              let row_stats = ref (0, 0) in
+              let screened =
+                Obs.Span.with_span "screen"
+                  ~args:(fun () ->
+                    let kept, out = !row_stats in
+                    [
+                      ("view", Obs.Json.Str (View.name view));
+                      ("alias", Obs.Json.Str source.Query.Spj.alias);
+                      ("kept", Obs.Json.Int kept);
+                      ("out", Obs.Json.Int out);
+                    ])
+                  (fun () ->
+                    let screened, stats =
+                      Irrelevance.screen_delta_stats screen raw
+                    in
+                    row_stats := stats;
+                    screened)
               in
+              screen_ns := !screen_ns + (Obs.Clock.now_ns () - t0);
+              let kept, out = !row_stats in
               screened_kept := !screened_kept + kept;
               screened_out := !screened_out + out;
               Some screened
@@ -85,10 +176,15 @@ let view_delta ?(options = default_options) view ~db ~net =
         { Delta_eval.alias = source.Query.Spj.alias; old_part; delta })
       spj.Query.Spj.sources
   in
+  let t_eval = Obs.Clock.now_ns () in
   let result =
-    Delta_eval.eval ~order:options.order ~join_impl:options.join_impl
-      ~reuse:options.reuse ~spj ~inputs ()
+    Obs.Span.with_span "eval"
+      ~args:(fun () -> [ ("view", Obs.Json.Str (View.name view)) ])
+      (fun () ->
+        Delta_eval.eval ~order:options.order ~join_impl:options.join_impl
+          ~reuse:options.reuse ~spj ~inputs ())
   in
+  let eval_ns = Obs.Clock.now_ns () - t_eval in
   let delta = result.Delta_eval.delta in
   Log.debug (fun m ->
       m "view %s: %d rows evaluated, +%d -%d, screened %d/%d"
@@ -106,61 +202,139 @@ let view_delta ?(options = default_options) view ~db ~net =
       rows_evaluated = result.Delta_eval.rows_evaluated;
       delta_inserts = Relation.total delta.Delta.inserts;
       delta_deletes = Relation.total delta.Delta.deletes;
+      screen_ns = !screen_ns;
+      eval_ns;
+      apply_ns = 0;
+      total_ns = Obs.Clock.now_ns () - t_start;
+      advisor = None;
     } )
 
 let apply_deletes db net =
-  List.iter
-    (fun (name, (_, deletes)) ->
-      let r = Database.find db name in
-      List.iter (fun t -> Relation.remove r t) deletes)
-    net
+  Obs.Span.with_span "apply"
+    ~args:(fun () ->
+      [ ("target", Obs.Json.Str "base"); ("part", Obs.Json.Str "deletes") ])
+    (fun () ->
+      List.iter
+        (fun (name, (_, deletes)) ->
+          let r = Database.find db name in
+          List.iter (fun t -> Relation.remove r t) deletes)
+        net)
 
 let apply_inserts db net =
-  List.iter
-    (fun (name, (inserts, _)) ->
-      let r = Database.find db name in
-      List.iter (fun t -> Relation.add r t) inserts)
-    net
+  Obs.Span.with_span "apply"
+    ~args:(fun () ->
+      [ ("target", Obs.Json.Str "base"); ("part", Obs.Json.Str "inserts") ])
+    (fun () ->
+      List.iter
+        (fun (name, (inserts, _)) ->
+          let r = Database.find db name in
+          List.iter (fun t -> Relation.add r t) inserts)
+        net)
+
+(* Differential maintenance of one view against a netted update set whose
+   deletions are already installed: evaluate, then apply the view delta,
+   completing the report's timing fields. *)
+let maintain_differential ~options ~decision view ~db ~net =
+  let t0 = Obs.Clock.now_ns () in
+  let delta, report = view_delta ~options view ~db ~net in
+  let t_apply = Obs.Clock.now_ns () in
+  Obs.Span.with_span "apply"
+    ~args:(fun () ->
+      [
+        ("target", Obs.Json.Str "view");
+        ("view", Obs.Json.Str (View.name view));
+      ])
+    (fun () -> View.apply_delta view delta);
+  let now = Obs.Clock.now_ns () in
+  let report =
+    {
+      report with
+      apply_ns = now - t_apply;
+      total_ns = now - t0;
+      advisor = decision;
+    }
+  in
+  record_report report;
+  (match decision with
+  | Some d ->
+    Advisor.record ~view:report.view_name ~used_differential:true
+      ~actual_ns:report.total_ns d
+  | None -> ());
+  report
+
+let maintain_recompute ~decision view ~db =
+  let t0 = Obs.Clock.now_ns () in
+  Obs.Span.with_span "recompute"
+    ~args:(fun () -> [ ("view", Obs.Json.Str (View.name view)) ])
+    (fun () -> View.recompute view db);
+  let total_ns = Obs.Clock.now_ns () - t0 in
+  let report =
+    {
+      (empty_report ~view_name:(View.name view) ~strategy_used:Recompute) with
+      total_ns;
+      advisor = decision;
+    }
+  in
+  record_report report;
+  (match decision with
+  | Some d ->
+    Advisor.record ~view:report.view_name ~used_differential:false
+      ~actual_ns:total_ns d
+  | None -> ());
+  report
 
 let process ?(options = default_options) ?(options_for = fun _ -> None) ~views
     ~db txn =
-  let net = Transaction.net_effect db txn in
-  Log.info (fun m ->
-      m "commit: %d ops, %d relations touched, %d views" (List.length txn)
-        (List.length net) (List.length views));
-  let options_of view =
-    Option.value ~default:options (options_for (View.name view))
-  in
-  let differential, recomputed =
-    List.partition
-      (fun v -> resolve_strategy (options_of v) v ~db ~net = Differential)
-      views
-  in
-  apply_deletes db net;
-  let reports =
-    List.map
-      (fun view ->
-        let delta, report =
-          view_delta ~options:(options_of view) view ~db ~net
-        in
-        View.apply_delta view delta;
-        report)
-      differential
-  in
-  apply_inserts db net;
-  let recompute_reports =
-    List.map
-      (fun view ->
-        View.recompute view db;
-        {
-          view_name = View.name view;
-          strategy_used = Recompute;
-          screened_out = 0;
-          screened_kept = 0;
-          rows_evaluated = 0;
-          delta_inserts = 0;
-          delta_deletes = 0;
-        })
-      recomputed
-  in
-  reports @ recompute_reports
+  Obs.Span.with_span "commit"
+    ~args:(fun () -> [ ("views", Obs.Json.Int (List.length views)) ])
+    (fun () ->
+      let net =
+        Obs.Span.with_span "net"
+          ~args:(fun () -> [ ("ops", Obs.Json.Int (List.length txn)) ])
+          (fun () -> Transaction.net_effect db txn)
+      in
+      Log.info (fun m ->
+          m "commit: %d ops, %d relations touched, %d views" (List.length txn)
+            (List.length net) (List.length views));
+      let options_of view =
+        Option.value ~default:options (options_for (View.name view))
+      in
+      (* Resolve strategies against the pre-state; the decision is kept
+         only when the advisor actually ran (Adaptive), the low-level API
+         leaves always-on calibration to Manager. *)
+      let resolved =
+        List.map
+          (fun view ->
+            let view_options = options_of view in
+            match view_options.strategy with
+            | Differential -> (view, view_options, Differential, None)
+            | Recompute -> (view, view_options, Recompute, None)
+            | Adaptive ->
+              let strategy, decision =
+                resolve_with_decision view_options view ~db ~net
+              in
+              (view, view_options, strategy, Some decision))
+          views
+      in
+      apply_deletes db net;
+      let reports =
+        List.filter_map
+          (fun (view, view_options, strategy, decision) ->
+            match strategy with
+            | Recompute -> None
+            | Differential | Adaptive ->
+              Some
+                (maintain_differential ~options:view_options ~decision view
+                   ~db ~net))
+          resolved
+      in
+      apply_inserts db net;
+      let recompute_reports =
+        List.filter_map
+          (fun (view, _, strategy, decision) ->
+            match strategy with
+            | Recompute -> Some (maintain_recompute ~decision view ~db)
+            | Differential | Adaptive -> None)
+          resolved
+      in
+      reports @ recompute_reports)

@@ -46,6 +46,18 @@ val resolve_strategy :
   net:Transaction.net ->
   strategy
 
+(** Like {!resolve_strategy} but always evaluates {!Advisor.decide} and
+    returns the decision, so callers can record the prediction against
+    the measured cost even when the strategy is forced. *)
+val resolve_with_decision :
+  options ->
+  View.t ->
+  db:Database.t ->
+  net:Transaction.net ->
+  strategy * Advisor.decision
+
+val strategy_name : strategy -> string
+
 type report = {
   view_name : string;
   strategy_used : strategy;  (** always [Differential] or [Recompute] *)
@@ -54,9 +66,40 @@ type report = {
   rows_evaluated : int;
   delta_inserts : int;  (** counted tuples inserted into the view *)
   delta_deletes : int;
+  screen_ns : int;  (** wall time in Theorem 4.1 screening *)
+  eval_ns : int;  (** wall time evaluating truth-table rows *)
+  apply_ns : int;  (** wall time installing the view delta *)
+  total_ns : int;  (** whole maintenance of this view, including apply *)
+  advisor : Advisor.decision option;
+      (** the cost-model prediction for this transaction, when it ran *)
 }
 
+(** A zeroed report (timing fields included). *)
+val empty_report : view_name:string -> strategy_used:strategy -> report
+
 val pp_report : Format.formatter -> report -> unit
+
+(** Feed a finished report into the [ivm_*] metrics of the default
+    {!Obs.Metrics} registry; no-op while telemetry is off. *)
+val record_report : report -> unit
+
+(** [maintain_differential ~options ~decision view ~db ~net] runs
+    {!view_delta} and applies the result to the view, returning the report
+    with [apply_ns]/[total_ns] filled, metrics recorded, and — when
+    [decision] is given — an {!Advisor.record} calibration sample taken.
+    [db] must be in the deletions-applied intermediate state. *)
+val maintain_differential :
+  options:options ->
+  decision:Advisor.decision option ->
+  View.t ->
+  db:Database.t ->
+  net:Transaction.net ->
+  report
+
+(** Recompute counterpart of {!maintain_differential}; [db] must be in the
+    final (insertions-applied) state. *)
+val maintain_recompute :
+  decision:Advisor.decision option -> View.t -> db:Database.t -> report
 
 (** [view_delta ?options view ~db ~net] computes the view delta.  [db] must
     be in the deletions-applied intermediate state and [net] is the

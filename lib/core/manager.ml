@@ -12,6 +12,11 @@ type stats = {
   tuples_inserted : int;
   tuples_deleted : int;
   recomputations : int;
+  maintenance_ns : int;
+  advisor_decisions : int;
+  advisor_agreements : int;
+  predicted_differential_cost : float;
+  predicted_recompute_cost : float;
 }
 
 let empty_stats =
@@ -23,9 +28,19 @@ let empty_stats =
     tuples_inserted = 0;
     tuples_deleted = 0;
     recomputations = 0;
+    maintenance_ns = 0;
+    advisor_decisions = 0;
+    advisor_agreements = 0;
+    predicted_differential_cost = 0.0;
+    predicted_recompute_cost = 0.0;
   }
 
 let add_report stats (r : Maintenance.report) =
+  let used_differential =
+    match r.Maintenance.strategy_used with
+    | Maintenance.Recompute -> false
+    | Maintenance.Differential | Maintenance.Adaptive -> true
+  in
   {
     commits = stats.commits + 1;
     rows_evaluated = stats.rows_evaluated + r.Maintenance.rows_evaluated;
@@ -33,12 +48,29 @@ let add_report stats (r : Maintenance.report) =
     screened_kept = stats.screened_kept + r.Maintenance.screened_kept;
     tuples_inserted = stats.tuples_inserted + r.Maintenance.delta_inserts;
     tuples_deleted = stats.tuples_deleted + r.Maintenance.delta_deletes;
-    recomputations =
-      (stats.recomputations
+    recomputations = (stats.recomputations + if used_differential then 0 else 1);
+    maintenance_ns = stats.maintenance_ns + r.Maintenance.total_ns;
+    advisor_decisions =
+      (stats.advisor_decisions
+      + match r.Maintenance.advisor with Some _ -> 1 | None -> 0);
+    advisor_agreements =
+      (stats.advisor_agreements
       +
-      match r.Maintenance.strategy_used with
-      | Maintenance.Recompute -> 1
-      | Maintenance.Differential | Maintenance.Adaptive -> 0);
+      match r.Maintenance.advisor with
+      | Some d when d.Advisor.choose_differential = used_differential -> 1
+      | Some _ | None -> 0);
+    predicted_differential_cost =
+      (stats.predicted_differential_cost
+      +.
+      match r.Maintenance.advisor with
+      | Some d -> d.Advisor.differential_cost
+      | None -> 0.0);
+    predicted_recompute_cost =
+      (stats.predicted_recompute_cost
+      +.
+      match r.Maintenance.advisor with
+      | Some d -> d.Advisor.recompute_cost
+      | None -> 0.0);
   }
 
 type entry = {
@@ -93,12 +125,30 @@ let stats mgr name = (entry mgr name).stats
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d commits (%d recomputed), %d rows evaluated, screened %d/%d, +%d -%d \
-     view tuples"
+     view tuples, %s maintenance"
     s.commits s.recomputations s.rows_evaluated s.screened_out
     (s.screened_out + s.screened_kept)
     s.tuples_inserted s.tuples_deleted
+    (Obs.Summary.fmt_ns s.maintenance_ns);
+  if s.advisor_decisions > 0 then
+    Format.fprintf ppf
+      "; advisor: %d/%d agree, predicted diff=%.0f rec=%.0f units"
+      s.advisor_agreements s.advisor_decisions s.predicted_differential_cost
+      s.predicted_recompute_cost
+
 let view_names mgr = List.map (fun e -> View.name e.view) mgr.entries
 let pending mgr name = (entry mgr name).pending
+
+(* Does this transaction's net effect touch any source of the view?  The
+   advisor's prediction is only a calibration sample when there is actual
+   maintenance work to measure. *)
+let net_touches view net =
+  List.exists
+    (fun (s : Query.Spj.source) ->
+      match List.assoc_opt s.Query.Spj.relation net with
+      | Some (inserts, deletes) -> inserts <> [] || deletes <> []
+      | None -> false)
+    (View.spj view).Query.Spj.sources
 
 (* Accumulate a transaction's net effect into a deferred view's pending
    deltas, composing with what is already queued. *)
@@ -125,63 +175,74 @@ let accumulate mgr e net =
     net
 
 let commit mgr txn =
-  let net = Transaction.net_effect mgr.db txn in
-  (* Resolve adaptive strategies against the pre-state, before any part of
-     the net effect is installed. *)
-  let resolved =
-    List.map
-      (fun e ->
-        ( e,
-          match e.mode with
-          | Deferred -> Maintenance.Differential (* decided at refresh *)
-          | Immediate ->
-            Maintenance.resolve_strategy e.options e.view ~db:mgr.db ~net ))
-      mgr.entries
-  in
-  Maintenance.apply_deletes mgr.db net;
-  let reports =
-    List.filter_map
-      (fun (e, strategy) ->
-        match e.mode, strategy with
-        | Deferred, _ -> None
-        | Immediate, Maintenance.Recompute ->
-          None (* recomputed below, against the post-state *)
-        | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
-          let delta, report =
-            Maintenance.view_delta ~options:e.options e.view ~db:mgr.db ~net
-          in
-          View.apply_delta e.view delta;
-          e.stats <- add_report e.stats report;
-          Some report)
-      resolved
-  in
-  Maintenance.apply_inserts mgr.db net;
-  let recompute_reports =
-    List.filter_map
-      (fun (e, strategy) ->
-        match e.mode, strategy with
-        | Immediate, Maintenance.Recompute ->
-          View.recompute e.view mgr.db;
-          let report =
-            {
-              Maintenance.view_name = View.name e.view;
-              strategy_used = Maintenance.Recompute;
-              screened_out = 0;
-              screened_kept = 0;
-              rows_evaluated = 0;
-              delta_inserts = 0;
-              delta_deletes = 0;
-            }
-          in
-          e.stats <- add_report e.stats report;
-          Some report
-        | Immediate, (Maintenance.Differential | Maintenance.Adaptive) -> None
-        | Deferred, _ ->
-          accumulate mgr e net;
-          None)
-      resolved
-  in
-  reports @ recompute_reports
+  Obs.Span.with_span "commit"
+    ~args:(fun () -> [ ("views", Obs.Json.Int (List.length mgr.entries)) ])
+    (fun () ->
+      let net =
+        Obs.Span.with_span "net"
+          ~args:(fun () -> [ ("ops", Obs.Json.Int (List.length txn)) ])
+          (fun () -> Transaction.net_effect mgr.db txn)
+      in
+      (* Resolve strategies against the pre-state, before any part of the
+         net effect is installed.  The advisor runs for every immediate
+         view the transaction touches — also under forced strategies — so
+         the cost model accumulates calibration data on every commit. *)
+      let resolved =
+        List.map
+          (fun e ->
+            match e.mode with
+            | Deferred ->
+              (e, Maintenance.Differential, None) (* decided at refresh *)
+            | Immediate ->
+              if net_touches e.view net then begin
+                let strategy, decision =
+                  Maintenance.resolve_with_decision e.options e.view ~db:mgr.db
+                    ~net
+                in
+                (e, strategy, Some decision)
+              end
+              else
+                ( e,
+                  Maintenance.resolve_strategy e.options e.view ~db:mgr.db ~net,
+                  None ))
+          mgr.entries
+      in
+      Maintenance.apply_deletes mgr.db net;
+      let reports =
+        List.filter_map
+          (fun (e, strategy, decision) ->
+            match e.mode, strategy with
+            | Deferred, _ -> None
+            | Immediate, Maintenance.Recompute ->
+              None (* recomputed below, against the post-state *)
+            | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
+              let report =
+                Maintenance.maintain_differential ~options:e.options ~decision
+                  e.view ~db:mgr.db ~net
+              in
+              e.stats <- add_report e.stats report;
+              Some report)
+          resolved
+      in
+      Maintenance.apply_inserts mgr.db net;
+      let recompute_reports =
+        List.filter_map
+          (fun (e, strategy, decision) ->
+            match e.mode, strategy with
+            | Immediate, Maintenance.Recompute ->
+              let report =
+                Maintenance.maintain_recompute ~decision e.view ~db:mgr.db
+              in
+              e.stats <- add_report e.stats report;
+              Some report
+            | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
+              None
+            | Deferred, _ ->
+              accumulate mgr e net;
+              None)
+          resolved
+      in
+      reports @ recompute_reports)
 
 (* Snapshot refresh: the current base state S is S0 U i_N - d_N relative to
    the view's last refresh point S0; the old parts the truth table needs
@@ -194,50 +255,49 @@ let refresh mgr name =
   | Deferred ->
     if e.pending = [] then
       Some
-        {
-          Maintenance.view_name = name;
-          strategy_used = Maintenance.Differential;
-          screened_out = 0;
-          screened_kept = 0;
-          rows_evaluated = 0;
-          delta_inserts = 0;
-          delta_deletes = 0;
-        }
-    else begin
-      let net =
-        Transaction.of_sets
-          (List.map
-             (fun (relation, (d : Delta.t)) ->
-               ( relation,
-                 ( List.map fst (Relation.elements d.Delta.inserts),
-                   List.map fst (Relation.elements d.Delta.deletes) ) ))
-             e.pending)
-      in
-      List.iter
-        (fun (relation, (inserts, _)) ->
-          let r = Database.find mgr.db relation in
-          List.iter (fun t -> Relation.remove r t) inserts)
-        net;
-      let result =
-        match Maintenance.view_delta ~options:e.options e.view ~db:mgr.db ~net
-        with
-        | result -> Ok result
-        | exception exn -> Error exn
-      in
-      (* Restore the insertions even if evaluation failed. *)
-      List.iter
-        (fun (relation, (inserts, _)) ->
-          let r = Database.find mgr.db relation in
-          List.iter (fun t -> Relation.add r t) inserts)
-        net;
-      match result with
-      | Error exn -> raise exn
-      | Ok (delta, report) ->
-        View.apply_delta e.view delta;
-        e.pending <- [];
-        e.stats <- add_report e.stats report;
-        Some report
-    end
+        (Maintenance.empty_report ~view_name:name
+           ~strategy_used:Maintenance.Differential)
+    else
+      Obs.Span.with_span "refresh"
+        ~args:(fun () -> [ ("view", Obs.Json.Str name) ])
+        (fun () ->
+          let net =
+            Transaction.of_sets
+              (List.map
+                 (fun (relation, (d : Delta.t)) ->
+                   ( relation,
+                     ( List.map fst (Relation.elements d.Delta.inserts),
+                       List.map fst (Relation.elements d.Delta.deletes) ) ))
+                 e.pending)
+          in
+          (* The deferred drain always runs differentially, but the
+             decision is still recorded for calibration. *)
+          let decision = Advisor.decide e.view ~db:mgr.db ~net in
+          List.iter
+            (fun (relation, (inserts, _)) ->
+              let r = Database.find mgr.db relation in
+              List.iter (fun t -> Relation.remove r t) inserts)
+            net;
+          let result =
+            match
+              Maintenance.maintain_differential ~options:e.options
+                ~decision:(Some decision) e.view ~db:mgr.db ~net
+            with
+            | report -> Ok report
+            | exception exn -> Error exn
+          in
+          (* Restore the insertions even if evaluation failed. *)
+          List.iter
+            (fun (relation, (inserts, _)) ->
+              let r = Database.find mgr.db relation in
+              List.iter (fun t -> Relation.add r t) inserts)
+            net;
+          match result with
+          | Error exn -> raise exn
+          | Ok report ->
+            e.pending <- [];
+            e.stats <- add_report e.stats report;
+            Some report)
 
 let refresh_all mgr =
   List.filter_map (fun e -> refresh mgr (View.name e.view)) mgr.entries

@@ -71,7 +71,12 @@ val refresh : t -> string -> Maintenance.report option
 
 val refresh_all : t -> Maintenance.report list
 
-(** Cumulative per-view maintenance statistics since definition. *)
+(** Cumulative per-view maintenance statistics since definition.
+
+    The advisor fields accumulate on every commit that touches the view's
+    relations — also when the strategy is forced to [Differential] or
+    [Recompute] — so the cost model gathers calibration data regardless of
+    policy (see {!Advisor.calibrate} for the fitted scales). *)
 type stats = {
   commits : int;  (** transactions that touched the view's relations *)
   rows_evaluated : int;
@@ -80,6 +85,12 @@ type stats = {
   tuples_inserted : int;  (** counted, into the view *)
   tuples_deleted : int;
   recomputations : int;  (** commits resolved to the recompute strategy *)
+  maintenance_ns : int;  (** wall time spent maintaining this view *)
+  advisor_decisions : int;  (** cost-model predictions recorded *)
+  advisor_agreements : int;
+      (** predictions matching the strategy actually used *)
+  predicted_differential_cost : float;  (** cumulative, model units *)
+  predicted_recompute_cost : float;
 }
 
 (** Statistics for one view.

@@ -1,0 +1,10 @@
+let epoch = Unix.gettimeofday ()
+let source : (unit -> int) option ref = ref None
+let default_ns () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
+
+let now_ns () =
+  match !source with
+  | None -> default_ns ()
+  | Some f -> f ()
+
+let set_source s = source := s

@@ -1,0 +1,16 @@
+(** Nanosecond clock for spans and latency histograms.
+
+    Timestamps are relative to process start (an epoch captured at module
+    initialization), which keeps the full double precision of the
+    underlying time source over any realistic run length and makes trace
+    timestamps small and readable.  The default source is
+    [Unix.gettimeofday]; within one process the offsets behave
+    monotonically for the micro-to-millisecond spans we measure. *)
+
+(** Nanoseconds since process start. *)
+val now_ns : unit -> int
+
+(** [set_source (Some f)] replaces the clock with [f] — used by tests to
+    make span durations deterministic; [set_source None] restores the
+    default. *)
+val set_source : (unit -> int) option -> unit

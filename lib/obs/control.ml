@@ -1,0 +1,9 @@
+let flag = Atomic.make false
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+let enabled () = Atomic.get flag
+
+let with_enabled f =
+  let previous = Atomic.get flag in
+  Atomic.set flag true;
+  Fun.protect ~finally:(fun () -> Atomic.set flag previous) f

@@ -1,0 +1,15 @@
+(** Global switch for the telemetry subsystem.
+
+    Spans and metrics are recorded only while the switch is on; every
+    instrumentation point guards on {!enabled} first, so with the switch
+    off (the default) the cost of an instrumented call site is one atomic
+    load and a branch.  The switch is process-wide: the CLI exposes it as
+    [--no-obs], the bench harness and tests turn it on explicitly. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [with_enabled f] runs [f] with telemetry on, restoring the previous
+    state afterwards (also on exceptions). *)
+val with_enabled : (unit -> 'a) -> 'a

@@ -1,0 +1,30 @@
+(** Minimal JSON tree, printer and parser.
+
+    The telemetry library exports machine-readable artifacts (Chrome
+    traces, metric snapshots, bench snapshots) and the CI gate re-parses
+    them, all without pulling a JSON dependency into the build.  The
+    printer always emits valid JSON (strings are escaped, non-finite
+    floats degrade to [null]); the parser accepts standard JSON with the
+    usual whitespace rules and [\uXXXX] escapes (decoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** [to_file path t] writes [t] followed by a newline. *)
+val to_file : string -> t -> unit
+
+(** [parse s] parses exactly one JSON value (trailing whitespace allowed).
+    Returns [Error message] with an offset on malformed input. *)
+val parse : string -> (t, string) result
+
+(** [member key t] looks up [key] when [t] is an object. *)
+val member : string -> t -> t option

@@ -1,0 +1,222 @@
+type labels = (string * string) list
+
+let buckets_count = 63
+
+type hist = {
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type cell =
+  | Counter of int ref
+  | Gauge of float ref
+  | Histogram of hist
+
+type key = string * labels
+
+let mutex = Mutex.create ()
+let table : (key, cell) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let canonical labels = List.sort compare labels
+
+let cell_kind = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create name labels make =
+  let key = (name, canonical labels) in
+  match Hashtbl.find_opt table key with
+  | Some cell -> cell
+  | None ->
+    let cell = make () in
+    Hashtbl.add table key cell;
+    cell
+
+let wrong_kind name cell expected =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %S is a %s, not a %s" name (cell_kind cell)
+       expected)
+
+let add ?(labels = []) name delta =
+  if Control.enabled () then
+    locked (fun () ->
+        match find_or_create name labels (fun () -> Counter (ref 0)) with
+        | Counter r -> r := !r + delta
+        | cell -> wrong_kind name cell "counter")
+
+let set_gauge ?(labels = []) name value =
+  if Control.enabled () then
+    locked (fun () ->
+        match find_or_create name labels (fun () -> Gauge (ref 0.0)) with
+        | Gauge r -> r := value
+        | cell -> wrong_kind name cell "gauge")
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let rec go v b = if v <= 1 then b else go (v lsr 1) (b + 1) in
+    min (buckets_count - 1) (go v 0)
+  end
+
+let bucket_estimate b = if b = 0 then 1.0 else 1.5 *. (2.0 ** float_of_int b)
+
+let new_hist () =
+  Histogram
+    {
+      buckets = Array.make buckets_count 0;
+      h_count = 0;
+      h_sum = 0;
+      h_min = max_int;
+      h_max = 0;
+    }
+
+let observe ?(labels = []) name v =
+  if Control.enabled () then
+    locked (fun () ->
+        match find_or_create name labels new_hist with
+        | Histogram h ->
+          let v = max 0 v in
+          h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum + v;
+          if v < h.h_min then h.h_min <- v;
+          if v > h.h_max then h.h_max <- v
+        | cell -> wrong_kind name cell "histogram")
+
+(* ------------------------------------------------------------------ *)
+(* reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lookup name labels = Hashtbl.find_opt table (name, canonical labels)
+
+let counter_value ?(labels = []) name =
+  locked (fun () ->
+      match lookup name labels with
+      | Some (Counter r) -> !r
+      | _ -> 0)
+
+let gauge_value ?(labels = []) name =
+  locked (fun () ->
+      match lookup name labels with
+      | Some (Gauge r) -> Some !r
+      | _ -> None)
+
+type histogram_summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile_of_hist h p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      max 1
+        (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.h_count)))
+    in
+    let rec walk b seen =
+      if b >= buckets_count then bucket_estimate (buckets_count - 1)
+      else begin
+        let seen = seen + h.buckets.(b) in
+        if seen >= rank then bucket_estimate b else walk (b + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+let summary_of_hist h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    mean =
+      (if h.h_count = 0 then 0.0
+       else float_of_int h.h_sum /. float_of_int h.h_count);
+    min = (if h.h_count = 0 then 0 else h.h_min);
+    max = h.h_max;
+    p50 = percentile_of_hist h 50.0;
+    p90 = percentile_of_hist h 90.0;
+    p95 = percentile_of_hist h 95.0;
+    p99 = percentile_of_hist h 99.0;
+  }
+
+let histogram ?(labels = []) name =
+  locked (fun () ->
+      match lookup name labels with
+      | Some (Histogram h) -> Some (summary_of_hist h)
+      | _ -> None)
+
+let label_sets name =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun (n, labels) _ acc -> if n = name then labels :: acc else acc)
+        table [])
+  |> List.sort_uniq compare
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let snapshot () =
+  locked (fun () ->
+      let entries kind =
+        Hashtbl.fold
+          (fun (name, labels) cell acc ->
+            match kind, cell with
+            | `Counter, Counter r ->
+              Json.Obj
+                [
+                  ("name", Json.Str name);
+                  ("labels", labels_json labels);
+                  ("value", Json.Int !r);
+                ]
+              :: acc
+            | `Gauge, Gauge r ->
+              Json.Obj
+                [
+                  ("name", Json.Str name);
+                  ("labels", labels_json labels);
+                  ("value", Json.Float !r);
+                ]
+              :: acc
+            | `Histogram, Histogram h ->
+              let s = summary_of_hist h in
+              Json.Obj
+                [
+                  ("name", Json.Str name);
+                  ("labels", labels_json labels);
+                  ("count", Json.Int s.count);
+                  ("sum", Json.Int s.sum);
+                  ("mean", Json.Float s.mean);
+                  ("min", Json.Int s.min);
+                  ("max", Json.Int s.max);
+                  ("p50", Json.Float s.p50);
+                  ("p90", Json.Float s.p90);
+                  ("p95", Json.Float s.p95);
+                  ("p99", Json.Float s.p99);
+                ]
+              :: acc
+            | _ -> acc)
+          table []
+        |> List.sort compare
+      in
+      Json.Obj
+        [
+          ("counters", Json.List (entries `Counter));
+          ("gauges", Json.List (entries `Gauge));
+          ("histograms", Json.List (entries `Histogram));
+        ])
+
+let reset () = locked (fun () -> Hashtbl.reset table)

@@ -1,0 +1,66 @@
+(** Metrics registry: named counters, gauges and log-scale latency
+    histograms, keyed by name plus a label set (e.g. view and phase).
+
+    All mutation goes through the process-wide default registry and is
+    gated on {!Control.enabled} (a disabled registry makes {!add} /
+    {!set_gauge} / {!observe} no-ops); reads work regardless, so a
+    snapshot can be taken after disabling telemetry.  The registry is
+    mutex-protected and safe across domains.
+
+    Histograms bucket values (nanoseconds by convention) by [floor (log2
+    v)]: 63 buckets cover the full non-negative int range, and quantiles
+    are estimated as the geometric midpoint of the bucket holding the
+    rank, so a histogram costs a fixed 63-slot array no matter how many
+    observations it absorbs.  The estimate is exact to within a factor of
+    2 and deterministic — unit tests pin it down. *)
+
+type labels = (string * string) list
+(** Label order is irrelevant: keys are canonicalized by sorting. *)
+
+val add : ?labels:labels -> string -> int -> unit
+(** Increment a counter (registered on first use). *)
+
+val set_gauge : ?labels:labels -> string -> float -> unit
+val observe : ?labels:labels -> string -> int -> unit
+(** Record one histogram observation (ns by convention). *)
+
+(** {2 Reading} *)
+
+val counter_value : ?labels:labels -> string -> int
+(** 0 when the counter does not exist. *)
+
+val gauge_value : ?labels:labels -> string -> float option
+
+type histogram_summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val histogram : ?labels:labels -> string -> histogram_summary option
+
+(** All registered label sets of a metric name, e.g. every [view] a
+    histogram was observed under. *)
+val label_sets : string -> labels list
+
+(** Whole-registry JSON snapshot:
+    [{"counters": [...], "gauges": [...], "histograms": [...]}], each
+    entry carrying [name], [labels] and its values. *)
+val snapshot : unit -> Json.t
+
+val reset : unit -> unit
+
+(** {2 Bucketing internals, exposed for tests} *)
+
+val bucket_of : int -> int
+(** [floor (log2 v)] clamped to [[0, 62]]; 0 for values [<= 1]. *)
+
+val bucket_estimate : int -> float
+(** Representative value of a bucket: 1.0 for bucket 0, else
+    [1.5 *. 2.0 ** bucket]. *)

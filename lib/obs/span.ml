@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  cat : string;
+  start_ns : int;
+  dur_ns : int;
+  depth : int;
+  args : (string * Json.t) list;
+}
+
+let capacity = 500_000
+let mutex = Mutex.create ()
+let sink : t list ref = ref [] (* newest first *)
+let buffered = ref 0
+let dropped_count = ref 0
+let open_depth = ref 0
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let with_span ?(cat = "ivm") ?args name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let depth = locked (fun () ->
+        let d = !open_depth in
+        incr open_depth;
+        d)
+    in
+    let start = Clock.now_ns () in
+    let finish () =
+      let dur = Clock.now_ns () - start in
+      let args =
+        match args with
+        | None -> []
+        | Some thunk -> ( try thunk () with _ -> [])
+      in
+      let span = { name; cat; start_ns = start; dur_ns = dur; depth; args } in
+      locked (fun () ->
+          decr open_depth;
+          if !buffered >= capacity then incr dropped_count
+          else begin
+            sink := span :: !sink;
+            incr buffered
+          end)
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception exn ->
+      finish ();
+      raise exn
+  end
+
+let drain () =
+  locked (fun () ->
+      let spans = List.rev !sink in
+      sink := [];
+      buffered := 0;
+      spans)
+
+let length () = locked (fun () -> !buffered)
+let dropped () = locked (fun () -> !dropped_count)
+
+let reset () =
+  locked (fun () ->
+      sink := [];
+      buffered := 0;
+      dropped_count := 0;
+      open_depth := 0)

@@ -1,0 +1,43 @@
+(** Phase-level tracing: named, nested, labelled spans.
+
+    A span measures one phase of the maintenance pipeline (netting,
+    screening, a truth-table row, delta apply, …).  Spans nest: the
+    [depth] of a span is the number of spans open when it started, and a
+    child is always fully contained in its parent's [start_ns, start_ns +
+    dur_ns] window, which is what the Chrome trace viewer uses to rebuild
+    the tree.
+
+    Recording is gated on {!Control.enabled}: when telemetry is off,
+    {!with_span} runs its body directly — one atomic load and a branch —
+    and the argument thunk is never evaluated.  The sink is a bounded
+    in-memory buffer behind a mutex, safe to use from multiple domains;
+    past {!capacity} spans further spans are counted but dropped. *)
+
+type t = {
+  name : string;
+  cat : string;  (** coarse grouping, e.g. ["maintenance"] *)
+  start_ns : int;  (** {!Clock.now_ns} at entry *)
+  dur_ns : int;
+  depth : int;  (** 0 for top-level spans *)
+  args : (string * Json.t) list;
+}
+
+(** [with_span ?cat ?args name f] times [f] as one span.  [args] is
+    evaluated {e after} [f] returns (also on exceptions), so the thunk may
+    read results computed inside [f] through shared references. *)
+val with_span :
+  ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string ->
+  (unit -> 'a) -> 'a
+
+(** Completed spans in completion order (children before their parents),
+    leaving the sink empty. *)
+val drain : unit -> t list
+
+(** Number of spans currently buffered. *)
+val length : unit -> int
+
+(** Spans dropped because the sink was full, since the last {!reset}. *)
+val dropped : unit -> int
+
+val capacity : int
+val reset : unit -> unit

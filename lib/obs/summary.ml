@@ -1,0 +1,104 @@
+let fmt_ns ns =
+  let ns = float_of_int ns in
+  if ns < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total : int;
+  mutable a_max : int;
+}
+
+let pp_spans ppf spans =
+  let by_name : (string, agg) Hashtbl.t = Hashtbl.create 16 in
+  let toplevel_total = ref 0 in
+  List.iter
+    (fun (s : Span.t) ->
+      if s.Span.depth = 0 then toplevel_total := !toplevel_total + s.Span.dur_ns;
+      let agg =
+        match Hashtbl.find_opt by_name s.Span.name with
+        | Some a -> a
+        | None ->
+          let a = { a_count = 0; a_total = 0; a_max = 0 } in
+          Hashtbl.add by_name s.Span.name a;
+          a
+      in
+      agg.a_count <- agg.a_count + 1;
+      agg.a_total <- agg.a_total + s.Span.dur_ns;
+      agg.a_max <- max agg.a_max s.Span.dur_ns)
+    spans;
+  let rows =
+    Hashtbl.fold (fun name a acc -> (name, a) :: acc) by_name []
+    |> List.sort (fun (_, a) (_, b) -> compare b.a_total a.a_total)
+  in
+  Format.fprintf ppf "%d spans, %s of top-level time@."
+    (List.length spans) (fmt_ns !toplevel_total);
+  List.iter
+    (fun (name, a) ->
+      let mean = if a.a_count = 0 then 0 else a.a_total / a.a_count in
+      Format.fprintf ppf "  %-14s %6d calls  total %-10s mean %-10s max %s@."
+        name a.a_count (fmt_ns a.a_total) (fmt_ns mean) (fmt_ns a.a_max))
+    rows
+
+let labels_string json =
+  match json with
+  | Json.Obj [] | Json.Null -> ""
+  | Json.Obj fields ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             match v with
+             | Json.Str s -> Printf.sprintf "%s=%s" k s
+             | other -> Printf.sprintf "%s=%s" k (Json.to_string other))
+           fields)
+    ^ "}"
+  | other -> Json.to_string other
+
+let field name entry =
+  Option.value ~default:Json.Null (Json.member name entry)
+
+let entry_name entry =
+  let name =
+    match field "name" entry with
+    | Json.Str s -> s
+    | other -> Json.to_string other
+  in
+  name ^ labels_string (field "labels" entry)
+
+let pp_metrics ppf () =
+  let snapshot = Metrics.snapshot () in
+  let list_of name =
+    match Json.member name snapshot with
+    | Some (Json.List entries) -> entries
+    | _ -> []
+  in
+  List.iter
+    (fun entry ->
+      Format.fprintf ppf "  %-46s %s@." (entry_name entry)
+        (Json.to_string (field "value" entry)))
+    (list_of "counters");
+  List.iter
+    (fun entry ->
+      Format.fprintf ppf "  %-46s %s@." (entry_name entry)
+        (Json.to_string (field "value" entry)))
+    (list_of "gauges");
+  List.iter
+    (fun entry ->
+      let as_int name =
+        match field name entry with
+        | Json.Int i -> i
+        | Json.Float x -> int_of_float x
+        | _ -> 0
+      in
+      Format.fprintf ppf
+        "  %-46s count %d  mean %s  p50 %s  p95 %s  p99 %s  max %s@."
+        (entry_name entry) (as_int "count")
+        (fmt_ns (as_int "mean"))
+        (fmt_ns (as_int "p50"))
+        (fmt_ns (as_int "p95"))
+        (fmt_ns (as_int "p99"))
+        (fmt_ns (as_int "max")))
+    (list_of "histograms")

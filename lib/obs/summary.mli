@@ -1,0 +1,12 @@
+(** Human-readable rendering of a trace and of the metrics registry. *)
+
+val fmt_ns : int -> string
+(** "417 ns", "23.4 us", "1.02 ms", "2.41 s". *)
+
+(** Spans aggregated by name: count, total, mean, max, share of the
+    top-level total — one line per distinct span name, widest total
+    first. *)
+val pp_spans : Format.formatter -> Span.t list -> unit
+
+(** Every counter, gauge and histogram in the default registry. *)
+val pp_metrics : Format.formatter -> unit -> unit

@@ -1,0 +1,38 @@
+let event (s : Span.t) =
+  let base =
+    [
+      ("name", Json.Str s.Span.name);
+      ("cat", Json.Str s.Span.cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (float_of_int s.Span.start_ns /. 1e3));
+      ("dur", Json.Float (float_of_int s.Span.dur_ns /. 1e3));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let args =
+    match s.Span.args with
+    | [] -> []
+    | fields -> [ ("args", Json.Obj fields) ]
+  in
+  Json.Obj (base @ args)
+
+let to_json ?(meta = []) spans =
+  (* Chrome sorts stably by ts but resolves nesting more reliably when
+     parents precede children, so emit in start order. *)
+  let ordered =
+    List.stable_sort
+      (fun (a : Span.t) (b : Span.t) ->
+        match compare a.Span.start_ns b.Span.start_ns with
+        | 0 -> compare a.Span.depth b.Span.depth
+        | c -> c)
+      spans
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event ordered));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj (("generator", Json.Str "ivm.obs") :: meta));
+    ]
+
+let write_file ~path ?meta spans = Json.to_file path (to_json ?meta spans)

@@ -1,0 +1,13 @@
+(** Export spans as Chrome [trace_event] JSON (the "JSON Array Format"
+    with an object envelope), loadable in [chrome://tracing], Perfetto or
+    [speedscope].
+
+    Every span becomes a complete event ([ph = "X"]) with microsecond
+    [ts]/[dur]; nesting is reconstructed by the viewer from timestamp
+    containment, so all events share [pid = 1], [tid = 1]. *)
+
+val to_json : ?meta:(string * Json.t) list -> Span.t list -> Json.t
+(** [meta] lands under the top-level ["otherData"] object. *)
+
+val write_file :
+  path:string -> ?meta:(string * Json.t) list -> Span.t list -> unit

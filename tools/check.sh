@@ -1,10 +1,20 @@
 #!/bin/sh
-# Full pre-merge gate: build everything, run the test suites, and lint
-# every built-in view-definition scenario (nonzero exit on any Error
-# diagnostic).
+# Full pre-merge gate: build everything, run the test suites, lint every
+# built-in view-definition scenario, and smoke the telemetry pipeline —
+# the bench harness and the trace exporter must keep emitting JSON that
+# parses and carries the keys downstream tooling consumes.
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
 dune runtest
 dune exec bin/ivm_cli.exe -- lint --all-scenarios
+
+# Bench smoke: one cheap section; every run also writes BENCH_IVM.json.
+dune exec bench/main.exe -- tables > /dev/null
+dune exec tools/validate_snapshot.exe -- bench BENCH_IVM.json
+
+# Trace smoke: run a built-in scenario and validate the Chrome trace.
+dune exec bin/ivm_cli.exe -- trace --scenario orders --transactions 20 \
+  --out trace.json > /dev/null
+dune exec tools/validate_snapshot.exe -- trace trace.json

@@ -1,0 +1,97 @@
+(* CI gate over the machine-readable telemetry artifacts:
+
+     validate_snapshot trace FILE   — Chrome trace_event file from
+                                      `ivm_cli trace`: must parse, carry a
+                                      non-empty traceEvents array, and
+                                      contain spans for every Algorithm
+                                      5.1 phase (net, screen, row, apply);
+     validate_snapshot bench FILE   — BENCH_IVM.json from bench/main.exe:
+                                      must parse and carry per-view
+                                      latency percentiles plus advisor
+                                      predicted-vs-actual pairs.
+
+   Exits nonzero with a reason on any violation, so tools/check.sh can
+   assert that the instrumentation keeps emitting what downstream tooling
+   consumes. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("error: " ^ m); exit 1) fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error m -> fail "%s" m
+
+let parse path =
+  match Obs.Json.parse (read_file path) with
+  | Ok json -> json
+  | Error m -> fail "%s: %s" path m
+
+let require_member name json =
+  match Obs.Json.member name json with
+  | Some v -> v
+  | None -> fail "missing top-level key %S" name
+
+let as_list what = function
+  | Obs.Json.List items -> items
+  | _ -> fail "%s is not an array" what
+
+let validate_trace path =
+  let json = parse path in
+  let events = as_list "traceEvents" (require_member "traceEvents" json) in
+  if events = [] then fail "traceEvents is empty";
+  let names =
+    List.filter_map
+      (fun event ->
+        match Obs.Json.member "name" event with
+        | Some (Obs.Json.Str name) -> Some name
+        | _ -> None)
+      events
+  in
+  List.iter
+    (fun phase ->
+      if not (List.mem phase names) then
+        fail "no %S span in %s (Algorithm 5.1 phase missing)" phase path)
+    [ "net"; "screen"; "row"; "apply" ];
+  Printf.printf "ok: %s (%d events, all Algorithm 5.1 phases present)\n" path
+    (List.length events)
+
+let validate_bench path =
+  let json = parse path in
+  let views = as_list "views" (require_member "views" json) in
+  if views = [] then fail "views is empty";
+  List.iter
+    (fun view ->
+      let name =
+        match Obs.Json.member "name" view with
+        | Some (Obs.Json.Str n) -> n
+        | _ -> fail "a views[] entry has no name"
+      in
+      List.iter
+        (fun key ->
+          if Obs.Json.member key view = None then
+            fail "view %S has no %S field" name key)
+        [ "p50_ns"; "p95_ns"; "p99_ns"; "commits" ])
+    views;
+  let advisor = require_member "advisor" json in
+  let pairs = as_list "advisor.pairs" (require_member "pairs" advisor) in
+  if pairs = [] then fail "advisor.pairs is empty";
+  List.iter
+    (fun pair ->
+      List.iter
+        (fun key ->
+          if Obs.Json.member key pair = None then
+            fail "an advisor pair has no %S field" key)
+        [ "predicted_differential"; "predicted_recompute"; "actual_ns"; "used" ])
+    pairs;
+  ignore (require_member "calibration" advisor);
+  ignore (require_member "metrics" json);
+  Printf.printf "ok: %s (%d views, %d advisor pairs)\n" path
+    (List.length views) (List.length pairs)
+
+let () =
+  match Sys.argv with
+  | [| _; "trace"; path |] -> validate_trace path
+  | [| _; "bench"; path |] -> validate_bench path
+  | _ ->
+    prerr_endline "usage: validate_snapshot (trace|bench) FILE";
+    exit 2
