@@ -92,7 +92,8 @@ let snapshot_json mgr =
   Obs.Json.Obj
     [
       ("benchmark", Obs.Json.Str "ivm-maintenance");
-      ("schema_version", Obs.Json.Int 1);
+      (* v2: adds the E18 "parallel" domain-scaling section. *)
+      ("schema_version", Obs.Json.Int 2);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List
@@ -105,6 +106,7 @@ let snapshot_json mgr =
             ("pairs", Advisor.samples_json ~limit:100 ());
           ] );
       ("metrics", Obs.Metrics.snapshot ());
+      ("parallel", Bench_parallel.scaling_json ());
     ]
 
 (* Always runs the canonical workload fresh so the snapshot is

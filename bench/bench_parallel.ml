@@ -1,0 +1,127 @@
+(* E18: multicore scaling of the maintenance engine.
+
+   The same orders workload — eight independent select/join views over
+   customers ⋈ orders, a deterministic transaction stream — is replayed
+   through managers configured with 1, 2, 4 and 8 domains.  Views are
+   data-independent (Manager.commit fans them out over the lib/exec
+   pool), so the curve measures how far commit throughput scales with
+   the domain count on this machine.  [scaling_json] re-runs a smaller
+   version of the same sweep and serializes the curve into the
+   BENCH_IVM.json snapshot (schema_version 2). *)
+
+module Maintenance = Ivm.Maintenance
+module Manager = Ivm.Manager
+module Generate = Workload.Generate
+module Scenario = Workload.Scenario
+module Rng = Workload.Rng
+
+let view_count = 8
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let define_views mgr =
+  let open Condition.Formula.Dsl in
+  let regions = [| "north"; "south"; "east"; "west" |] in
+  for k = 0 to view_count - 1 do
+    let region = regions.(k mod Array.length regions) in
+    let threshold = 400 + (50 * k) in
+    ignore
+      (Manager.define_view mgr
+         ~name:(Printf.sprintf "dash%d" k)
+         Query.Expr.(
+           project
+             [ "oid"; "cid"; "amount" ]
+             (select
+                ((v "amount" >% i threshold) &&% (v "region" =% s region))
+                (join (base "orders") (base "customers")))))
+  done
+
+(* One full replay: build the scenario, define the views, drive the
+   transaction stream, return elapsed seconds of the commit loop.  The
+   seed fixes scenario and stream, so every domain count processes
+   identical work. *)
+let run_workload ~domains ~orders ~transactions ~batch seed =
+  let rng = Rng.make seed in
+  let sc = Scenario.orders ~rng ~customers:300 ~orders in
+  let db = sc.Scenario.db in
+  let mgr = Manager.create ~domains db in
+  define_views mgr;
+  let columns = Scenario.columns_of sc "orders" in
+  Bench_util.time_once (fun () ->
+      for _ = 1 to transactions do
+        let txn =
+          Generate.transaction rng db "orders" ~columns
+            ~inserts:(batch / 2)
+            ~deletes:(batch - (batch / 2))
+        in
+        ignore (Manager.commit mgr txn)
+      done)
+
+let curve ~orders ~transactions ~batch seed =
+  List.map
+    (fun domains ->
+      (domains, run_workload ~domains ~orders ~transactions ~batch seed))
+    domain_counts
+
+let speedup_at ~base results domains =
+  match List.assoc_opt domains results with
+  | Some t when t > 0.0 -> base /. t
+  | Some _ | None -> 0.0
+
+let scaling_json () =
+  let transactions = 30 and batch = 16 in
+  let results = curve ~orders:4_000 ~transactions ~batch 7_700 in
+  let base = List.assoc 1 results in
+  Obs.Json.Obj
+    [
+      ("experiment", Obs.Json.Str "E18");
+      ("scenario", Obs.Json.Str "orders");
+      ("views", Obs.Json.Int view_count);
+      ("transactions", Obs.Json.Int transactions);
+      ("batch", Obs.Json.Int batch);
+      ("cores_available", Obs.Json.Int (Domain.recommended_domain_count ()));
+      ( "curve",
+        Obs.Json.List
+          (List.map
+             (fun (domains, elapsed) ->
+               Obs.Json.Obj
+                 [
+                   ("domains", Obs.Json.Int domains);
+                   ("elapsed_ns", Obs.Json.Int (int_of_float (elapsed *. 1e9)));
+                   ( "commits_per_sec",
+                     Obs.Json.Float (float_of_int transactions /. elapsed) );
+                   ("speedup", Obs.Json.Float (base /. elapsed));
+                 ])
+             results) );
+      ("speedup_at_2", Obs.Json.Float (speedup_at ~base results 2));
+      ("speedup_at_4", Obs.Json.Float (speedup_at ~base results 4));
+      ("speedup_at_8", Obs.Json.Float (speedup_at ~base results 8));
+    ]
+
+let run () =
+  Bench_util.section
+    "E18: domain-pool scaling (orders scenario, 8 independent views)";
+  let transactions = 60 and batch = 16 in
+  let results = curve ~orders:6_000 ~transactions ~batch 7_700 in
+  let base = List.assoc 1 results in
+  Printf.printf "cores available: %d (Domain.recommended_domain_count)\n"
+    (Domain.recommended_domain_count ());
+  Bench_util.banner
+    (Printf.sprintf "commit throughput, %d txns x %d views, batch %d"
+       transactions view_count batch)
+  ;
+  Bench_util.print_table
+    ~header:[ "domains"; "elapsed"; "commits/s"; "speedup" ]
+    (List.map
+       (fun (domains, elapsed) ->
+         [
+           string_of_int domains;
+           Bench_util.fmt_time elapsed;
+           Printf.sprintf "%.1f" (float_of_int transactions /. elapsed);
+           Bench_util.fmt_speedup (base /. elapsed);
+         ])
+       results);
+  Printf.printf
+    "\nViews are maintained as independent pool tasks; with a single\n\
+     hardware core (cores available = 1) the curve stays flat and the\n\
+     extra domains only add scheduling overhead — the engine falls back\n\
+     to inline execution at domains=1.\n"

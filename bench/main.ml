@@ -3,7 +3,8 @@
 
    Run everything:        dune exec bench/main.exe
    Run a single section:  dune exec bench/main.exe -- tables screening
-   Sections: tables screening views sat ablation crossover snapshot *)
+   Sections: tables screening views sat ablation crossover snapshot obs
+   parallel *)
 
 let sections =
   [
@@ -15,6 +16,7 @@ let sections =
     ("crossover", Bench_crossover.run);
     ("snapshot", Bench_snapshot.run);
     ("obs", Bench_obs.run);
+    ("parallel", Bench_parallel.run);
   ]
 
 let () =

@@ -118,11 +118,11 @@ let run_check seed rounds transactions verbose =
 (* ivm-cli stream                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_stream seed transactions batch screen =
+let run_stream seed transactions batch screen domains =
   let rng = Rng.make seed in
   let scenario = Scenario.orders ~rng ~customers:200 ~orders:5_000 in
   let db = scenario.Scenario.db in
-  let mgr = Manager.create db in
+  let mgr = Manager.create ?domains db in
   let open Condition.Formula.Dsl in
   let options = { Maintenance.default_options with screen } in
   ignore
@@ -368,7 +368,7 @@ let run_lint all_scenarios dir file keys quiet statements =
    net -> screen -> row evaluations -> apply. *)
 let obs_scenario_names = [ "orders"; "pair"; "example" ]
 
-let run_obs_scenario ~scenario ~seed ~transactions ~batch =
+let run_obs_scenario ~scenario ~seed ~transactions ~batch ~domains =
   let rng = Rng.make seed in
   let adaptive =
     { Maintenance.default_options with strategy = Maintenance.Adaptive }
@@ -378,7 +378,7 @@ let run_obs_scenario ~scenario ~seed ~transactions ~batch =
   | "orders" ->
     let sc = Scenario.orders ~rng ~customers:200 ~orders:5_000 in
     let db = sc.Scenario.db in
-    let mgr = Manager.create db in
+    let mgr = Manager.create ?domains db in
     ignore
       (Manager.define_view mgr ~name:"dashboard" ~options:adaptive
          Query.Expr.(
@@ -406,7 +406,7 @@ let run_obs_scenario ~scenario ~seed ~transactions ~batch =
   | "pair" ->
     let sc = Scenario.pair ~rng ~size_r:500 ~size_s:500 ~key_range:50 in
     let db = sc.Scenario.db in
-    let mgr = Manager.create db in
+    let mgr = Manager.create ?domains db in
     ignore
       (Manager.define_view mgr ~name:"joined" ~options:adaptive
          Query.Expr.(join (base "R") (base "S")));
@@ -439,7 +439,7 @@ let run_obs_scenario ~scenario ~seed ~transactions ~batch =
       (Relation.of_tuples
          (Schema.make [ ("C", Value.Int_ty); ("D", Value.Int_ty) ])
          [ Tuple.of_ints [ 2; 10 ]; Tuple.of_ints [ 10; 20 ] ]);
-    let mgr = Manager.create db in
+    let mgr = Manager.create ?domains db in
     (* Forced differential: on a database this small the adaptive advisor
        would always recompute, hiding the screen/row phases the trace is
        meant to show.  The advisor's prediction is recorded either way. *)
@@ -470,9 +470,9 @@ let setup_obs no_obs =
   Ivm.Advisor.reset_samples ();
   if not no_obs then Obs.Control.enable ()
 
-let run_stats scenario seed transactions batch json out no_obs =
+let run_stats scenario seed transactions batch domains json out no_obs =
   setup_obs no_obs;
-  let mgr = run_obs_scenario ~scenario ~seed ~transactions ~batch in
+  let mgr = run_obs_scenario ~scenario ~seed ~transactions ~batch ~domains in
   Obs.Control.disable ();
   if json then begin
     let doc =
@@ -505,9 +505,9 @@ let run_stats scenario seed transactions batch json out no_obs =
   end;
   0
 
-let run_trace scenario seed transactions batch out format no_obs =
+let run_trace scenario seed transactions batch domains out format no_obs =
   setup_obs no_obs;
-  ignore (run_obs_scenario ~scenario ~seed ~transactions ~batch);
+  ignore (run_obs_scenario ~scenario ~seed ~transactions ~batch ~domains);
   Obs.Control.disable ();
   let spans = Obs.Span.drain () in
   (match format with
@@ -531,6 +531,16 @@ let run_trace scenario seed transactions batch out format no_obs =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Maintain views on a pool of $(docv) domains (1 = sequential).  \
+           Defaults to the $(b,IVM_DOMAINS) environment variable, or 1.  \
+           Results are identical at every setting; only timing changes.")
 
 let example_cmd =
   Cmd.v
@@ -579,7 +589,8 @@ let stream_cmd =
     (Cmd.info "stream"
        ~doc:"Maintain a dashboard view over a transaction stream and report \
              timing and screening statistics.")
-    Term.(const run_stream $ seed_arg $ transactions $ batch $ screen)
+    Term.(
+      const run_stream $ seed_arg $ transactions $ batch $ screen $ domains_arg)
 
 let query_cmd =
   let dir =
@@ -713,7 +724,7 @@ let stats_cmd =
           predicted-vs-actual calibration, and the metrics registry.")
     Term.(
       const run_stats $ scenario_arg $ seed_arg $ obs_transactions_arg
-      $ obs_batch_arg $ json $ out $ no_obs_arg)
+      $ obs_batch_arg $ domains_arg $ json $ out $ no_obs_arg)
 
 let trace_cmd =
   let out =
@@ -740,7 +751,7 @@ let trace_cmd =
           recompute, refresh) as a Chrome trace_event file.")
     Term.(
       const run_trace $ scenario_arg $ seed_arg $ obs_transactions_arg
-      $ obs_batch_arg $ out $ format $ no_obs_arg)
+      $ obs_batch_arg $ domains_arg $ out $ format $ no_obs_arg)
 
 let () =
   let info =

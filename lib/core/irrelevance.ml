@@ -249,18 +249,50 @@ let relevant_naive screen tuple =
     (Satisfiability.is_unsat
        (Satisfiability.dnf ~typing:screen.typing with_bounds))
 
-let screen_delta_stats screen (d : Delta.t) =
+(* Tuples per parallel screening task.  Below two chunks the split
+   cannot win, so small update sets always take the sequential path. *)
+let screen_chunk_size = 512
+
+let screen_delta_stats ?pool screen (d : Delta.t) =
   let kept = ref 0 and dropped = ref 0 in
   let filter r =
     let out = Relation.create (Relation.schema r) in
-    Relation.iter
-      (fun t c ->
-        if relevant screen t then begin
-          incr kept;
-          Relation.update out t c
-        end
-        else incr dropped)
-      r;
+    let sequential () =
+      Relation.iter
+        (fun t c ->
+          if relevant screen t then begin
+            incr kept;
+            Relation.update out t c
+          end
+          else incr dropped)
+        r
+    in
+    (match pool with
+    | Some pool
+      when Exec.Pool.size pool > 1
+           && Relation.cardinal r >= 2 * screen_chunk_size ->
+      (* Screening is a pure per-tuple check (Theorem 4.1 reads only the
+         precomputed screen), so chunks are independent; each returns
+         its kept sublist and the counts merge sequentially. *)
+      let chunks =
+        Exec.Pool.chunks ~size:screen_chunk_size (Relation.elements r)
+      in
+      Exec.Pool.map_list pool
+        (fun chunk ->
+          List.fold_left
+            (fun (keep, drop) (t, c) ->
+              if relevant screen t then ((t, c) :: keep, drop)
+              else (keep, drop + 1))
+            ([], 0) chunk)
+        chunks
+      |> List.iter (fun (keep, drop) ->
+             dropped := !dropped + drop;
+             List.iter
+               (fun (t, c) ->
+                 incr kept;
+                 Relation.update out t c)
+               keep)
+    | _ -> sequential ());
     out
   in
   let screened =
@@ -274,7 +306,7 @@ let screen_delta_stats screen (d : Delta.t) =
   end;
   (screened, (!kept, !dropped))
 
-let screen_delta screen d = fst (screen_delta_stats screen d)
+let screen_delta ?pool screen d = fst (screen_delta_stats ?pool screen d)
 
 let combined_relevant ~lookup ~spj tuples =
   let typing = Query.Spj.typing lookup spj in

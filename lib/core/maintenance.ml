@@ -128,7 +128,7 @@ let record_report r =
       r.delta_deletes
   end
 
-let view_delta ?(options = default_options) view ~db ~net =
+let view_delta ?(options = default_options) ?pool view ~db ~net =
   let t_start = Obs.Clock.now_ns () in
   let spj = View.spj view in
   let screened_out = ref 0 and screened_kept = ref 0 in
@@ -160,7 +160,7 @@ let view_delta ?(options = default_options) view ~db ~net =
                     ])
                   (fun () ->
                     let screened, stats =
-                      Irrelevance.screen_delta_stats screen raw
+                      Irrelevance.screen_delta_stats ?pool screen raw
                     in
                     row_stats := stats;
                     screened)
@@ -234,9 +234,9 @@ let apply_inserts db net =
 (* Differential maintenance of one view against a netted update set whose
    deletions are already installed: evaluate, then apply the view delta,
    completing the report's timing fields. *)
-let maintain_differential ~options ~decision view ~db ~net =
+let maintain_differential ~options ?pool ~decision view ~db ~net =
   let t0 = Obs.Clock.now_ns () in
-  let delta, report = view_delta ~options view ~db ~net in
+  let delta, report = view_delta ~options ?pool view ~db ~net in
   let t_apply = Obs.Clock.now_ns () in
   Obs.Span.with_span "apply"
     ~args:(fun () ->
@@ -283,8 +283,16 @@ let maintain_recompute ~decision view ~db =
   | None -> ());
   report
 
-let process ?(options = default_options) ?(options_for = fun _ -> None) ~views
-    ~db txn =
+let process ?(options = default_options) ?(options_for = fun _ -> None) ?pool
+    ~views ~db txn =
+  (* With a pool, independent views are maintained in parallel: each task
+     reads the shared base relations (frozen between the two apply
+     phases) and writes only its own view's materialization. *)
+  let pmap f xs =
+    match pool with
+    | Some pool -> Exec.Pool.map_list pool f xs
+    | None -> List.map f xs
+  in
   Obs.Span.with_span "commit"
     ~args:(fun () -> [ ("views", Obs.Json.Int (List.length views)) ])
     (fun () ->
@@ -317,24 +325,25 @@ let process ?(options = default_options) ?(options_for = fun _ -> None) ~views
           views
       in
       apply_deletes db net;
-      let reports =
-        List.filter_map
-          (fun (view, view_options, strategy, decision) ->
+      let differential, recomputed =
+        List.partition
+          (fun (_, _, strategy, _) ->
             match strategy with
-            | Recompute -> None
-            | Differential | Adaptive ->
-              Some
-                (maintain_differential ~options:view_options ~decision view
-                   ~db ~net))
+            | Recompute -> false
+            | Differential | Adaptive -> true)
           resolved
+      in
+      let reports =
+        pmap
+          (fun (view, view_options, _, decision) ->
+            maintain_differential ~options:view_options ?pool ~decision view
+              ~db ~net)
+          differential
       in
       apply_inserts db net;
       let recompute_reports =
-        List.filter_map
-          (fun (view, _, strategy, decision) ->
-            match strategy with
-            | Recompute -> Some (maintain_recompute ~decision view ~db)
-            | Differential | Adaptive -> None)
-          resolved
+        pmap
+          (fun (view, _, _, decision) -> maintain_recompute ~decision view ~db)
+          recomputed
       in
       reports @ recompute_reports)

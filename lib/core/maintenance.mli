@@ -90,6 +90,7 @@ val record_report : report -> unit
     [db] must be in the deletions-applied intermediate state. *)
 val maintain_differential :
   options:options ->
+  ?pool:Exec.Pool.t ->
   decision:Advisor.decision option ->
   View.t ->
   db:Database.t ->
@@ -101,24 +102,32 @@ val maintain_differential :
 val maintain_recompute :
   decision:Advisor.decision option -> View.t -> db:Database.t -> report
 
-(** [view_delta ?options view ~db ~net] computes the view delta.  [db] must
-    be in the deletions-applied intermediate state and [net] is the
-    transaction's net effect.  Does not modify anything. *)
+(** [view_delta ?options ?pool view ~db ~net] computes the view delta.
+    [db] must be in the deletions-applied intermediate state and [net] is
+    the transaction's net effect.  Does not modify anything.  [pool]
+    parallelizes the screening of large update sets
+    ({!Irrelevance.screen_delta}). *)
 val view_delta :
   ?options:options ->
+  ?pool:Exec.Pool.t ->
   View.t ->
   db:Database.t ->
   net:Transaction.net ->
   Delta.t * report
 
-(** [process ?options ~views ~db txn] runs the whole commit: nets the
+(** [process ?options ?pool ~views ~db txn] runs the whole commit: nets the
     transaction, updates the base relations, and maintains every view.
-    Per-view options override the common ones.
+    Per-view options override the common ones.  With a [pool] of size > 1,
+    views are maintained in parallel (they are data-independent once the
+    net effect is computed: each task only reads base relations and writes
+    its own materialization); results are identical to the sequential
+    order.
     @raise Transaction.Invalid on invalid transactions (nothing is
     modified in that case). *)
 val process :
   ?options:options ->
   ?options_for:(string -> options option) ->
+  ?pool:Exec.Pool.t ->
   views:View.t list ->
   db:Database.t ->
   Transaction.t ->

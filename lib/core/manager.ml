@@ -83,11 +83,25 @@ type entry = {
 
 type t = {
   db : Database.t;
+  domains : int;
+  pool : Exec.Pool.t;
   mutable entries : entry list; (* in definition order *)
 }
 
-let create db = { db; entries = [] }
+(* Explicit argument beats the IVM_DOMAINS environment override beats the
+   sequential default.  Pools come from the process-wide shared registry:
+   managers are cheap and numerous (tests create hundreds), so they must
+   not own worker domains. *)
+let create ?domains db =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Option.value ~default:1 (Exec.Pool.env_domains ())
+  in
+  { db; domains; pool = Exec.Pool.shared ~domains; entries = [] }
+
 let database mgr = mgr.db
+let domains mgr = mgr.domains
 
 let entry_opt mgr name =
   List.find_opt (fun e -> String.equal (View.name e.view) name) mgr.entries
@@ -176,7 +190,11 @@ let accumulate mgr e net =
 
 let commit mgr txn =
   Obs.Span.with_span "commit"
-    ~args:(fun () -> [ ("views", Obs.Json.Int (List.length mgr.entries)) ])
+    ~args:(fun () ->
+      [
+        ("views", Obs.Json.Int (List.length mgr.entries));
+        ("domains", Obs.Json.Int mgr.domains);
+      ])
     (fun () ->
       let net =
         Obs.Span.with_span "net"
@@ -208,40 +226,56 @@ let commit mgr txn =
           mgr.entries
       in
       Maintenance.apply_deletes mgr.db net;
-      let reports =
+      (* Fan the differential views out over the pool: once deletions are
+         installed each task only reads base relations and writes its own
+         view's materialization, so views are data-independent.  Stats
+         mutation stays on the committing domain, applied in definition
+         order after the barrier, which keeps commit fully deterministic. *)
+      let differential_entries =
         List.filter_map
           (fun (e, strategy, decision) ->
             match e.mode, strategy with
-            | Deferred, _ -> None
-            | Immediate, Maintenance.Recompute ->
-              None (* recomputed below, against the post-state *)
             | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
-              let report =
-                Maintenance.maintain_differential ~options:e.options ~decision
-                  e.view ~db:mgr.db ~net
-              in
-              e.stats <- add_report e.stats report;
-              Some report)
+              Some (e, decision)
+            | Immediate, Maintenance.Recompute | Deferred, _ -> None)
           resolved
       in
+      let reports =
+        Exec.Pool.map_list mgr.pool
+          (fun (e, decision) ->
+            Maintenance.maintain_differential ~options:e.options
+              ~pool:mgr.pool ~decision e.view ~db:mgr.db ~net)
+          differential_entries
+      in
+      List.iter2
+        (fun (e, _) report -> e.stats <- add_report e.stats report)
+        differential_entries reports;
       Maintenance.apply_inserts mgr.db net;
-      let recompute_reports =
+      let recompute_entries =
         List.filter_map
           (fun (e, strategy, decision) ->
             match e.mode, strategy with
-            | Immediate, Maintenance.Recompute ->
-              let report =
-                Maintenance.maintain_recompute ~decision e.view ~db:mgr.db
-              in
-              e.stats <- add_report e.stats report;
-              Some report
-            | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
-              None
+            | Immediate, Maintenance.Recompute -> Some (e, decision)
+            | Immediate, (Maintenance.Differential | Maintenance.Adaptive)
             | Deferred, _ ->
-              accumulate mgr e net;
               None)
           resolved
       in
+      let recompute_reports =
+        Exec.Pool.map_list mgr.pool
+          (fun (e, decision) ->
+            Maintenance.maintain_recompute ~decision e.view ~db:mgr.db)
+          recompute_entries
+      in
+      List.iter2
+        (fun (e, _) report -> e.stats <- add_report e.stats report)
+        recompute_entries recompute_reports;
+      List.iter
+        (fun (e, _, _) ->
+          match e.mode with
+          | Deferred -> accumulate mgr e net
+          | Immediate -> ())
+        resolved;
       reports @ recompute_reports)
 
 (* Snapshot refresh: the current base state S is S0 U i_N - d_N relative to
@@ -281,7 +315,7 @@ let refresh mgr name =
           let result =
             match
               Maintenance.maintain_differential ~options:e.options
-                ~decision:(Some decision) e.view ~db:mgr.db ~net
+                ~pool:mgr.pool ~decision:(Some decision) e.view ~db:mgr.db ~net
             with
             | report -> Ok report
             | exception exn -> Error exn

@@ -16,8 +16,20 @@ type mode =
 
 type t
 
-val create : Database.t -> t
+(** [create ?domains db] makes a manager whose commits run view
+    maintenance on a domain pool of the given size (clamped to ≥ 1).
+    Resolution order: explicit [domains], then the [IVM_DOMAINS]
+    environment variable, then 1 (fully sequential).  Pools are shared
+    process-wide per size, so managers are cheap to create and never own
+    worker domains.  Parallel commits are deterministic: every view's
+    materialization, report (timings aside) and counters are identical to
+    a sequential commit (see {!Maintenance.process}). *)
+val create : ?domains:int -> Database.t -> t
+
 val database : t -> Database.t
+
+(** Configured maintenance parallelism (1 = sequential). *)
+val domains : t -> int
 
 (** Registration was refused by the static analyzer: the definition
     carries [Error]-level diagnostics (see {!Analysis.Analyzer}). *)

@@ -41,8 +41,16 @@ let product a b =
 
 let select dnf tagged =
   let schema = tagged.schema in
+  (* Resolve every condition variable to its column once; the per-row
+     lookup is then a hash probe instead of a linear schema scan. *)
+  let positions = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem positions v) then
+        Hashtbl.replace positions v (Schema.position schema v))
+    (List.concat_map (List.concat_map Formula.atom_vars) dnf);
   let current = ref [||] in
-  let lookup v = Tuple.get !current (Schema.position schema v) in
+  let lookup v = Tuple.get !current (Hashtbl.find positions v) in
   let rows =
     List.filter
       (fun (t, tag, _) ->

@@ -1,0 +1,195 @@
+(* Domain pool with helping futures.
+
+   Layout: one shared FIFO of packed tasks behind a mutex, [size - 1]
+   worker domains looping on it, and futures that the submitting domain
+   can help along.  [await] never parks while work is queued: a pending
+   future makes the caller pop and run tasks itself, which both keeps
+   the caller productive and makes nested submit/await (tasks that fan
+   out sub-tasks on the same pool) deadlock-free — the dependency chain
+   always has a domain running its head.
+
+   Pools of size 1 take none of these locks: [submit] runs the thunk
+   inline and [await] just unpacks the result, so the sequential
+   fallback costs nothing and behaves exactly like direct calls. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  wake : Condition.t; (* signalled on both new tasks and completions *)
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable stopped : bool;
+}
+
+type 'a future = { pool : t; mutable cell : 'a state }
+
+let run_now f =
+  match f () with
+  | v -> Done v
+  | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+
+let size pool = pool.size
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      worker_loop pool
+    end
+    else if pool.stopped then Mutex.unlock pool.mutex
+    else begin
+      Condition.wait pool.wake pool.mutex;
+      next ()
+    end
+  in
+  next ()
+
+let create ?domains () =
+  let size =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Domain.recommended_domain_count ()
+  in
+  let pool =
+    {
+      size;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      stopped = false;
+    }
+  in
+  if size > 1 then
+    pool.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let submit pool f =
+  if pool.size <= 1 then { pool; cell = run_now f }
+  else begin
+    let fut = { pool; cell = Pending } in
+    let task () =
+      let result = run_now f in
+      Mutex.lock pool.mutex;
+      fut.cell <- result;
+      (* Broadcast: completions must reach helpers waiting on *other*
+         futures as well as this one's awaiter. *)
+      Condition.broadcast pool.wake;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    if pool.stopped then begin
+      Mutex.unlock pool.mutex;
+      fut.cell <- run_now f
+    end
+    else begin
+      Queue.push task pool.queue;
+      Condition.signal pool.wake;
+      Mutex.unlock pool.mutex
+    end;
+    fut
+  end
+
+let await fut =
+  let pool = fut.pool in
+  let finish () =
+    match fut.cell with
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending -> assert false
+  in
+  if pool.size <= 1 then finish ()
+  else begin
+    (* Always synchronise through the pool mutex, even when the cell
+       already reads as resolved: the lock edge is what publishes the
+       task's side effects (e.g. view-state mutations) to this domain. *)
+    Mutex.lock pool.mutex;
+    let rec help () =
+      match fut.cell with
+      | Done _ | Failed _ -> Mutex.unlock pool.mutex
+      | Pending ->
+        if not (Queue.is_empty pool.queue) then begin
+          let task = Queue.pop pool.queue in
+          Mutex.unlock pool.mutex;
+          task ();
+          Mutex.lock pool.mutex;
+          help ()
+        end
+        else begin
+          Condition.wait pool.wake pool.mutex;
+          help ()
+        end
+    in
+    help ();
+    finish ()
+  end
+
+let map_list pool f xs =
+  if pool.size <= 1 then List.map f xs
+  else List.map await (List.map (fun x -> submit pool (fun () -> f x)) xs)
+
+let chunks ~size xs =
+  let size = max 1 size in
+  let rec take n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (n - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+      let chunk, rest = take size [] xs in
+      go (chunk :: acc) rest
+  in
+  go [] xs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.workers <- [];
+  if not pool.stopped then begin
+    pool.stopped <- true;
+    Condition.broadcast pool.wake
+  end;
+  Mutex.unlock pool.mutex;
+  (* Workers drain the queue before exiting, so queued futures still
+     complete; joining twice is impossible because the list was taken
+     under the lock. *)
+  List.iter Domain.join workers
+
+(* Process-wide registry: one pool per requested size, never torn down.
+   Managers are cheap to create (tests build hundreds), so giving each
+   its own workers would leak a domain per manager. *)
+let shared_mutex = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let shared ~domains =
+  let domains = max 1 domains in
+  Mutex.lock shared_mutex;
+  let pool =
+    match Hashtbl.find_opt shared_pools domains with
+    | Some pool -> pool
+    | None ->
+      let pool = create ~domains () in
+      Hashtbl.add shared_pools domains pool;
+      pool
+  in
+  Mutex.unlock shared_mutex;
+  pool
+
+let env_domains () =
+  match Sys.getenv_opt "IVM_DOMAINS" with
+  | None -> None
+  | Some raw -> (
+    match int_of_string_opt (String.trim raw) with
+    | Some n when n >= 1 -> Some n
+    | Some _ | None -> None)

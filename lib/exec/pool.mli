@@ -1,0 +1,55 @@
+(** Fixed-size domain pool with futures.
+
+    The pool owns [domains - 1] worker domains plus the caller: [await]
+    is a {e helping} wait — while its future is pending, the awaiting
+    domain pops and runs other queued tasks instead of blocking.  This
+    makes nested submission safe (a task may submit sub-tasks to the
+    same pool and await them without deadlock) and gives an effective
+    parallel degree equal to the pool size.
+
+    A pool of size 1 spawns no domains and runs every submission inline
+    in the caller, so sequential behaviour is the graceful fallback on
+    single-core hosts and the default when no configuration asks for
+    parallelism. *)
+
+type t
+
+type 'a future
+
+val create : ?domains:int -> unit -> t
+(** [create ?domains ()] spawns a pool of the given size (clamped to at
+    least 1).  Default: [Domain.recommended_domain_count ()]. *)
+
+val size : t -> int
+(** Configured pool size (worker domains + the submitting caller). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  On a size-1 or shut-down pool the task runs inline
+    in the caller before [submit] returns. *)
+
+val await : 'a future -> 'a
+(** Wait for a future, helping run other queued tasks meanwhile.  If the
+    task raised, the exception is re-raised here with its original
+    backtrace. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: submits one task per element, then
+    awaits them in order.  Sequential [List.map] on a size-1 pool. *)
+
+val chunks : size:int -> 'a list -> 'a list list
+(** Split a list into consecutive chunks of at most [size] elements
+    (order preserved; [size] clamped to at least 1). *)
+
+val shutdown : t -> unit
+(** Drain the queue, join the workers.  Idempotent; safe to call
+    concurrently with [submit] (late submissions run inline). *)
+
+val shared : domains:int -> t
+(** Process-wide pool registry, one pool per size, created on first
+    use and kept for the life of the process.  Lets many short-lived
+    clients (e.g. test-suite managers) share workers instead of leaking
+    a domain per client. *)
+
+val env_domains : unit -> int option
+(** Parsed [IVM_DOMAINS] environment override, if set to a positive
+    integer. *)

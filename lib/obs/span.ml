@@ -4,6 +4,7 @@ type t = {
   start_ns : int;
   dur_ns : int;
   depth : int;
+  domain : int;
   args : (string * Json.t) list;
 }
 
@@ -12,7 +13,11 @@ let mutex = Mutex.create ()
 let sink : t list ref = ref [] (* newest first *)
 let buffered = ref 0
 let dropped_count = ref 0
-let open_depth = ref 0
+
+(* Nesting depth is a per-domain notion: spans opened on different
+   domains are independent stacks (one trace lane per domain), so the
+   counter lives in domain-local storage rather than the shared sink. *)
+let open_depth = Domain.DLS.new_key (fun () -> ref 0)
 
 let locked f =
   Mutex.lock mutex;
@@ -21,11 +26,10 @@ let locked f =
 let with_span ?(cat = "ivm") ?args name f =
   if not (Control.enabled ()) then f ()
   else begin
-    let depth = locked (fun () ->
-        let d = !open_depth in
-        incr open_depth;
-        d)
-    in
+    let depth_ref = Domain.DLS.get open_depth in
+    let depth = !depth_ref in
+    incr depth_ref;
+    let domain = (Domain.self () :> int) in
     let start = Clock.now_ns () in
     let finish () =
       let dur = Clock.now_ns () - start in
@@ -34,9 +38,9 @@ let with_span ?(cat = "ivm") ?args name f =
         | None -> []
         | Some thunk -> ( try thunk () with _ -> [])
       in
-      let span = { name; cat; start_ns = start; dur_ns = dur; depth; args } in
+      let span = { name; cat; start_ns = start; dur_ns = dur; depth; domain; args } in
+      decr depth_ref;
       locked (fun () ->
-          decr open_depth;
           if !buffered >= capacity then incr dropped_count
           else begin
             sink := span :: !sink;
@@ -63,8 +67,9 @@ let length () = locked (fun () -> !buffered)
 let dropped () = locked (fun () -> !dropped_count)
 
 let reset () =
+  let depth_ref = Domain.DLS.get open_depth in
+  depth_ref := 0;
   locked (fun () ->
       sink := [];
       buffered := 0;
-      dropped_count := 0;
-      open_depth := 0)
+      dropped_count := 0)

@@ -11,14 +11,17 @@
     {!with_span} runs its body directly — one atomic load and a branch —
     and the argument thunk is never evaluated.  The sink is a bounded
     in-memory buffer behind a mutex, safe to use from multiple domains;
-    past {!capacity} spans further spans are counted but dropped. *)
+    nesting depth is tracked per domain (each domain is its own span
+    stack, exported as its own trace lane); past {!capacity} spans
+    further spans are counted but dropped. *)
 
 type t = {
   name : string;
   cat : string;  (** coarse grouping, e.g. ["maintenance"] *)
   start_ns : int;  (** {!Clock.now_ns} at entry *)
   dur_ns : int;
-  depth : int;  (** 0 for top-level spans *)
+  depth : int;  (** 0 for top-level spans {e on this domain} *)
+  domain : int;  (** id of the domain that recorded the span *)
   args : (string * Json.t) list;
 }
 

@@ -7,7 +7,9 @@ let event (s : Span.t) =
       ("ts", Json.Float (float_of_int s.Span.start_ns /. 1e3));
       ("dur", Json.Float (float_of_int s.Span.dur_ns /. 1e3));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      (* One lane per domain: spans recorded by pool workers land in
+         their own track instead of interleaving with domain 0. *)
+      ("tid", Json.Int s.Span.domain);
     ]
   in
   let args =

@@ -46,33 +46,66 @@ end)
    the machinery. *)
 let hash_join a b ~key_positions_a ~key_positions_b ~out_schema ~emit =
   let out = Relation.create out_schema in
-  let build_side, probe_side, build_keys, probe_keys, swapped =
-    if Relation.cardinal a <= Relation.cardinal b then
-      (a, b, key_positions_a, key_positions_b, false)
-    else (b, a, key_positions_b, key_positions_a, true)
+  (* When one side already carries an incrementally-maintained secondary
+     index on exactly the join columns, probe it instead of building a
+     throwaway key table — on the base-relation side of the repeated
+     delta-against-base joins of differential maintenance that skips the
+     full scan entirely.  [a_indexed] says whether the probed matches
+     come from [a], fixing the emit orientation. *)
+  let probe_index index ~probe ~probe_keys ~a_indexed =
+    Relation.iter
+      (fun t c ->
+        let key = Tuple.project probe_keys t in
+        Index.iter_matches index key (fun t' c' ->
+            if a_indexed then Relation.update out (emit t' t) (c' * c)
+            else Relation.update out (emit t t') (c * c')))
+      probe
   in
-  let index = Key_table.create (max 16 (Relation.cardinal build_side)) in
-  Relation.iter
-    (fun t c ->
-      let key = Tuple.project build_keys t in
-      let existing = Option.value ~default:[] (Key_table.find_opt index key) in
-      Key_table.replace index key ((t, c) :: existing))
-    build_side;
-  Relation.iter
-    (fun t c ->
-      let key = Tuple.project probe_keys t in
-      match Key_table.find_opt index key with
-      | None -> ()
-      | Some matches ->
-        List.iter
-          (fun (t', c') ->
-            let ta, ca, tb, cb =
-              if swapped then (t, c, t', c') else (t', c', t, c)
-            in
-            Relation.update out (emit ta tb) (ca * cb))
-          matches)
-    probe_side;
-  out
+  let index_a = Index.find a ~positions:key_positions_a in
+  let index_b = Index.find b ~positions:key_positions_b in
+  match index_a, index_b with
+  | Some ia, Some ib ->
+    (* Both indexed: probe from the smaller side, as below. *)
+    if Relation.cardinal a <= Relation.cardinal b then
+      probe_index ib ~probe:a ~probe_keys:key_positions_a ~a_indexed:false
+    else probe_index ia ~probe:b ~probe_keys:key_positions_b ~a_indexed:true;
+    out
+  | Some ia, None ->
+    probe_index ia ~probe:b ~probe_keys:key_positions_b ~a_indexed:true;
+    out
+  | None, Some ib ->
+    probe_index ib ~probe:a ~probe_keys:key_positions_a ~a_indexed:false;
+    out
+  | None, None ->
+    let build_side, probe_side, build_keys, probe_keys, swapped =
+      if Relation.cardinal a <= Relation.cardinal b then
+        (a, b, key_positions_a, key_positions_b, false)
+      else (b, a, key_positions_b, key_positions_a, true)
+    in
+    let index = Key_table.create (max 16 (Relation.cardinal build_side)) in
+    Relation.iter
+      (fun t c ->
+        let key = Tuple.project build_keys t in
+        let existing =
+          Option.value ~default:[] (Key_table.find_opt index key)
+        in
+        Key_table.replace index key ((t, c) :: existing))
+      build_side;
+    Relation.iter
+      (fun t c ->
+        let key = Tuple.project probe_keys t in
+        match Key_table.find_opt index key with
+        | None -> ()
+        | Some matches ->
+          List.iter
+            (fun (t', c') ->
+              let ta, ca, tb, cb =
+                if swapped then (t, c, t', c') else (t', c', t, c)
+              in
+              Relation.update out (emit ta tb) (ca * cb))
+            matches)
+      probe_side;
+    out
 
 let natural_join a b =
   let sa = Relation.schema a and sb = Relation.schema b in

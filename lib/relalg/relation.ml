@@ -13,11 +13,12 @@ type t = {
   mutable total : int;
 }
 
-let next_storage_id = ref 0
+(* Atomic: relations are created from pool worker domains during
+   parallel maintenance, and duplicate storage ids would alias entries
+   in the index registry. *)
+let next_storage_id = Atomic.make 0
 
-let fresh_storage_id () =
-  incr next_storage_id;
-  !next_storage_id
+let fresh_storage_id () = 1 + Atomic.fetch_and_add next_storage_id 1
 
 exception Negative_count of Tuple.t
 

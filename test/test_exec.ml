@@ -1,0 +1,111 @@
+(* Unit tests for the lib/exec domain pool: inline fallback, helping
+   await, exception transparency, idempotent shutdown, the shared
+   registry. *)
+
+module Pool = Exec.Pool
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let test_map_list () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "order preserved"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map_list pool (fun x -> x * x) xs))
+
+let test_sequential_fallback () =
+  let pool = Pool.create ~domains:1 () in
+  Alcotest.(check int) "size 1" 1 (Pool.size pool);
+  let ran_on = ref (-1) in
+  let fut =
+    Pool.submit pool (fun () ->
+        ran_on := (Domain.self () :> int);
+        7)
+  in
+  Alcotest.(check int)
+    "ran inline in the caller before await"
+    ((Domain.self () :> int))
+    !ran_on;
+  Alcotest.(check int) "value" 7 (Pool.await fut);
+  Pool.shutdown pool
+
+let test_exception_does_not_wedge () =
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let bad = Pool.submit pool (fun () -> failwith "boom") in
+      let good = Pool.submit pool (fun () -> 41) in
+      (match Pool.await bad with
+      | _ -> Alcotest.fail "await of a failed task must raise"
+      | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+      Alcotest.(check int) "sibling task unaffected" 41 (Pool.await good);
+      Alcotest.(check (list int))
+        "pool still runs new work after a task raised" [ 2; 3; 4 ]
+        (Pool.map_list pool (fun x -> x + 1) [ 1; 2; 3 ]))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:3 () in
+  let futures = List.init 20 (fun i -> Pool.submit pool (fun () -> i * 2)) in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* Queued futures completed during the shutdown drain. *)
+  List.iteri
+    (fun i future ->
+      Alcotest.(check int) "drained on shutdown" (i * 2) (Pool.await future))
+    futures;
+  Alcotest.(check int)
+    "submissions after shutdown run inline" 9
+    (Pool.await (Pool.submit pool (fun () -> 9)))
+
+let test_nested_submission () =
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let total =
+        Pool.await
+          (Pool.submit pool (fun () ->
+               List.fold_left ( + ) 0
+                 (Pool.map_list pool (fun x -> x * 10) [ 1; 2; 3 ])))
+      in
+      Alcotest.(check int) "nested map_list on the same pool" 60 total)
+
+let test_shared_registry () =
+  let p1 = Pool.shared ~domains:3 in
+  let p2 = Pool.shared ~domains:3 in
+  Alcotest.(check bool) "one pool per size" true (p1 == p2);
+  Alcotest.(check int) "size" 3 (Pool.size p1)
+
+let test_chunks () =
+  Alcotest.(check (list (list int)))
+    "splits in order"
+    [ [ 1; 2 ]; [ 3; 4 ]; [ 5 ] ]
+    (Pool.chunks ~size:2 [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (list (list int))) "empty" [] (Pool.chunks ~size:4 []);
+  Alcotest.(check (list (list int)))
+    "size clamped to 1"
+    [ [ 1 ]; [ 2 ] ]
+    (Pool.chunks ~size:0 [ 1; 2 ])
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          quick "map_list preserves order and values" test_map_list;
+          quick "size-1 pool runs submissions inline" test_sequential_fallback;
+          quick "a raising task re-raises on await and does not wedge the pool"
+            test_exception_does_not_wedge;
+          quick "shutdown is idempotent and drains queued tasks"
+            test_shutdown_idempotent;
+          quick "tasks may submit sub-tasks to their own pool"
+            test_nested_submission;
+          quick "shared registry returns one pool per size" test_shared_registry;
+          quick "chunks splits lists in order" test_chunks;
+        ] );
+    ]

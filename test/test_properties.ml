@@ -470,6 +470,126 @@ let bounded_screening_sound seed =
     ok := false;
   !ok
 
+(* ------------------------------------------------------------------ *)
+(* Parallel commit is observationally identical to sequential commit: *)
+(* same seed driven through a 1-domain and a 4-domain manager must    *)
+(* produce identical materializations, reports (timings aside) and    *)
+(* cumulative counters.                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Manager = Ivm.Manager
+
+let report_key (r : Maintenance.report) =
+  ( r.Maintenance.view_name,
+    Maintenance.strategy_name r.Maintenance.strategy_used,
+    ( r.Maintenance.screened_out,
+      r.Maintenance.screened_kept,
+      r.Maintenance.rows_evaluated ),
+    (r.Maintenance.delta_inserts, r.Maintenance.delta_deletes) )
+
+let stats_key (s : Manager.stats) =
+  ( ( s.Manager.commits,
+      s.Manager.rows_evaluated,
+      s.Manager.screened_out,
+      s.Manager.screened_kept ),
+    ( s.Manager.tuples_inserted,
+      s.Manager.tuples_deleted,
+      s.Manager.recomputations ),
+    ( s.Manager.advisor_decisions,
+      s.Manager.advisor_agreements,
+      s.Manager.predicted_differential_cost,
+      s.Manager.predicted_recompute_cost ) )
+
+(* Replays one seed through a manager of the given parallelism.  Every
+   random choice comes from the reseeded [rng], and the database evolves
+   identically commit by commit, so both runs see the same scenario, view
+   set and transaction stream. *)
+let run_parallel_workload ~domains seed =
+  let rng = Rng.make seed in
+  let scenario = random_scenario rng in
+  let mgr = Manager.create ~domains scenario.db in
+  let strategies =
+    [| Maintenance.Differential; Maintenance.Adaptive; Maintenance.Recompute |]
+  in
+  let exprs =
+    [
+      Expr.(select (v "A" <% i 200) (base "R"));
+      Expr.(join (base "R") (base "S"));
+      Expr.(project [ "A"; "C" ] (select (v "C" >% i 2) (join (base "R") (base "S"))));
+      Expr.(join_all [ base "R"; base "S"; base "T" ]);
+      Expr.(select ((v "B" >=% i 2) &&% (v "C" <=% i 15)) (join (base "S") (base "T")));
+    ]
+  in
+  List.iteri
+    (fun k expr ->
+      let options =
+        {
+          Maintenance.default_options with
+          strategy = strategies.(k mod Array.length strategies);
+          screen = Rng.chance rng 0.8;
+        }
+      in
+      ignore
+        (Manager.define_view mgr
+           ~name:(Printf.sprintf "v%d" k)
+           ~force:true ~options expr))
+    exprs;
+  ignore
+    (Manager.define_view mgr ~name:"deferred" ~mode:Manager.Deferred ~force:true
+       Expr.(project [ "B" ] (base "R")));
+  let report_keys = ref [] in
+  for _ = 1 to 4 do
+    let txn = Generate.mixed_transaction rng scenario.db scenario.update_specs in
+    let reports = Manager.commit mgr txn in
+    report_keys := !report_keys @ List.map report_key reports
+  done;
+  report_keys := !report_keys @ List.map report_key (Manager.refresh_all mgr);
+  let materializations =
+    List.map
+      (fun name ->
+        ( name,
+          List.sort compare
+            (Relation.elements (View.contents (Manager.view mgr name))) ))
+      (Manager.view_names mgr)
+  in
+  let counters =
+    List.map (fun name -> (name, stats_key (Manager.stats mgr name)))
+      (Manager.view_names mgr)
+  in
+  (materializations, !report_keys, counters)
+
+let parallel_equals_sequential seed =
+  run_parallel_workload ~domains:1 seed = run_parallel_workload ~domains:4 seed
+
+(* The chunked screening path needs update sets past its 2*512-tuple
+   threshold, larger than any commit the other properties make — drive
+   Irrelevance.screen_delta_stats directly on a big delta and require
+   tuple-for-tuple (and count-for-count) agreement with the sequential
+   path. *)
+let chunked_screening_equals_sequential seed =
+  let rng = Rng.make seed in
+  let scenario = random_scenario rng in
+  let view =
+    View.define ~name:"v" ~db:scenario.db
+      Expr.(
+        select
+          ((v "A" <% i 200) &&% (v "C" >% i 5))
+          (join (base "R") (base "S")))
+  in
+  let screen = Ivm.View.screen_for view ~alias:"R" in
+  let schema = View.qualified_schema view ~alias:"R" in
+  let big_side () =
+    List.init 2_000 (fun _ ->
+        Tuple.of_ints [ Rng.range rng ~lo:(-100) ~hi:500; Rng.int rng 40 ])
+  in
+  let delta = Delta.of_lists schema (big_side (), big_side ()) in
+  let pool = Exec.Pool.shared ~domains:4 in
+  let seq, seq_stats = Ivm.Irrelevance.screen_delta_stats screen delta in
+  let par, par_stats = Ivm.Irrelevance.screen_delta_stats ~pool screen delta in
+  seq_stats = par_stats
+  && Relation.equal seq.Delta.inserts par.Delta.inserts
+  && Relation.equal seq.Delta.deletes par.Delta.deletes
+
 let () =
   Alcotest.run "properties"
     [
@@ -481,6 +601,13 @@ let () =
             tagged_equals_pair;
           property "irrelevant updates never change the view" ~count:80
             irrelevance_sound;
+        ] );
+      ( "parallel",
+        [
+          property "commit on 4 domains = commit on 1 domain" ~count:100
+            parallel_equals_sequential;
+          property "chunked parallel screening = sequential screening"
+            ~count:25 chunked_screening_equals_sequential;
         ] );
       ( "algebra",
         [

@@ -7,7 +7,11 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
+# The whole suite runs twice: sequential (the default) and with the
+# maintenance engine fanning views out over a 4-domain pool, so the
+# parallel path is exercised by every test, not just the dedicated ones.
 dune runtest
+IVM_DOMAINS=4 dune runtest --force
 dune exec bin/ivm_cli.exe -- lint --all-scenarios
 
 # Bench smoke: one cheap section; every run also writes BENCH_IVM.json.

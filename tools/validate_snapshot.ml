@@ -6,9 +6,12 @@
                                       contain spans for every Algorithm
                                       5.1 phase (net, screen, row, apply);
      validate_snapshot bench FILE   — BENCH_IVM.json from bench/main.exe:
-                                      must parse and carry per-view
-                                      latency percentiles plus advisor
-                                      predicted-vs-actual pairs.
+                                      must parse, be schema_version >= 2,
+                                      and carry per-view latency
+                                      percentiles, advisor
+                                      predicted-vs-actual pairs, and the
+                                      E18 domain-scaling curve with its
+                                      speedup fields.
 
    Exits nonzero with a reason on any violation, so tools/check.sh can
    assert that the instrumentation keeps emitting what downstream tooling
@@ -85,8 +88,41 @@ let validate_bench path =
     pairs;
   ignore (require_member "calibration" advisor);
   ignore (require_member "metrics" json);
-  Printf.printf "ok: %s (%d views, %d advisor pairs)\n" path
-    (List.length views) (List.length pairs)
+  (match require_member "schema_version" json with
+  | Obs.Json.Int v when v >= 2 -> ()
+  | Obs.Json.Int v ->
+    fail "schema_version %d < 2 (E18 parallel section required)" v
+  | _ -> fail "schema_version is not an integer");
+  let parallel = require_member "parallel" json in
+  let parallel_member key =
+    match Obs.Json.member key parallel with
+    | Some v -> v
+    | None -> fail "parallel section has no %S field" key
+  in
+  let curve = as_list "parallel.curve" (parallel_member "curve") in
+  if curve = [] then fail "parallel.curve is empty";
+  List.iter
+    (fun point ->
+      List.iter
+        (fun key ->
+          if Obs.Json.member key point = None then
+            fail "a parallel.curve point has no %S field" key)
+        [ "domains"; "elapsed_ns"; "commits_per_sec"; "speedup" ])
+    curve;
+  (* The speedup values themselves are hardware-dependent (flat on a
+     single core), so the gate checks presence and sanity, not a
+     threshold. *)
+  List.iter
+    (fun key ->
+      match parallel_member key with
+      | Obs.Json.Float s when s > 0.0 -> ()
+      | Obs.Json.Float _ -> fail "parallel.%s is not positive" key
+      | _ -> fail "parallel.%s is not a float" key)
+    [ "speedup_at_2"; "speedup_at_4"; "speedup_at_8" ];
+  ignore (parallel_member "cores_available");
+  Printf.printf
+    "ok: %s (%d views, %d advisor pairs, %d-point domain-scaling curve)\n" path
+    (List.length views) (List.length pairs) (List.length curve)
 
 let () =
   match Sys.argv with
