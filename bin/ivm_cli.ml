@@ -359,6 +359,46 @@ let run_lint all_scenarios dir file keys quiet statements =
   end
 
 (* ------------------------------------------------------------------ *)
+(* ivm-cli fuzz                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_fuzz seed streams transactions domains quiet =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Option.value ~default:1 (Exec.Pool.env_domains ())
+  in
+  let progress k =
+    if (not quiet) && k mod 10 = 0 then begin
+      Printf.printf "fuzz: %d/%d streams clean\n" k streams;
+      flush stdout
+    end
+  in
+  let outcome =
+    Oracle.Fuzz.run ~progress ~seed ~streams ~transactions ~domains ()
+  in
+  match outcome.Oracle.Fuzz.failure with
+  | None ->
+    Printf.printf
+      "fuzz passed: %d streams x %d transactions (%d committed) at \
+       domains=%d, seed %d; engine always agreed with the naive recompute \
+       oracle\n"
+      outcome.Oracle.Fuzz.streams_run transactions
+      outcome.Oracle.Fuzz.transactions_run domains seed;
+    0
+  | Some counterexample ->
+    Printf.printf "fuzz FAILED on stream %d of %d (seed %d):\n\n"
+      outcome.Oracle.Fuzz.streams_run streams
+      (seed + outcome.Oracle.Fuzz.streams_run - 1);
+    Format.printf "%a@." Oracle.Fuzz.pp_counterexample counterexample;
+    Printf.printf
+      "\nreplay: ivm-cli fuzz --seed %d --streams 1 --transactions %d \
+       --domains %d\n"
+      (seed + outcome.Oracle.Fuzz.streams_run - 1)
+      transactions domains;
+    1
+
+(* ------------------------------------------------------------------ *)
 (* ivm-cli stats / trace                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -673,6 +713,37 @@ let lint_cmd =
     Term.(
       const run_lint $ all_scenarios $ dir $ file $ keys $ quiet $ statements)
 
+let fuzz_cmd =
+  let streams =
+    Arg.(
+      value & opt int 25
+      & info [ "streams" ] ~docv:"N"
+          ~doc:"Independent random streams (stream $(i,k) uses seed + k).")
+  in
+  let transactions =
+    Arg.(
+      value & opt int 40
+      & info [ "transactions" ] ~docv:"K" ~doc:"Transactions per stream.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing against the naive oracle: long randomized \
+          transaction streams (mixed insert/delete batches, multi-relation \
+          updates, correlated deletes, no-ops, provably irrelevant updates) \
+          are replayed through the full maintenance stack and through a \
+          reference engine that recomputes every view from scratch after \
+          each transaction.  Materializations, multiplicity counters and \
+          screening decisions must agree after every commit; the first \
+          divergence is shrunk to a minimal replayable counterexample and \
+          printed.  Exits nonzero on divergence, making it usable as a CI \
+          gate and for soak runs.")
+    Term.(
+      const run_fuzz $ seed_arg $ streams $ transactions $ domains_arg $ quiet)
+
 let scenario_arg =
   Arg.(
     value
@@ -764,6 +835,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            example_cmd; check_cmd; stream_cmd; query_cmd; lint_cmd; stats_cmd;
-            trace_cmd;
+            example_cmd; check_cmd; stream_cmd; query_cmd; lint_cmd; fuzz_cmd;
+            stats_cmd; trace_cmd;
           ]))

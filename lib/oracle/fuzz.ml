@@ -1,0 +1,56 @@
+type counterexample = {
+  stream : Stream.t;
+  original_size : int;
+  divergence : Harness.divergence;
+}
+
+type outcome = {
+  streams_run : int;
+  transactions_run : int;
+  failure : counterexample option;
+}
+
+let shrink_failure stream =
+  let fails candidate = Harness.run candidate <> None in
+  let minimized = Shrink.minimize fails stream in
+  match Harness.run minimized with
+  | Some divergence ->
+    { stream = minimized; original_size = Stream.size stream; divergence }
+  | None ->
+    (* Cannot happen: minimize only adopts failing candidates and its
+       input fails.  Fall back to the unshrunk stream defensively. *)
+    {
+      stream;
+      original_size = Stream.size stream;
+      divergence =
+        Option.get (Harness.run stream);
+    }
+
+let run ?(progress = fun _ -> ()) ~seed ~streams ~transactions ~domains () =
+  let rec loop k transactions_run =
+    if k >= streams then
+      { streams_run = streams; transactions_run; failure = None }
+    else begin
+      let stream =
+        Stream.generate ~domains ~seed:(seed + k) ~transactions ()
+      in
+      match Harness.run stream with
+      | None ->
+        progress (k + 1);
+        loop (k + 1) (transactions_run + List.length stream.Stream.transactions)
+      | Some _ ->
+        {
+          streams_run = k + 1;
+          transactions_run =
+            transactions_run + List.length stream.Stream.transactions;
+          failure = Some (shrink_failure stream);
+        }
+    end
+  in
+  loop 0 0
+
+let pp_counterexample ppf c =
+  Format.fprintf ppf
+    "@[<v>%a@,@,minimal counterexample (shrunk from size %d to %d):@,%a@]"
+    Harness.pp_divergence c.divergence c.original_size (Stream.size c.stream)
+    Stream.pp c.stream

@@ -1,0 +1,30 @@
+(** Top-level fuzz loop: generate streams, replay them against the
+    reference, shrink the first divergence into a minimal replayable
+    counterexample. *)
+
+type counterexample = {
+  stream : Stream.t;  (** minimized *)
+  original_size : int;  (** {!Stream.size} before shrinking *)
+  divergence : Harness.divergence;  (** on the minimized stream *)
+}
+
+type outcome = {
+  streams_run : int;
+  transactions_run : int;
+  failure : counterexample option;
+}
+
+(** [run ~seed ~streams ~transactions ~domains ()] replays [streams]
+    independent streams — stream [k] is generated from seed [seed + k] —
+    each [transactions] transactions long, stopping at (and shrinking) the
+    first divergence.  [progress] is called after every clean stream. *)
+val run :
+  ?progress:(int -> unit) ->
+  seed:int ->
+  streams:int ->
+  transactions:int ->
+  domains:int ->
+  unit ->
+  outcome
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,0 +1,180 @@
+open Relalg
+module Manager = Ivm.Manager
+module View = Ivm.View
+
+type kind =
+  | Base_relations
+  | Materialization
+  | Counters
+  | Screening
+
+type divergence = {
+  transaction_index : int;
+  view : string;
+  kind : kind;
+  detail : string;
+}
+
+let kind_name = function
+  | Base_relations -> "base relations"
+  | Materialization -> "materialization"
+  | Counters -> "counters"
+  | Screening -> "screening"
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "%s divergence on %S after transaction %d: %s"
+    (kind_name d.kind) d.view (d.transaction_index + 1) d.detail
+
+exception Diverged of divergence
+
+(* Up to [limit] (tuple, engine count, reference count) entries where the
+   two relations disagree, for a readable detail line. *)
+let describe_diff ?(limit = 4) engine reference =
+  let disagreements = ref [] in
+  let note t ce cr =
+    if ce <> cr && not (List.mem_assoc t !disagreements) then
+      disagreements := (t, (ce, cr)) :: !disagreements
+  in
+  Relation.iter (fun t ce -> note t ce (Relation.count reference t)) engine;
+  Relation.iter (fun t cr -> note t (Relation.count engine t) cr) reference;
+  let shown = List.filteri (fun i _ -> i < limit) (List.rev !disagreements) in
+  let entries =
+    List.map
+      (fun (t, (ce, cr)) ->
+        Printf.sprintf "%s engine#%d reference#%d" (Stream.tuple_to_string t)
+          ce cr)
+      shown
+  in
+  Printf.sprintf "%d vs %d tuples; %s%s" (Relation.cardinal engine)
+    (Relation.cardinal reference)
+    (String.concat ", " entries)
+    (if List.length !disagreements > limit then ", ..." else "")
+
+(* Screening soundness in the pre-transaction state: for every operation
+   whose tuple is valid against that state, if the engine's screens drop
+   the tuple for every alias of the relation in a view, toggling it must
+   leave the reference's from-scratch evaluation of that view unchanged. *)
+let check_screening reference mgr (s : Stream.t) index txn =
+  let ref_db = Reference.database reference in
+  List.iter
+    (fun (spec : Stream.view_spec) ->
+      if spec.Stream.options.Ivm.Maintenance.screen then begin
+        let view = Manager.view mgr spec.Stream.view_name in
+        let spj = View.spj view in
+        List.iter
+          (fun op ->
+            let relation, tuple, insert =
+              match op with
+              | Transaction.Insert (r, t) -> (r, t, true)
+              | Transaction.Delete (r, t) -> (r, t, false)
+            in
+            let valid_in_pre_state =
+              let present = Relation.mem (Database.find ref_db relation) tuple in
+              if insert then not present else present
+            in
+            let aliases = Query.Spj.sources_of_relation spj relation in
+            if valid_in_pre_state && aliases <> [] then begin
+              let engine_irrelevant =
+                List.for_all
+                  (fun (source : Query.Spj.source) ->
+                    not
+                      (Ivm.Irrelevance.relevant
+                         (View.screen_for view ~alias:source.Query.Spj.alias)
+                         tuple))
+                  aliases
+              in
+              if
+                engine_irrelevant
+                && Reference.tuple_affects reference
+                     ~view:spec.Stream.view_name ~relation ~insert tuple
+              then
+                raise
+                  (Diverged
+                     {
+                       transaction_index = index;
+                       view = spec.Stream.view_name;
+                       kind = Screening;
+                       detail =
+                         Printf.sprintf
+                           "screens prove %s %s %s %S irrelevant, but it \
+                            changes the recomputed view"
+                           (if insert then "inserting" else "deleting")
+                           (Stream.tuple_to_string tuple)
+                           (if insert then "into" else "from")
+                           relation;
+                     })
+            end)
+          txn
+      end)
+    s.Stream.views
+
+let compare_states reference mgr db (s : Stream.t) index =
+  let ref_db = Reference.database reference in
+  List.iter
+    (fun name ->
+      let engine = Database.find db name in
+      let oracle = Database.find ref_db name in
+      if not (Relation.equal engine oracle) then
+        raise
+          (Diverged
+             {
+               transaction_index = index;
+               view = name;
+               kind = Base_relations;
+               detail = describe_diff engine oracle;
+             }))
+    (Database.names db);
+  List.iter
+    (fun (spec : Stream.view_spec) ->
+      let engine = View.contents (Manager.view mgr spec.Stream.view_name) in
+      let oracle = Reference.contents reference spec.Stream.view_name in
+      if not (Relation.equal engine oracle) then
+        raise
+          (Diverged
+             {
+               transaction_index = index;
+               view = spec.Stream.view_name;
+               kind =
+                 (if Relation.set_equal engine oracle then Counters
+                  else Materialization);
+               detail = describe_diff engine oracle;
+             }))
+    s.Stream.views
+
+let run ?(corrupt = fun _ _ -> ()) (s : Stream.t) =
+  let db = Stream.build_db s in
+  let mgr = Manager.create ~domains:s.Stream.domains db in
+  List.iter
+    (fun (spec : Stream.view_spec) ->
+      ignore
+        (Manager.define_view mgr ~name:spec.Stream.view_name ~force:true
+           ~options:spec.Stream.options spec.Stream.expr))
+    s.Stream.views;
+  let reference = Reference.create db in
+  List.iter
+    (fun (spec : Stream.view_spec) ->
+      Reference.define reference ~name:spec.Stream.view_name spec.Stream.expr)
+    s.Stream.views;
+  match
+    List.iteri
+      (fun index raw ->
+        let txn = Stream.filter_valid db raw in
+        check_screening reference mgr s index txn;
+        (match Manager.commit mgr txn with
+        | (_ : Ivm.Maintenance.report list) -> ()
+        | exception exn ->
+          raise
+            (Diverged
+               {
+                 transaction_index = index;
+                 view = "";
+                 kind = Materialization;
+                 detail = "engine raised: " ^ Printexc.to_string exn;
+               }));
+        corrupt mgr index;
+        Reference.step reference txn;
+        compare_states reference mgr db s index)
+      s.Stream.transactions
+  with
+  | () -> None
+  | exception Diverged d -> Some d

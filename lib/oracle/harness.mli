@@ -1,0 +1,40 @@
+(** Model-based comparison of the maintenance engine against the naive
+    reference.
+
+    {!run} replays a stream twice in lockstep — once through the full
+    stack ({!Ivm.Manager} with the stream's domain count and per-view
+    options) and once through {!Reference} — and checks after {e every}
+    commit that:
+
+    - the base relations agree (transactions installed identically);
+    - every materialization agrees tuple for tuple {e and counter for
+      counter} with a from-scratch recompute;
+    - every screening decision is sound: an update tuple the engine's
+      Theorem 4.1 screens drop for all aliases of a view must leave that
+      view's from-scratch evaluation unchanged when toggled in the
+      pre-transaction state.
+
+    The first violated check stops the run and is reported as a
+    {!divergence}; [None] means the whole stream replayed cleanly. *)
+
+type kind =
+  | Base_relations  (** engine and reference base states differ *)
+  | Materialization  (** visible tuple sets differ *)
+  | Counters  (** same tuple set, different multiplicities *)
+  | Screening  (** a screened-out tuple changes the view *)
+
+type divergence = {
+  transaction_index : int;  (** 0-based index into the stream *)
+  view : string;
+  kind : kind;
+  detail : string;
+}
+
+val kind_name : kind -> string
+val pp_divergence : Format.formatter -> divergence -> unit
+
+(** [run ?corrupt stream] replays [stream]; [corrupt], used by the test
+    suite to simulate maintenance bugs, runs after each commit with the
+    manager and the 0-based transaction index and may tamper with the
+    engine's state. *)
+val run : ?corrupt:(Ivm.Manager.t -> int -> unit) -> Stream.t -> divergence option

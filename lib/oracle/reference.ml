@@ -1,0 +1,78 @@
+open Relalg
+
+type entry = {
+  name : string;
+  expr : Query.Expr.t;
+  mutable materialization : Relation.t;
+}
+
+type t = {
+  db : Database.t;
+  mutable views : entry list; (* in definition order *)
+}
+
+let create db = { db = Database.copy db; views = [] }
+let database t = t.db
+
+let define t ~name expr =
+  if List.exists (fun e -> String.equal e.name name) t.views then
+    invalid_arg (Printf.sprintf "Reference.define: %S already exists" name);
+  t.views <-
+    t.views @ [ { name; expr; materialization = Query.Eval.eval t.db expr } ]
+
+let view_names t = List.map (fun e -> e.name) t.views
+
+let entry t name =
+  match List.find_opt (fun e -> String.equal e.name name) t.views with
+  | Some e -> e
+  | None -> raise Not_found
+
+let contents t name = (entry t name).materialization
+
+let apply t txn =
+  List.iter
+    (fun op ->
+      match op with
+      | Transaction.Insert (relation, tuple) ->
+        let r = Database.find t.db relation in
+        if Relation.mem r tuple then
+          invalid_arg
+            (Printf.sprintf "Reference.apply: duplicate insert into %S"
+               relation);
+        Relation.add r tuple
+      | Transaction.Delete (relation, tuple) ->
+        let r = Database.find t.db relation in
+        if not (Relation.mem r tuple) then
+          invalid_arg
+            (Printf.sprintf "Reference.apply: delete of absent tuple from %S"
+               relation);
+        Relation.remove r tuple)
+    txn
+
+let refresh t =
+  List.iter (fun e -> e.materialization <- Query.Eval.eval t.db e.expr) t.views
+
+let step t txn =
+  apply t txn;
+  refresh t
+
+let tuple_affects t ~view ~relation ~insert tuple =
+  let e = entry t view in
+  let r = Database.find t.db relation in
+  let toggle () =
+    if insert then Relation.add r tuple else Relation.remove r tuple
+  in
+  let untoggle () =
+    if insert then Relation.remove r tuple else Relation.add r tuple
+  in
+  let before = Query.Eval.eval t.db e.expr in
+  toggle ();
+  let after =
+    match Query.Eval.eval t.db e.expr with
+    | after -> after
+    | exception exn ->
+      untoggle ();
+      raise exn
+  in
+  untoggle ();
+  not (Relation.equal before after)

@@ -1,0 +1,60 @@
+(** Deliberately naive reference engine for differential testing.
+
+    The whole maintenance stack (screening, counted tagged evaluation,
+    domain-pool commits) is checked against the one definition nobody can
+    argue with: after every transaction, a view's contents are whatever a
+    full re-evaluation of its defining expression over the current base
+    relations produces (Algorithm 5.1's correctness statement, Theorems
+    4.1/4.2).  This engine implements exactly that and {e nothing} else:
+
+    - transactions are applied tuple by tuple to plain set relations (no
+      netting, no deltas);
+    - every view is recomputed from scratch via {!Query.Eval.eval} after
+      each transaction, so multiplicity counters come straight from the
+      counted operator semantics over raw base multiplicities;
+    - no code is shared with [lib/core]'s maintenance path — a bug there
+      cannot cancel out here. *)
+
+open Relalg
+
+type t
+
+(** [create db] snapshots a deep copy of [db]; the reference evolves
+    independently of the engine under test. *)
+val create : Database.t -> t
+
+(** The reference's own base state. *)
+val database : t -> Database.t
+
+(** [define t ~name expr] registers a view and materializes it by direct
+    evaluation.
+    @raise Invalid_argument if the name is taken. *)
+val define : t -> name:string -> Query.Expr.t -> unit
+
+val view_names : t -> string list
+
+(** Current reference materialization.
+    @raise Not_found for unknown names. *)
+val contents : t -> string -> Relation.t
+
+(** [apply t txn] installs a transaction naively: each insert must be
+    absent, each delete present.
+    @raise Invalid_argument on an invalid operation (the state is then
+    partially updated — callers feed only valid transactions). *)
+val apply : t -> Transaction.t -> unit
+
+(** Recompute every view from scratch against the current base state. *)
+val refresh : t -> unit
+
+(** [step t txn] is {!apply} followed by {!refresh}. *)
+val step : t -> Transaction.t -> unit
+
+(** [tuple_affects t ~view ~relation ~insert tuple] brute-forces the
+    relevance question in the current state: toggle [tuple]'s membership
+    in [relation] the way the operation would ([insert = true] adds it,
+    otherwise removes it), re-evaluate [view] from scratch, undo the
+    toggle, and report whether the materialization changed.  A tuple the
+    engine screens out as irrelevant by Theorem 4.1 must never affect the
+    view — in this state or any other. *)
+val tuple_affects :
+  t -> view:string -> relation:string -> insert:bool -> Tuple.t -> bool

@@ -54,6 +54,27 @@ let fresh rng r columns n =
   done;
   !out
 
+let fresh_where rng r columns ~pred n =
+  let out = ref [] in
+  let seen = Hashtbl.create (2 * n) in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  let budget = (n * 200) + 2000 in
+  while !count < n && !attempts <= budget do
+    incr attempts;
+    let t = tuple rng columns in
+    if
+      (not (Relation.mem r t))
+      && (not (Hashtbl.mem seen t))
+      && pred t
+    then begin
+      Hashtbl.replace seen t ();
+      out := t :: !out;
+      incr count
+    end
+  done;
+  !out
+
 let transaction rng db name ~columns ~inserts ~deletes =
   let r = Database.find db name in
   let to_delete = pick rng r deletes in
@@ -66,3 +87,44 @@ let mixed_transaction rng db specs =
     (fun (name, columns, inserts, deletes) ->
       transaction rng db name ~columns ~inserts ~deletes)
     specs
+
+let update_transaction rng db name ~columns ~updates =
+  let r = Database.find db name in
+  let victims = pick rng r updates in
+  let replacements = fresh rng r columns (List.length victims) in
+  List.concat
+    (List.map2
+       (fun old_t new_t ->
+         [ Transaction.delete name old_t; Transaction.insert name new_t ])
+       victims replacements)
+
+let noop_transaction rng db name ~columns ~n =
+  let r = Database.find db name in
+  let tuples = fresh rng r columns n in
+  List.map (fun t -> Transaction.insert name t) tuples
+  @ List.map (fun t -> Transaction.delete name t) tuples
+
+let correlated_transaction rng db name ~key ~columns ~inserts ~deletes =
+  let r = Database.find db name in
+  match pick rng r 1 with
+  | [] -> []
+  | pivot :: _ ->
+    let pivot_value = Tuple.get pivot key in
+    let sharing =
+      Relation.fold
+        (fun t _ acc ->
+          if Value.equal (Tuple.get t key) pivot_value then t :: acc else acc)
+        r []
+    in
+    let sharing = Array.of_list sharing in
+    Rng.shuffle rng sharing;
+    let to_delete =
+      Array.to_list (Array.sub sharing 0 (min deletes (Array.length sharing)))
+    in
+    let to_insert =
+      fresh_where rng r columns
+        ~pred:(fun t -> Value.equal (Tuple.get t key) pivot_value)
+        inserts
+    in
+    List.map (fun t -> Transaction.delete name t) to_delete
+    @ List.map (fun t -> Transaction.insert name t) to_insert

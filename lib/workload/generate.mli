@@ -30,6 +30,19 @@ val pick : Rng.t -> Relation.t -> int -> Tuple.t list
     @raise Invalid_argument when the domain is too small. *)
 val fresh : Rng.t -> Relation.t -> column list -> int -> Tuple.t list
 
+(** [fresh_where rng r columns ~pred n] is like {!fresh} restricted to
+    tuples satisfying [pred], but {e best-effort}: when the retry budget
+    runs out it returns however many tuples it found (possibly none)
+    instead of raising.  Used to hunt for rare tuples — e.g. updates a
+    Theorem 4.1 screen provably ignores. *)
+val fresh_where :
+  Rng.t ->
+  Relation.t ->
+  column list ->
+  pred:(Tuple.t -> bool) ->
+  int ->
+  Tuple.t list
+
 (** [transaction rng db name ~columns ~inserts ~deletes] builds a valid
     transaction against the current state: deletions sample existing
     tuples, insertions are fresh. *)
@@ -47,4 +60,44 @@ val mixed_transaction :
   Rng.t ->
   Database.t ->
   (string * column list * int * int) list ->
+  Transaction.t
+
+(** [update_transaction rng db name ~columns ~updates] models in-place
+    updates as the paper's delete+insert pairs: up to [updates] existing
+    tuples are each deleted and replaced by a fresh tuple in the same
+    transaction. *)
+val update_transaction :
+  Rng.t ->
+  Database.t ->
+  string ->
+  columns:column list ->
+  updates:int ->
+  Transaction.t
+
+(** [noop_transaction rng db name ~columns ~n] inserts [n] fresh tuples and
+    deletes them again within the same transaction — a valid transaction
+    whose net effect is empty, exactly the case Section 3 requires netting
+    to cancel. *)
+val noop_transaction :
+  Rng.t ->
+  Database.t ->
+  string ->
+  columns:column list ->
+  n:int ->
+  Transaction.t
+
+(** [correlated_transaction rng db name ~key ~columns ~inserts ~deletes]
+    generates churn correlated on the value of column index [key]: a pivot
+    value is sampled from an existing tuple, deletions target only tuples
+    sharing it, and insertions are fresh tuples forced (best-effort, via
+    {!fresh_where}) to share it too.  Returns the empty transaction on an
+    empty relation. *)
+val correlated_transaction :
+  Rng.t ->
+  Database.t ->
+  string ->
+  key:int ->
+  columns:column list ->
+  inserts:int ->
+  deletes:int ->
   Transaction.t

@@ -205,6 +205,64 @@ let json_tests =
           (Obs.Json.parse "\"\\u2603\"" = Ok (Obs.Json.Str "\xe2\x98\x83")));
   ]
 
+(* Random JSON documents for the round-trip property.  Floats are drawn
+   as k + 0.5: exact in binary and never integral, so neither the
+   printer's integral-float shortcut (which re-parses as Int) nor the
+   %.12g rendering can change the value.  Strings mix quotes,
+   backslashes, control characters and plain text to exercise every
+   escaping path. *)
+let json_gen =
+  let open QCheck.Gen in
+  let json_char = oneofl [ 'a'; 'z'; ' '; '"'; '\\'; '\n'; '\t'; '\x01'; '/' ] in
+  let json_string = string_size ~gen:json_char (int_range 0 8) in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) (int_range (-1_000_000) 1_000_000);
+        map
+          (fun k -> Obs.Json.Float (float_of_int k +. 0.5))
+          (int_range (-1000) 1000);
+        map (fun s -> Obs.Json.Str s) json_string;
+      ]
+  in
+  let rec tree depth =
+    if depth = 0 then scalar
+    else
+      frequency
+        [
+          (3, scalar);
+          ( 1,
+            map
+              (fun l -> Obs.Json.List l)
+              (list_size (int_range 0 4) (tree (depth - 1))) );
+          ( 1,
+            map
+              (fun kvs -> Obs.Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair json_string (tree (depth - 1)))) );
+        ]
+  in
+  tree 3
+
+let json_property_tests =
+  let property name law =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:500 ~name
+         (QCheck.make ~print:Obs.Json.to_string json_gen)
+         law)
+  in
+  [
+    property "print then parse is the identity" (fun doc ->
+        Obs.Json.parse (Obs.Json.to_string doc) = Ok doc);
+    property "printing is stable across one round-trip" (fun doc ->
+        let printed = Obs.Json.to_string doc in
+        match Obs.Json.parse printed with
+        | Error m -> QCheck.Test.fail_report m
+        | Ok reparsed -> Obs.Json.to_string reparsed = printed);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Advisor calibration                                                *)
 (* ------------------------------------------------------------------ *)
@@ -414,6 +472,7 @@ let () =
       ("metrics", metrics_tests);
       ("spans", span_tests);
       ("json", json_tests);
+      ("json round-trip properties", json_property_tests);
       ("advisor calibration", advisor_tests);
       ("integration (example 5.5)", integration_tests);
     ]

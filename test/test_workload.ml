@@ -1,0 +1,153 @@
+(* Workload generators: the negative paths (retry-budget exhaustion,
+   saturated domains) and the semantics of the transaction shapes the
+   oracle fuzzer leans on (updates as delete+insert pairs, no-op
+   transactions, correlated churn). *)
+
+open Relalg
+open Helpers
+module Rng = Workload.Rng
+module Generate = Workload.Generate
+
+let tiny_cols = [ Generate.Uniform (0, 1); Generate.Uniform (0, 1) ]
+let tiny_schema = int_schema [ "A"; "B" ]
+
+(* All four tuples of the {0,1} x {0,1} domain. *)
+let saturated () =
+  Relation.of_tuples tiny_schema
+    (List.map Tuple.of_ints [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ])
+
+let negative_tests =
+  [
+    quick "relation raises when the domain is too small for the size"
+      (fun () ->
+        let rng = Rng.make 1 in
+        try
+          ignore
+            (Generate.relation rng
+               (int_schema [ "A" ])
+               [ Generate.Uniform (0, 1) ]
+               10);
+          Alcotest.fail "generated 10 distinct tuples from a 2-value domain"
+        with Invalid_argument _ -> ());
+    quick "relation succeeds at exactly the domain size" (fun () ->
+        let rng = Rng.make 1 in
+        let r = Generate.relation rng tiny_schema tiny_cols 4 in
+        Alcotest.(check int) "all four tuples" 4 (Relation.cardinal r));
+    quick "fresh raises on a saturated domain" (fun () ->
+        let rng = Rng.make 1 in
+        try
+          ignore (Generate.fresh rng (saturated ()) tiny_cols 1);
+          Alcotest.fail "found a fresh tuple in a saturated domain"
+        with Invalid_argument _ -> ());
+    quick "fresh_where is best-effort: unsatisfiable predicate gives []"
+      (fun () ->
+        let rng = Rng.make 1 in
+        let found =
+          Generate.fresh_where rng
+            (Relation.create tiny_schema)
+            tiny_cols
+            ~pred:(fun _ -> false)
+            3
+        in
+        Alcotest.(check int) "nothing found, no exception" 0
+          (List.length found));
+    quick "fresh_where results are fresh, distinct and satisfy the predicate"
+      (fun () ->
+        let rng = Rng.make 7 in
+        let r =
+          Relation.of_tuples tiny_schema [ Tuple.of_ints [ 0; 0 ] ]
+        in
+        let pred t = Value.int (Tuple.get t 0) = 1 in
+        let found = Generate.fresh_where rng r tiny_cols ~pred 2 in
+        Alcotest.(check int) "both found" 2 (List.length found);
+        List.iter
+          (fun t ->
+            Alcotest.(check bool) "fresh" false (Relation.mem r t);
+            Alcotest.(check bool) "satisfies pred" true (pred t))
+          found;
+        Alcotest.(check bool) "distinct" true
+          (not (Tuple.equal (List.nth found 0) (List.nth found 1))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Transaction shapes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wide_cols = [ Generate.Uniform (0, 100); Generate.Uniform (0, 7) ]
+
+let fresh_db () =
+  let rng = Rng.make 3 in
+  db_of [ ("R", Generate.relation rng tiny_schema wide_cols 12) ]
+
+let shape_tests =
+  [
+    quick "update_transaction pairs every delete with a fresh insert"
+      (fun () ->
+        let rng = Rng.make 5 in
+        let db = fresh_db () in
+        let r = Database.find db "R" in
+        let txn = Generate.update_transaction rng db "R" ~columns:wide_cols ~updates:3 in
+        Alcotest.(check int) "three delete+insert pairs" 6 (List.length txn);
+        List.iteri
+          (fun idx op ->
+            match op, idx mod 2 with
+            | Transaction.Delete (name, t), 0 ->
+              Alcotest.(check string) "targets R" "R" name;
+              Alcotest.(check bool) "deletes an existing tuple" true
+                (Relation.mem r t)
+            | Transaction.Insert (name, t), 1 ->
+              Alcotest.(check string) "targets R" "R" name;
+              Alcotest.(check bool) "inserts a fresh tuple" false
+                (Relation.mem r t)
+            | _ -> Alcotest.fail "operations do not alternate delete/insert")
+          txn;
+        (* The pairs form a valid strict transaction. *)
+        ignore (Transaction.net_effect ~strict:true db txn));
+    quick "noop_transaction nets to nothing" (fun () ->
+        let rng = Rng.make 5 in
+        let db = fresh_db () in
+        let before = Relation.copy (Database.find db "R") in
+        let txn = Generate.noop_transaction rng db "R" ~columns:wide_cols ~n:3 in
+        Alcotest.(check int) "six operations" 6 (List.length txn);
+        let net = Transaction.net_effect ~strict:true db txn in
+        Alcotest.(check bool) "empty net effect" true
+          (List.for_all
+             (fun (_, (inserts, deletes)) -> inserts = [] && deletes = [])
+             net);
+        Transaction.apply db net;
+        check_rel "state unchanged" before (Database.find db "R"));
+    quick "correlated_transaction shares the pivot key value" (fun () ->
+        let rng = Rng.make 9 in
+        let db = fresh_db () in
+        let r = Database.find db "R" in
+        let txn =
+          Generate.correlated_transaction rng db "R" ~key:1 ~columns:wide_cols
+            ~inserts:2 ~deletes:2
+        in
+        Alcotest.(check bool) "non-empty" true (txn <> []);
+        let key_of = function
+          | Transaction.Insert (_, t) | Transaction.Delete (_, t) ->
+            Tuple.get t 1
+        in
+        let pivot = key_of (List.hd txn) in
+        List.iter
+          (fun op ->
+            Alcotest.(check value_testable) "same key value" pivot (key_of op);
+            match op with
+            | Transaction.Delete (_, t) ->
+              Alcotest.(check bool) "deletes existing" true (Relation.mem r t)
+            | Transaction.Insert (_, t) ->
+              Alcotest.(check bool) "inserts fresh" false (Relation.mem r t))
+          txn);
+    quick "correlated_transaction on an empty relation is empty" (fun () ->
+        let rng = Rng.make 9 in
+        let db = db_of [ ("R", Relation.create tiny_schema) ] in
+        Alcotest.(check int) "no operations" 0
+          (List.length
+             (Generate.correlated_transaction rng db "R" ~key:1
+                ~columns:wide_cols ~inserts:2 ~deletes:2)));
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [ ("negative paths", negative_tests); ("transaction shapes", shape_tests) ]

@@ -7,11 +7,18 @@ set -eu
 cd "$(dirname "$0")/.."
 
 dune build @all
-# The whole suite runs twice: sequential (the default) and with the
-# maintenance engine fanning views out over a 4-domain pool, so the
-# parallel path is exercised by every test, not just the dedicated ones.
-dune runtest
-IVM_DOMAINS=4 dune runtest --force
+# The whole suite and the oracle fuzz budget run twice: sequential (the
+# default) and with the maintenance engine fanning views out over a
+# 4-domain pool, so the parallel path is exercised by every test and
+# every fuzzed stream, not just the dedicated ones.  The fuzz gate
+# replays fixed-seed random transaction streams against the naive
+# full-recompute oracle (see lib/oracle); a failure prints a shrunk,
+# replayable counterexample.
+for d in 1 4; do
+  IVM_DOMAINS=$d dune runtest --force
+  dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 50 \
+    --transactions 40 --domains "$d" --quiet
+done
 dune exec bin/ivm_cli.exe -- lint --all-scenarios
 
 # Bench smoke: one cheap section; every run also writes BENCH_IVM.json.
