@@ -19,7 +19,7 @@ let snapshot_path = "BENCH_IVM.json"
 (* The canonical workload: deterministic, a few hundred commits, covers
    both advisor outcomes (small batches keep differential winning, the
    churn phase pushes past the crossover into recomputation). *)
-let run_canonical_workload () =
+let run_canonical_workload ?policy () =
   let rng = Rng.make 900 in
   let adaptive =
     { Maintenance.default_options with strategy = Maintenance.Adaptive }
@@ -27,7 +27,7 @@ let run_canonical_workload () =
   let open Condition.Formula.Dsl in
   let sc = Scenario.orders ~rng ~customers:200 ~orders:4_000 in
   let db = sc.Scenario.db in
-  let mgr = Manager.create db in
+  let mgr = Manager.create ?policy db in
   ignore
     (Manager.define_view mgr ~name:"dashboard" ~options:adaptive
        Query.Expr.(
@@ -54,6 +54,44 @@ let run_canonical_workload () =
     ignore (Manager.commit mgr txn)
   done;
   mgr
+
+(* E20: happy-path journaling overhead.  The same canonical workload under
+   the default Abort policy (every commit journaled for rollback) and under
+   Unprotected (no journal), telemetry off.  The two policies run in
+   interleaved pairs and the reported overhead is the median of the
+   per-pair ratios: machine-load drift hits both members of a pair alike
+   and cancels in the ratio, which a min-of-N over separate phases does
+   not survive (the snapshot gate holds this to 5%, so the measurement
+   must be robust, not just fast). *)
+let measure_resilience ?(pairs = 5) () =
+  let once policy =
+    Bench_util.time_once (fun () ->
+        ignore (run_canonical_workload ~policy ()))
+  in
+  (* Warm-up pair settles the allocator before anything is timed. *)
+  ignore (once Resilience.Policy.Unprotected);
+  ignore (once Resilience.Policy.Abort);
+  let samples =
+    List.init pairs (fun _ ->
+        let unprotected = once Resilience.Policy.Unprotected in
+        let protected_ = once Resilience.Policy.Abort in
+        (protected_, unprotected, protected_ /. unprotected))
+  in
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) samples
+  in
+  let protected_, unprotected, ratio = List.nth sorted (pairs / 2) in
+  (protected_, unprotected, (ratio -. 1.0) *. 100.0)
+
+let resilience_json () =
+  let protected_, unprotected, overhead_pct = measure_resilience () in
+  Obs.Json.Obj
+    [
+      ("policy", Obs.Json.Str (Resilience.Policy.name Resilience.Policy.Abort));
+      ("protected_ns", Obs.Json.Int (int_of_float (protected_ *. 1e9)));
+      ("unprotected_ns", Obs.Json.Int (int_of_float (unprotected *. 1e9)));
+      ("journal_overhead_pct", Obs.Json.Float overhead_pct);
+    ]
 
 let with_fresh_registry f =
   Obs.Metrics.reset ();
@@ -92,8 +130,9 @@ let snapshot_json mgr =
   Obs.Json.Obj
     [
       ("benchmark", Obs.Json.Str "ivm-maintenance");
-      (* v2: adds the E18 "parallel" domain-scaling section. *)
-      ("schema_version", Obs.Json.Int 2);
+      (* v2: adds the E18 "parallel" domain-scaling section;
+         v3: adds the E20 "resilience" journaling-overhead section. *)
+      ("schema_version", Obs.Json.Int 3);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List
@@ -107,12 +146,13 @@ let snapshot_json mgr =
           ] );
       ("metrics", Obs.Metrics.snapshot ());
       ("parallel", Bench_parallel.scaling_json ());
+      ("resilience", resilience_json ());
     ]
 
 (* Always runs the canonical workload fresh so the snapshot is
    self-contained no matter which bench sections ran before it. *)
 let write_snapshot () =
-  let mgr = with_fresh_registry run_canonical_workload in
+  let mgr = with_fresh_registry (fun () -> run_canonical_workload ()) in
   Obs.Json.to_file snapshot_path (snapshot_json mgr);
   Printf.printf "\nwrote %s (per-view latency percentiles + advisor \
                  predicted-vs-actual pairs)\n"
@@ -120,7 +160,7 @@ let write_snapshot () =
 
 let run () =
   Bench_util.section "E17: telemetry snapshot (lib/obs metrics registry)";
-  let mgr = with_fresh_registry run_canonical_workload in
+  let mgr = with_fresh_registry (fun () -> run_canonical_workload ()) in
   Bench_util.banner "per-view maintenance latency (from ivm_maintenance_ns)";
   let rows =
     List.map
@@ -168,6 +208,18 @@ let run () =
   in
   Bench_util.print_table ~header:[ "strategy used"; "samples" ]
     agreements_by_outcome;
+  Bench_util.banner "E20: commit journaling overhead (abort policy vs unprotected)";
+  let protected_, unprotected, overhead_pct = measure_resilience () in
+  Bench_util.print_table
+    ~header:[ "policy"; "elapsed"; "overhead" ]
+    [
+      [ "unprotected"; Bench_util.fmt_time unprotected; "-" ];
+      [
+        "abort (journaled)";
+        Bench_util.fmt_time protected_;
+        Printf.sprintf "%+.2f%%" overhead_pct;
+      ];
+    ];
   Printf.printf
     "\nThe snapshot of this section is what main.exe serializes to %s;\n\
      compare it across PRs with tools/validate_snapshot.exe or any JSON\n\

@@ -362,7 +362,7 @@ let run_lint all_scenarios dir file keys quiet statements =
 (* ivm-cli fuzz                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed streams transactions domains quiet =
+let run_fuzz seed streams transactions domains fault_rate quiet =
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -375,7 +375,19 @@ let run_fuzz seed streams transactions domains quiet =
     end
   in
   let outcome =
-    Oracle.Fuzz.run ~progress ~seed ~streams ~transactions ~domains ()
+    Oracle.Fuzz.run ~progress ~fault_rate ~seed ~streams ~transactions ~domains
+      ()
+  in
+  let print_fault_summary () =
+    if fault_rate > 0.0 then begin
+      let s = outcome.Oracle.Fuzz.stats in
+      Printf.printf
+        "fault injection (rate %g): %d commits, %d clean aborts, %d \
+         quarantines, %d heals, %d faults injected\n"
+        fault_rate s.Oracle.Harness.committed s.Oracle.Harness.aborted
+        s.Oracle.Harness.quarantined s.Oracle.Harness.healed
+        s.Oracle.Harness.faults
+    end
   in
   match outcome.Oracle.Fuzz.failure with
   | None ->
@@ -385,17 +397,21 @@ let run_fuzz seed streams transactions domains quiet =
        oracle\n"
       outcome.Oracle.Fuzz.streams_run transactions
       outcome.Oracle.Fuzz.transactions_run domains seed;
+    print_fault_summary ();
     0
   | Some counterexample ->
     Printf.printf "fuzz FAILED on stream %d of %d (seed %d):\n\n"
       outcome.Oracle.Fuzz.streams_run streams
       (seed + outcome.Oracle.Fuzz.streams_run - 1);
     Format.printf "%a@." Oracle.Fuzz.pp_counterexample counterexample;
+    print_fault_summary ();
     Printf.printf
       "\nreplay: ivm-cli fuzz --seed %d --streams 1 --transactions %d \
-       --domains %d\n"
+       --domains %d%s\n"
       (seed + outcome.Oracle.Fuzz.streams_run - 1)
-      transactions domains;
+      transactions domains
+      (if fault_rate > 0.0 then Printf.sprintf " --fault-rate %g" fault_rate
+       else "");
     1
 
 (* ------------------------------------------------------------------ *)
@@ -725,6 +741,18 @@ let fuzz_cmd =
       value & opt int 40
       & info [ "transactions" ] ~docv:"K" ~doc:"Transactions per stream.")
   in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Arm deterministic fault injection: every maintenance phase \
+             boundary raises with probability $(docv).  Streams alternate \
+             between the abort and quarantine failure policies, and every \
+             commit must either succeed, abort cleanly (state bit-identical \
+             to the oracle's pre-commit copy), or quarantine views that \
+             self-heal by end of stream.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
   in
@@ -739,10 +767,13 @@ let fuzz_cmd =
           each transaction.  Materializations, multiplicity counters and \
           screening decisions must agree after every commit; the first \
           divergence is shrunk to a minimal replayable counterexample and \
-          printed.  Exits nonzero on divergence, making it usable as a CI \
-          gate and for soak runs.")
+          printed.  With $(b,--fault-rate), commits run under injected \
+          faults and the fault-tolerance contract (clean abort or \
+          quarantine-then-heal) is checked instead.  Exits nonzero on \
+          divergence, making it usable as a CI gate and for soak runs.")
     Term.(
-      const run_fuzz $ seed_arg $ streams $ transactions $ domains_arg $ quiet)
+      const run_fuzz $ seed_arg $ streams $ transactions $ domains_arg
+      $ fault_rate $ quiet)
 
 let scenario_arg =
   Arg.(

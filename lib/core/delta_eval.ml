@@ -121,6 +121,7 @@ let eval ?(order = `Greedy) ?(join_impl = `Hash) ?(reuse = false)
           ~args:(fun () ->
             [ ("mode", Obs.Json.Str "reuse"); ("rows", Obs.Json.Int rows_evaluated) ])
           (fun () ->
+            Resilience.Fault.point "row";
             Query.Planner.run_many ~join_impl
               ~variants:(List.map snd tasks)
               ~condition_dnf:spj.Query.Spj.condition_dnf
@@ -140,6 +141,7 @@ let eval ?(order = `Greedy) ?(join_impl = `Hash) ?(reuse = false)
                   ("operands", Obs.Json.Int (List.length sources));
                 ])
               (fun () ->
+                Resilience.Fault.point "row";
                 Query.Planner.run ~order ~join_impl ~sources
                   ~condition_dnf:spj.Query.Spj.condition_dnf
                   ~projection:spj.Query.Spj.projection ())

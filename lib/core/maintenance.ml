@@ -159,6 +159,7 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
                       ("out", Obs.Json.Int out);
                     ])
                   (fun () ->
+                    Resilience.Fault.point "screen";
                     let screened, stats =
                       Irrelevance.screen_delta_stats ?pool screen raw
                     in
@@ -181,6 +182,7 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
     Obs.Span.with_span "eval"
       ~args:(fun () -> [ ("view", Obs.Json.Str (View.name view)) ])
       (fun () ->
+        Resilience.Fault.point "eval";
         Delta_eval.eval ~order:options.order ~join_impl:options.join_impl
           ~reuse:options.reuse ~spj ~inputs ())
   in
@@ -209,32 +211,57 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
       advisor = None;
     } )
 
-let apply_deletes db net =
+(* Every base or view mutation optionally goes through the undo
+   journal, so a failed commit can be rolled back to the exact
+   pre-commit state. *)
+let journaled_update ?journal r t delta =
+  match journal with
+  | None -> Relation.update r t delta
+  | Some j -> Resilience.Journal.update j r t delta
+
+let apply_deletes ?journal db net =
   Obs.Span.with_span "apply"
     ~args:(fun () ->
       [ ("target", Obs.Json.Str "base"); ("part", Obs.Json.Str "deletes") ])
     (fun () ->
+      Resilience.Fault.point "apply";
       List.iter
         (fun (name, (_, deletes)) ->
           let r = Database.find db name in
-          List.iter (fun t -> Relation.remove r t) deletes)
+          List.iter (fun t -> journaled_update ?journal r t (-1)) deletes)
         net)
 
-let apply_inserts db net =
+let apply_inserts ?journal db net =
   Obs.Span.with_span "apply"
     ~args:(fun () ->
       [ ("target", Obs.Json.Str "base"); ("part", Obs.Json.Str "inserts") ])
     (fun () ->
+      Resilience.Fault.point "apply";
       List.iter
         (fun (name, (inserts, _)) ->
           let r = Database.find db name in
-          List.iter (fun t -> Relation.add r t) inserts)
+          List.iter (fun t -> journaled_update ?journal r t 1) inserts)
         net)
+
+(* [Delta.apply] mutates tuple by tuple and can fail partway through,
+   so the journaled path records each counter update individually —
+   rollback then rewinds exactly the applied prefix. *)
+let apply_view_delta ?journal view (delta : Delta.t) =
+  match journal with
+  | None -> View.apply_delta view delta
+  | Some j ->
+    let state = View.contents view in
+    Relation.iter
+      (fun t c -> Resilience.Journal.update j state t c)
+      delta.Delta.inserts;
+    Relation.iter
+      (fun t c -> Resilience.Journal.update j state t (-c))
+      delta.Delta.deletes
 
 (* Differential maintenance of one view against a netted update set whose
    deletions are already installed: evaluate, then apply the view delta,
    completing the report's timing fields. *)
-let maintain_differential ~options ?pool ~decision view ~db ~net =
+let maintain_differential ~options ?pool ?journal ~decision view ~db ~net =
   let t0 = Obs.Clock.now_ns () in
   let delta, report = view_delta ~options ?pool view ~db ~net in
   let t_apply = Obs.Clock.now_ns () in
@@ -244,7 +271,9 @@ let maintain_differential ~options ?pool ~decision view ~db ~net =
         ("target", Obs.Json.Str "view");
         ("view", Obs.Json.Str (View.name view));
       ])
-    (fun () -> View.apply_delta view delta);
+    (fun () ->
+      Resilience.Fault.point "apply";
+      apply_view_delta ?journal view delta);
   let now = Obs.Clock.now_ns () in
   let report =
     {
@@ -262,11 +291,18 @@ let maintain_differential ~options ?pool ~decision view ~db ~net =
   | None -> ());
   report
 
-let maintain_recompute ~decision view ~db =
+let maintain_recompute ?journal ~decision view ~db =
   let t0 = Obs.Clock.now_ns () in
   Obs.Span.with_span "recompute"
     ~args:(fun () -> [ ("view", Obs.Json.Str (View.name view)) ])
-    (fun () -> View.recompute view db);
+    (fun () ->
+      Resilience.Fault.point "recompute";
+      (match journal with
+      | None -> ()
+      | Some j ->
+        Resilience.Journal.record_restore j ~install:(View.restore view)
+          ~saved:(View.contents view));
+      View.recompute view db);
   let total_ns = Obs.Clock.now_ns () - t0 in
   let report =
     {

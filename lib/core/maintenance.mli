@@ -87,10 +87,13 @@ val record_report : report -> unit
     {!view_delta} and applies the result to the view, returning the report
     with [apply_ns]/[total_ns] filled, metrics recorded, and — when
     [decision] is given — an {!Advisor.record} calibration sample taken.
-    [db] must be in the deletions-applied intermediate state. *)
+    [db] must be in the deletions-applied intermediate state.  With
+    [journal], every counter update on the view's materialization is
+    recorded for rollback. *)
 val maintain_differential :
   options:options ->
   ?pool:Exec.Pool.t ->
+  ?journal:Resilience.Journal.t ->
   decision:Advisor.decision option ->
   View.t ->
   db:Database.t ->
@@ -98,9 +101,14 @@ val maintain_differential :
   report
 
 (** Recompute counterpart of {!maintain_differential}; [db] must be in the
-    final (insertions-applied) state. *)
+    final (insertions-applied) state.  With [journal], the replaced
+    materialization is recorded for rollback. *)
 val maintain_recompute :
-  decision:Advisor.decision option -> View.t -> db:Database.t -> report
+  ?journal:Resilience.Journal.t ->
+  decision:Advisor.decision option ->
+  View.t ->
+  db:Database.t ->
+  report
 
 (** [view_delta ?options ?pool view ~db ~net] computes the view delta.
     [db] must be in the deletions-applied intermediate state and [net] is
@@ -134,7 +142,10 @@ val process :
   report list
 
 (** [apply_deletes db net] / [apply_inserts db net] install one half of the
-    net effect (exposed for the snapshot-refresh path). *)
-val apply_deletes : Database.t -> Transaction.net -> unit
+    net effect (exposed for the snapshot-refresh path).  With [journal],
+    every counter update is recorded for rollback. *)
+val apply_deletes :
+  ?journal:Resilience.Journal.t -> Database.t -> Transaction.net -> unit
 
-val apply_inserts : Database.t -> Transaction.net -> unit
+val apply_inserts :
+  ?journal:Resilience.Journal.t -> Database.t -> Transaction.net -> unit

@@ -73,32 +73,85 @@ let add_report stats (r : Maintenance.report) =
       | None -> 0.0);
   }
 
+type quarantine = {
+  error : string;
+  backtrace : string;
+  since : int; (* commit sequence number of the failure *)
+  heal_failures : int;
+}
+
+type view_health =
+  | Healthy
+  | Quarantined of quarantine
+  | Disabled of quarantine
+
+type view_outcome =
+  | Rolled_back
+  | Faulted of { error : string; backtrace : string }
+  | Unreached
+
+exception
+  Commit_failed of {
+    phase : string;
+    error : string;
+    backtrace : string;
+    outcomes : (string * view_outcome) list;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Commit_failed { phase; error; outcomes; _ } ->
+      Some
+        (Printf.sprintf "Manager.Commit_failed(phase %s, %d views: %s)" phase
+           (List.length outcomes) error)
+    | _ -> None)
+
 type entry = {
   view : View.t;
   mode : mode;
   options : Maintenance.options;
   mutable pending : (string * Delta.t) list; (* relation -> composed delta *)
   mutable stats : stats;
+  mutable health : view_health;
 }
 
 type t = {
   db : Database.t;
   domains : int;
   pool : Exec.Pool.t;
+  policy : Resilience.Policy.t;
+  retry : Resilience.Retry.policy;
+  mutable commit_seq : int;
   mutable entries : entry list; (* in definition order *)
 }
+
+(* A quarantined view is abandoned after this many failed self-heal
+   rounds (each a full retry budget of differential drains, then a full
+   retry budget of recomputes) and waits for an explicit [repair]. *)
+let max_heal_rounds = 3
 
 (* Explicit argument beats the IVM_DOMAINS environment override beats the
    sequential default.  Pools come from the process-wide shared registry:
    managers are cheap and numerous (tests create hundreds), so they must
    not own worker domains. *)
-let create ?domains db =
+let create ?domains ?(policy = Resilience.Policy.Abort)
+    ?(retry = Resilience.Retry.default) db =
   let domains =
     match domains with
     | Some d -> max 1 d
     | None -> Option.value ~default:1 (Exec.Pool.env_domains ())
   in
-  { db; domains; pool = Exec.Pool.shared ~domains; entries = [] }
+  {
+    db;
+    domains;
+    pool = Exec.Pool.shared ~domains;
+    policy;
+    retry;
+    commit_seq = 0;
+    entries = [];
+  }
+
+let policy mgr = mgr.policy
 
 let database mgr = mgr.db
 let domains mgr = mgr.domains
@@ -121,8 +174,18 @@ let define_view mgr ~name ?(mode = Immediate)
   if (not force) && Analysis.Diagnostic.has_errors diagnostics then
     raise (Rejected diagnostics);
   let view = View.define ~keys ~name ~db:mgr.db expr in
-  mgr.entries
-  <- mgr.entries @ [ { view; mode; options; pending = []; stats = empty_stats } ];
+  mgr.entries <-
+    mgr.entries
+    @ [
+        {
+          view;
+          mode;
+          options;
+          pending = [];
+          stats = empty_stats;
+          health = Healthy;
+        };
+      ];
   view
 
 let entry mgr name =
@@ -188,6 +251,131 @@ let accumulate mgr e net =
       end)
     net
 
+let protected_ mgr = mgr.policy <> Resilience.Policy.Unprotected
+
+(* Differential drain of a view's composed pending deltas — the
+   snapshot-refresh core, shared by deferred [refresh] and the
+   quarantine self-heal.  The current base state S is S0 U i_N - d_N
+   relative to the view's last consistent point S0; the old parts the
+   truth table needs are r° = S0 - d_N = S - i_N, so we temporarily
+   remove the composed insertions, evaluate, and put them back.
+
+   The rewind/restore is failure-hardened: restore happens in a single
+   [Fun.protect] finally, re-adds exactly the tuples that were removed
+   (consuming the list, so it cannot run twice), and debug-asserts that
+   rewind + restore was a net no-op on every touched base counter.  On
+   a protected manager the view-side delta apply is journaled, so a
+   mid-apply failure rolls the materialization back instead of leaving
+   a half-applied delta. *)
+let drain_pending mgr e =
+  let net =
+    Transaction.of_sets
+      (List.map
+         (fun (relation, (d : Delta.t)) ->
+           ( relation,
+             ( List.map fst (Relation.elements d.Delta.inserts),
+               List.map fst (Relation.elements d.Delta.deletes) ) ))
+         e.pending)
+  in
+  (* The drain always runs differentially, but the decision is still
+     recorded for calibration. *)
+  let decision = Advisor.decide e.view ~db:mgr.db ~net in
+  let journal =
+    if protected_ mgr then Some (Resilience.Journal.create ()) else None
+  in
+  let totals =
+    List.map
+      (fun (relation, _) ->
+        (relation, Relation.total (Database.find mgr.db relation)))
+      net
+  in
+  let removed = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      let rs = !removed in
+      removed := [];
+      List.iter (fun (r, t) -> Relation.add r t) rs;
+      assert (
+        List.for_all
+          (fun (relation, total) ->
+            Relation.total (Database.find mgr.db relation) = total)
+          totals))
+    (fun () ->
+      List.iter
+        (fun (relation, (inserts, _)) ->
+          let r = Database.find mgr.db relation in
+          List.iter
+            (fun t ->
+              Relation.remove r t;
+              removed := (r, t) :: !removed)
+            inserts)
+        net;
+      match
+        Maintenance.maintain_differential ~options:e.options ~pool:mgr.pool
+          ?journal ~decision:(Some decision) e.view ~db:mgr.db ~net
+      with
+      | report -> report
+      | exception exn ->
+        let bt = Printexc.get_raw_backtrace () in
+        Option.iter Resilience.Journal.rollback journal;
+        Printexc.raise_with_backtrace exn bt)
+
+(* One self-heal round for a quarantined view: a retry budget of
+   differential drains of the pending deltas (transient faults clear on
+   retry), then a retry budget of full recomputes — the paper's
+   always-correct fallback, which also absorbs corruption the
+   differential path cannot explain.  A round that exhausts both
+   budgets counts one heal failure; [max_heal_rounds] failures disable
+   the view until an explicit [repair]. *)
+let heal_entry mgr e =
+  match e.health with
+  | Healthy -> true
+  | Disabled _ -> false
+  | Quarantined q ->
+    Obs.Span.with_span "heal"
+      ~args:(fun () -> [ ("view", Obs.Json.Str (View.name e.view)) ])
+      (fun () ->
+        let finish report =
+          e.pending <- [];
+          e.stats <- add_report e.stats report;
+          e.health <- Healthy;
+          Obs.Metrics.add "ivm_resilience_repairs_total"
+            ~labels:[ ("kind", "self_heal") ]
+            1;
+          true
+        in
+        let differential =
+          if e.pending = [] then
+            (* Stale by an unknown amount (no recorded deltas): only a
+               recompute can help. *)
+            Error (Not_found, Printexc.get_callstack 0)
+          else
+            Resilience.Retry.run ~label:"heal-differential" mgr.retry (fun () ->
+                drain_pending mgr e)
+        in
+        match differential with
+        | Ok report -> finish report
+        | Error _ -> (
+          match
+            Resilience.Retry.run ~label:"heal-recompute" mgr.retry (fun () ->
+                Maintenance.maintain_recompute ~decision:None e.view ~db:mgr.db)
+          with
+          | Ok report -> finish report
+          | Error (err, bt) ->
+            let failures = q.heal_failures + 1 in
+            let q' =
+              {
+                error = Printexc.to_string err;
+                backtrace = Printexc.raw_backtrace_to_string bt;
+                since = q.since;
+                heal_failures = failures;
+              }
+            in
+            e.health <-
+              (if failures >= max_heal_rounds then Disabled q'
+               else Quarantined q');
+            false))
+
 let commit mgr txn =
   Obs.Span.with_span "commit"
     ~args:(fun () ->
@@ -196,92 +384,229 @@ let commit mgr txn =
         ("domains", Obs.Json.Int mgr.domains);
       ])
     (fun () ->
+      (* Views quarantined by an earlier commit self-heal before this
+         one runs, so a healed view takes part in it normally. *)
+      List.iter
+        (fun e ->
+          match e.health with
+          | Quarantined _ -> ignore (heal_entry mgr e)
+          | Healthy | Disabled _ -> ())
+        mgr.entries;
+      mgr.commit_seq <- mgr.commit_seq + 1;
       let net =
         Obs.Span.with_span "net"
           ~args:(fun () -> [ ("ops", Obs.Json.Int (List.length txn)) ])
           (fun () -> Transaction.net_effect mgr.db txn)
       in
-      (* Resolve strategies against the pre-state, before any part of the
-         net effect is installed.  The advisor runs for every immediate
-         view the transaction touches — also under forced strategies — so
-         the cost model accumulates calibration data on every commit. *)
+      let journal =
+        if protected_ mgr then Some (Resilience.Journal.create ()) else None
+      in
+      (* Resolve strategies against the pre-state, before any part of
+         the net effect is installed.  Only immediate, healthy views the
+         transaction actually touches take part: untouched views skip
+         maintenance entirely (their report and stats are unchanged),
+         and quarantined views are already stale — their share of the
+         net accumulates for the self-heal instead.  The advisor runs
+         for every participant — also under forced strategies — so the
+         cost model gathers calibration data on every commit. *)
       let resolved =
-        List.map
+        List.filter_map
           (fun e ->
-            match e.mode with
-            | Deferred ->
-              (e, Maintenance.Differential, None) (* decided at refresh *)
-            | Immediate ->
-              if net_touches e.view net then begin
+            match (e.mode, e.health) with
+            | Deferred, _ | _, (Quarantined _ | Disabled _) -> None
+            | Immediate, Healthy ->
+              if net_touches e.view net then
                 let strategy, decision =
                   Maintenance.resolve_with_decision e.options e.view ~db:mgr.db
                     ~net
                 in
-                (e, strategy, Some decision)
-              end
-              else
-                ( e,
-                  Maintenance.resolve_strategy e.options e.view ~db:mgr.db ~net,
-                  None ))
+                Some (e, strategy, Some decision)
+              else None)
           mgr.entries
       in
-      Maintenance.apply_deletes mgr.db net;
-      (* Fan the differential views out over the pool: once deletions are
-         installed each task only reads base relations and writes its own
-         view's materialization, so views are data-independent.  Stats
-         mutation stays on the committing domain, applied in definition
-         order after the barrier, which keeps commit fully deterministic. *)
-      let differential_entries =
-        List.filter_map
-          (fun (e, strategy, decision) ->
-            match e.mode, strategy with
-            | Immediate, (Maintenance.Differential | Maintenance.Adaptive) ->
-              Some (e, decision)
-            | Immediate, Maintenance.Recompute | Deferred, _ -> None)
+      (* A failure anywhere in the pipeline rolls the whole commit back
+         to the exact pre-commit state and raises [Commit_failed];
+         under [Unprotected] there is no journal and the original
+         exception escapes mid-pipeline (the legacy torn behaviour). *)
+      let abort ~phase ~error ~bt outcomes =
+        Option.iter
+          (fun j ->
+            Obs.Span.with_span "rollback"
+              ~args:(fun () -> [ ("phase", Obs.Json.Str phase) ])
+              (fun () -> Resilience.Journal.rollback j);
+            Obs.Metrics.add "ivm_resilience_rollbacks_total"
+              ~labels:[ ("scope", "commit") ]
+              1)
+          journal;
+        raise
+          (Commit_failed
+             {
+               phase;
+               error = Printexc.to_string error;
+               backtrace = Printexc.raw_backtrace_to_string bt;
+               outcomes;
+             })
+      in
+      (* Per-view outcomes for [Commit_failed]: what each resolved view
+         was doing when the commit died.  [succeeded] accumulates across
+         phases, so a recompute-phase failure reports the differential
+         phase's views as rolled back, not unreached. *)
+      let succeeded : entry list ref = ref [] in
+      let outcomes ~failures =
+        List.map
+          (fun (e, _, _) ->
+            let name = View.name e.view in
+            match List.find_opt (fun (f, _, _) -> f == e) failures with
+            | Some (_, err, bt) ->
+              ( name,
+                Faulted
+                  {
+                    error = Printexc.to_string err;
+                    backtrace = Printexc.raw_backtrace_to_string bt;
+                  } )
+            | None ->
+              if List.memq e !succeeded then (name, Rolled_back)
+              else (name, Unreached))
           resolved
       in
-      let reports =
-        Exec.Pool.map_list mgr.pool
-          (fun (e, decision) ->
-            Maintenance.maintain_differential ~options:e.options
-              ~pool:mgr.pool ~decision e.view ~db:mgr.db ~net)
-          differential_entries
+      let base_phase ~phase f =
+        match f () with
+        | () -> ()
+        | exception exn when protected_ mgr ->
+          let bt = Printexc.get_raw_backtrace () in
+          abort ~phase ~error:exn ~bt (outcomes ~failures:[])
       in
-      List.iter2
-        (fun (e, _) report -> e.stats <- add_report e.stats report)
-        differential_entries reports;
-      Maintenance.apply_inserts mgr.db net;
-      let recompute_entries =
+      base_phase ~phase:"apply-deletes" (fun () ->
+          Maintenance.apply_deletes ?journal mgr.db net);
+      (* Fan the maintenance tasks out over the pool: once deletions are
+         installed each task only reads base relations and writes its
+         own view's materialization (through its own sub-journal), so
+         tasks are data-independent.  [map_list_results] awaits all of
+         them — one failing view must not abandon its siblings' futures
+         — and journal merging, stats and health transitions stay on the
+         committing domain, in definition order, after the barrier,
+         which keeps commit fully deterministic. *)
+      let run_tasks ~phase tasks maintain =
+        let results =
+          Exec.Pool.map_list_results mgr.pool
+            (fun task ->
+              Resilience.Fault.point "task";
+              maintain task)
+            tasks
+        in
+        let oks = ref [] and failed = ref [] and quarantined = ref [] in
+        List.iter2
+          (fun (e, _, task_journal) result ->
+            match result with
+            | Ok report ->
+              (match (journal, task_journal) with
+              | Some main, Some sub -> Resilience.Journal.append ~into:main sub
+              | _ -> ());
+              oks := (e, report) :: !oks
+            | Error (err, bt) -> (
+              match mgr.policy with
+              | Resilience.Policy.Unprotected ->
+                if !failed = [] then failed := [ (e, err, bt) ]
+              | Resilience.Policy.Abort ->
+                (* The sub-journal joins the main journal so the global
+                   rollback undoes this view's partial work too. *)
+                (match (journal, task_journal) with
+                | Some main, Some sub -> Resilience.Journal.append ~into:main sub
+                | _ -> ());
+                failed := (e, err, bt) :: !failed
+              | Resilience.Policy.Quarantine ->
+                Option.iter
+                  (fun sub ->
+                    Obs.Span.with_span "rollback"
+                      ~args:(fun () ->
+                        [ ("view", Obs.Json.Str (View.name e.view)) ])
+                      (fun () -> Resilience.Journal.rollback sub);
+                    Obs.Metrics.add "ivm_resilience_rollbacks_total"
+                      ~labels:[ ("scope", "view") ]
+                      1)
+                  task_journal;
+                quarantined := (e, err, bt) :: !quarantined))
+          tasks results;
+        let oks = List.rev !oks in
+        succeeded := !succeeded @ List.map fst oks;
+        (match (mgr.policy, List.rev !failed) with
+        | _, [] -> ()
+        | Resilience.Policy.Unprotected, (_, err, bt) :: _ ->
+          Printexc.raise_with_backtrace err bt
+        | _, ((_, err, bt) :: _ as failures) ->
+          abort ~phase ~error:err ~bt (outcomes ~failures));
+        (oks, List.rev !quarantined)
+      in
+      let task_journal () =
+        if protected_ mgr then Some (Resilience.Journal.create ()) else None
+      in
+      let differential_tasks =
         List.filter_map
           (fun (e, strategy, decision) ->
-            match e.mode, strategy with
-            | Immediate, Maintenance.Recompute -> Some (e, decision)
-            | Immediate, (Maintenance.Differential | Maintenance.Adaptive)
-            | Deferred, _ ->
-              None)
+            match strategy with
+            | Maintenance.Differential | Maintenance.Adaptive ->
+              Some (e, decision, task_journal ())
+            | Maintenance.Recompute -> None)
           resolved
       in
-      let recompute_reports =
-        Exec.Pool.map_list mgr.pool
-          (fun (e, decision) ->
-            Maintenance.maintain_recompute ~decision e.view ~db:mgr.db)
-          recompute_entries
+      let diff_ok, diff_quarantined =
+        run_tasks ~phase:"maintain" differential_tasks
+          (fun (e, decision, task_journal) ->
+            Maintenance.maintain_differential ~options:e.options ~pool:mgr.pool
+              ?journal:task_journal ~decision e.view ~db:mgr.db ~net)
       in
-      List.iter2
-        (fun (e, _) report -> e.stats <- add_report e.stats report)
-        recompute_entries recompute_reports;
+      base_phase ~phase:"apply-inserts" (fun () ->
+          Maintenance.apply_inserts ?journal mgr.db net);
+      let recompute_tasks =
+        List.filter_map
+          (fun (e, strategy, decision) ->
+            match strategy with
+            | Maintenance.Recompute -> Some (e, decision, task_journal ())
+            | Maintenance.Differential | Maintenance.Adaptive -> None)
+          resolved
+      in
+      let rec_ok, rec_quarantined =
+        run_tasks ~phase:"recompute" recompute_tasks
+          (fun (e, decision, task_journal) ->
+            Maintenance.maintain_recompute ?journal:task_journal ~decision
+              e.view ~db:mgr.db)
+      in
+      (* The whole pipeline succeeded (or degraded to per-view
+         quarantines): only now do stats and health transitions land, so
+         an aborted commit leaves them untouched. *)
       List.iter
-        (fun (e, _, _) ->
-          match e.mode with
-          | Deferred -> accumulate mgr e net
-          | Immediate -> ())
-        resolved;
-      reports @ recompute_reports)
+        (fun (e, report) -> e.stats <- add_report e.stats report)
+        (diff_ok @ rec_ok);
+      List.iter
+        (fun (e, err, bt) ->
+          e.health <-
+            Quarantined
+              {
+                error = Printexc.to_string err;
+                backtrace = Printexc.raw_backtrace_to_string bt;
+                since = mgr.commit_seq;
+                heal_failures = 0;
+              };
+          Obs.Metrics.add "ivm_resilience_quarantines_total"
+            ~labels:[ ("view", View.name e.view) ]
+            1)
+        (diff_quarantined @ rec_quarantined);
+      (* Deferred views bank the net for their next refresh; quarantined
+         views (old and new) bank it for the self-heal's differential
+         drain. *)
+      List.iter
+        (fun e ->
+          match (e.mode, e.health) with
+          | Deferred, _ | Immediate, Quarantined _ -> accumulate mgr e net
+          | Immediate, (Healthy | Disabled _) -> ())
+        mgr.entries;
+      Option.iter
+        (fun j ->
+          Obs.Metrics.observe "ivm_resilience_journal_bytes"
+            (Resilience.Journal.bytes j))
+        journal;
+      List.map snd diff_ok @ List.map snd rec_ok)
 
-(* Snapshot refresh: the current base state S is S0 U i_N - d_N relative to
-   the view's last refresh point S0; the old parts the truth table needs
-   are r° = S0 - d_N = S - i_N, so we temporarily remove the composed
-   insertions, evaluate, and put them back. *)
 let refresh mgr name =
   let e = entry mgr name in
   match e.mode with
@@ -295,56 +620,48 @@ let refresh mgr name =
       Obs.Span.with_span "refresh"
         ~args:(fun () -> [ ("view", Obs.Json.Str name) ])
         (fun () ->
-          let net =
-            Transaction.of_sets
-              (List.map
-                 (fun (relation, (d : Delta.t)) ->
-                   ( relation,
-                     ( List.map fst (Relation.elements d.Delta.inserts),
-                       List.map fst (Relation.elements d.Delta.deletes) ) ))
-                 e.pending)
-          in
-          (* The deferred drain always runs differentially, but the
-             decision is still recorded for calibration. *)
-          let decision = Advisor.decide e.view ~db:mgr.db ~net in
-          List.iter
-            (fun (relation, (inserts, _)) ->
-              let r = Database.find mgr.db relation in
-              List.iter (fun t -> Relation.remove r t) inserts)
-            net;
-          let result =
-            match
-              Maintenance.maintain_differential ~options:e.options
-                ~pool:mgr.pool ~decision:(Some decision) e.view ~db:mgr.db ~net
-            with
-            | report -> Ok report
-            | exception exn -> Error exn
-          in
-          (* Restore the insertions even if evaluation failed. *)
-          List.iter
-            (fun (relation, (inserts, _)) ->
-              let r = Database.find mgr.db relation in
-              List.iter (fun t -> Relation.add r t) inserts)
-            net;
-          match result with
-          | Error exn -> raise exn
-          | Ok report ->
-            e.pending <- [];
-            e.stats <- add_report e.stats report;
-            Some report)
+          let report = drain_pending mgr e in
+          e.pending <- [];
+          e.stats <- add_report e.stats report;
+          Some report)
 
 let refresh_all mgr =
   List.filter_map (fun e -> refresh mgr (View.name e.view)) mgr.entries
 
+let health mgr = List.map (fun e -> (View.name e.view, e.health)) mgr.entries
+let view_health mgr name = (entry mgr name).health
+
+let heal mgr name = heal_entry mgr (entry mgr name)
+
+let repair mgr name =
+  let e = entry mgr name in
+  match e.health with
+  | Healthy -> false
+  | Quarantined _ | Disabled _ ->
+    (* The guaranteed escape hatch: a direct recompute, bypassing the
+       instrumented (fault-injectable) maintenance path. *)
+    View.recompute e.view mgr.db;
+    e.pending <- [];
+    e.health <- Healthy;
+    Obs.Metrics.add "ivm_resilience_repairs_total" ~labels:[ ("kind", "repair") ]
+      1;
+    true
+
 let consistent mgr name =
   let e = entry mgr name in
-  match e.mode with
-  | Immediate -> View.consistent e.view mgr.db
-  | Deferred ->
-    (* A deferred view is consistent with the state its pending deltas
-       rewind to; refreshing first makes it comparable. *)
-    ignore (refresh mgr name);
-    View.consistent e.view mgr.db
+  (match e.health with
+  | Quarantined _ -> ignore (heal_entry mgr e)
+  | Healthy | Disabled _ -> ());
+  match e.health with
+  | Quarantined _ | Disabled _ -> false
+  | Healthy -> (
+    match e.mode with
+    | Immediate -> View.consistent e.view mgr.db
+    | Deferred ->
+      (* A deferred view is consistent with the state its pending deltas
+         rewind to; refreshing first makes it comparable. *)
+      ignore (refresh mgr name);
+      View.consistent e.view mgr.db)
 
 let all_consistent mgr =
   List.for_all (fun e -> consistent mgr (View.name e.view)) mgr.entries

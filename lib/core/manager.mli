@@ -16,15 +16,26 @@ type mode =
 
 type t
 
-(** [create ?domains db] makes a manager whose commits run view
-    maintenance on a domain pool of the given size (clamped to ≥ 1).
-    Resolution order: explicit [domains], then the [IVM_DOMAINS]
+(** [create ?domains ?policy ?retry db] makes a manager whose commits
+    run view maintenance on a domain pool of the given size (clamped to
+    ≥ 1).  Resolution order: explicit [domains], then the [IVM_DOMAINS]
     environment variable, then 1 (fully sequential).  Pools are shared
     process-wide per size, so managers are cheap to create and never own
     worker domains.  Parallel commits are deterministic: every view's
     materialization, report (timings aside) and counters are identical to
-    a sequential commit (see {!Maintenance.process}). *)
-val create : ?domains:int -> Database.t -> t
+    a sequential commit (see {!Maintenance.process}).
+
+    [policy] (default {!Resilience.Policy.Abort}) selects the failure
+    semantics of {!commit}; [retry] bounds the quarantine self-heal
+    (see {!heal}). *)
+val create :
+  ?domains:int ->
+  ?policy:Resilience.Policy.t ->
+  ?retry:Resilience.Retry.policy ->
+  Database.t ->
+  t
+
+val policy : t -> Resilience.Policy.t
 
 val database : t -> Database.t
 
@@ -72,9 +83,78 @@ val pending : t -> string -> (string * Delta.t) list
     @raise Not_found on unknown relations or attributes. *)
 val create_index : t -> relation:string -> attrs:Attr.t list -> unit
 
+(** {2 Fault tolerance} *)
+
+type quarantine = {
+  error : string;  (** [Printexc.to_string] of the captured exception *)
+  backtrace : string;
+  since : int;  (** sequence number of the failing commit *)
+  heal_failures : int;  (** exhausted self-heal rounds so far *)
+}
+
+type view_health =
+  | Healthy
+  | Quarantined of quarantine
+      (** Maintenance failed under the [Quarantine] policy: the
+          materialization was rolled back to its last consistent state
+          and is now stale; net effects accumulate until the view
+          self-heals on its next access or commit. *)
+  | Disabled of quarantine
+      (** Self-heal exhausted its rounds; only {!repair} revives the
+          view. *)
+
+type view_outcome =
+  | Rolled_back  (** maintained successfully, then undone by the abort *)
+  | Faulted of { error : string; backtrace : string }
+  | Unreached  (** a phase before this view's work failed *)
+
+(** A commit failed under the [Abort] policy (or in a base-apply phase
+    under [Quarantine]): the database and every materialization were
+    rolled back to the exact pre-commit state.  [outcomes] lists every
+    view that was resolved for maintenance. *)
+exception
+  Commit_failed of {
+    phase : string;
+        (** [apply-deletes], [maintain], [apply-inserts] or [recompute] *)
+    error : string;
+    backtrace : string;
+    outcomes : (string * view_outcome) list;
+  }
+
+(** Per-view health, in definition order. *)
+val health : t -> (string * view_health) list
+
+(** @raise Not_found for unknown names. *)
+val view_health : t -> string -> view_health
+
+(** [heal mgr name] runs one self-heal round on a quarantined view: a
+    retry budget ({!create}'s [retry]) of differential drains of its
+    banked deltas, then a retry budget of full recomputes — the paper's
+    always-correct fallback.  Returns [true] when the view is healthy
+    afterwards.  Healthy views return [true] immediately; disabled
+    views return [false] without work.  Runs implicitly at the start of
+    every {!commit} and inside {!consistent}. *)
+val heal : t -> string -> bool
+
+(** [repair mgr name] force-recomputes a quarantined or disabled view
+    outside the instrumented (fault-injectable) maintenance path and
+    marks it healthy; returns [false] if the view was already healthy. *)
+val repair : t -> string -> bool
+
 (** [commit mgr txn] nets the transaction, updates the base relations,
-    maintains immediate views and accumulates deltas for deferred views.
-    @raise Transaction.Invalid on invalid transactions. *)
+    maintains the immediate views the transaction touches and
+    accumulates deltas for deferred views.  Views the net effect does
+    not touch skip maintenance entirely (no report, no stats).
+
+    Failure semantics by policy: under [Abort] any maintenance failure
+    rolls everything back and raises {!Commit_failed}; under
+    [Quarantine] a failing view is rolled back and quarantined while
+    siblings and base updates commit (base-apply failures still abort);
+    under [Unprotected] the first exception escapes mid-pipeline and
+    may leave the database torn.
+    @raise Transaction.Invalid on invalid transactions (nothing
+    applied).
+    @raise Commit_failed as above. *)
 val commit : t -> Transaction.t -> Maintenance.report list
 
 (** [refresh mgr name] brings a deferred view up to date differentially
@@ -111,7 +191,9 @@ val stats : t -> string -> stats
 
 val pp_stats : Format.formatter -> stats -> unit
 
-(** Recompute-from-scratch comparison, counters included. *)
+(** Recompute-from-scratch comparison, counters included.  A
+    quarantined view gets a self-heal round first; it (or a disabled
+    view) reports [false] if still unhealthy afterwards. *)
 val consistent : t -> string -> bool
 
 val all_consistent : t -> bool

@@ -63,6 +63,7 @@ let lint ?keys v =
 
 let apply_delta v delta = Delta.apply delta v.state
 let recompute v db = v.state <- Query.Spj.eval v.lookup db v.spj
+let restore v saved = v.state <- saved
 let consistent v db = Relation.equal v.state (Query.Spj.eval v.lookup db v.spj)
 
 let pp ppf v =

@@ -57,6 +57,11 @@ val apply_delta : t -> Delta.t -> unit
 (** Replace the contents by complete re-evaluation against [db]. *)
 val recompute : t -> Database.t -> unit
 
+(** [restore v saved] installs a previously captured materialization
+    (a {!contents} value taken before a mutation).  Used by the
+    resilience layer to roll a failed commit back. *)
+val restore : t -> Relation.t -> unit
+
 (** [consistent v db] re-evaluates from scratch and compares with the
     maintained contents, counters included. *)
 val consistent : t -> Database.t -> bool

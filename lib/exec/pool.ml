@@ -99,16 +99,9 @@ let submit pool f =
     fut
   end
 
-let await fut =
+let help_until_resolved fut =
   let pool = fut.pool in
-  let finish () =
-    match fut.cell with
-    | Done v -> v
-    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-    | Pending -> assert false
-  in
-  if pool.size <= 1 then finish ()
-  else begin
+  if pool.size > 1 then begin
     (* Always synchronise through the pool mutex, even when the cell
        already reads as resolved: the lock edge is what publishes the
        task's side effects (e.g. view-state mutations) to this domain. *)
@@ -129,13 +122,32 @@ let await fut =
           help ()
         end
     in
-    help ();
-    finish ()
+    help ()
   end
+
+let await fut =
+  help_until_resolved fut;
+  match fut.cell with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let await_result fut =
+  help_until_resolved fut;
+  match fut.cell with
+  | Done v -> Ok v
+  | Failed (e, bt) -> Error (e, bt)
+  | Pending -> assert false
 
 let map_list pool f xs =
   if pool.size <= 1 then List.map f xs
   else List.map await (List.map (fun x -> submit pool (fun () -> f x)) xs)
+
+let map_list_results pool f xs =
+  let wrap x = match f x with v -> Ok v | exception e -> Error (e, Printexc.get_raw_backtrace ()) in
+  if pool.size <= 1 then List.map wrap xs
+  else
+    List.map await_result (List.map (fun x -> submit pool (fun () -> f x)) xs)
 
 let chunks ~size xs =
   let size = max 1 size in

@@ -36,6 +36,13 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map: submits one task per element, then
     awaits them in order.  Sequential [List.map] on a size-1 pool. *)
 
+val map_list_results :
+  t -> ('a -> 'b) -> 'a list -> ('b, exn * Printexc.raw_backtrace) result list
+(** Like {!map_list}, but awaits {e all} tasks and returns a per-task
+    [result] instead of re-raising the first failure mid-flight — the
+    fault-isolation primitive: one failing view-maintenance task must
+    not abandon its siblings' futures. *)
+
 val chunks : size:int -> 'a list -> 'a list list
 (** Split a list into consecutive chunks of at most [size] elements
     (order preserved; [size] clamped to at least 1). *)

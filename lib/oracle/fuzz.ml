@@ -2,39 +2,62 @@ type counterexample = {
   stream : Stream.t;
   original_size : int;
   divergence : Harness.divergence;
+  fault_rate : float;
+  policy : Resilience.Policy.t;
 }
 
 type outcome = {
   streams_run : int;
   transactions_run : int;
+  stats : Harness.run_stats;
   failure : counterexample option;
 }
 
-let shrink_failure stream =
-  let fails candidate = Harness.run candidate <> None in
+let shrink_failure ~fault_rate ~policy stream =
+  let fails candidate = Harness.run ~fault_rate ~policy candidate <> None in
   let minimized = Shrink.minimize fails stream in
-  match Harness.run minimized with
-  | Some divergence ->
-    { stream = minimized; original_size = Stream.size stream; divergence }
+  let counterexample divergence =
+    {
+      stream = minimized;
+      original_size = Stream.size stream;
+      divergence;
+      fault_rate;
+      policy;
+    }
+  in
+  match Harness.run ~fault_rate ~policy minimized with
+  | Some divergence -> counterexample divergence
   | None ->
     (* Cannot happen: minimize only adopts failing candidates and its
        input fails.  Fall back to the unshrunk stream defensively. *)
     {
       stream;
       original_size = Stream.size stream;
-      divergence =
-        Option.get (Harness.run stream);
+      divergence = Option.get (Harness.run ~fault_rate ~policy stream);
+      fault_rate;
+      policy;
     }
 
-let run ?(progress = fun _ -> ()) ~seed ~streams ~transactions ~domains () =
+(* Under fault injection both failure policies must uphold the contract,
+   so streams alternate between them: even streams run [Abort]
+   (all-or-nothing), odd streams [Quarantine] (isolate-and-heal). *)
+let policy_for ~fault_rate k =
+  if fault_rate <= 0.0 then Resilience.Policy.Abort
+  else if k mod 2 = 0 then Resilience.Policy.Abort
+  else Resilience.Policy.Quarantine
+
+let run ?(progress = fun _ -> ()) ?(fault_rate = 0.0) ~seed ~streams
+    ~transactions ~domains () =
+  let stats = Harness.fresh_stats () in
   let rec loop k transactions_run =
     if k >= streams then
-      { streams_run = streams; transactions_run; failure = None }
+      { streams_run = streams; transactions_run; stats; failure = None }
     else begin
       let stream =
         Stream.generate ~domains ~seed:(seed + k) ~transactions ()
       in
-      match Harness.run stream with
+      let policy = policy_for ~fault_rate k in
+      match Harness.run ~fault_rate ~policy ~stats stream with
       | None ->
         progress (k + 1);
         loop (k + 1) (transactions_run + List.length stream.Stream.transactions)
@@ -43,7 +66,8 @@ let run ?(progress = fun _ -> ()) ~seed ~streams ~transactions ~domains () =
           streams_run = k + 1;
           transactions_run =
             transactions_run + List.length stream.Stream.transactions;
-          failure = Some (shrink_failure stream);
+          stats;
+          failure = Some (shrink_failure ~fault_rate ~policy stream);
         }
     end
   in
@@ -53,4 +77,8 @@ let pp_counterexample ppf c =
   Format.fprintf ppf
     "@[<v>%a@,@,minimal counterexample (shrunk from size %d to %d):@,%a@]"
     Harness.pp_divergence c.divergence c.original_size (Stream.size c.stream)
-    Stream.pp c.stream
+    Stream.pp c.stream;
+  if c.fault_rate > 0.0 then
+    Format.fprintf ppf "@,replay with --fault-rate %g under policy %s"
+      c.fault_rate
+      (Resilience.Policy.name c.policy)

@@ -6,20 +6,30 @@ type counterexample = {
   stream : Stream.t;  (** minimized *)
   original_size : int;  (** {!Stream.size} before shrinking *)
   divergence : Harness.divergence;  (** on the minimized stream *)
+  fault_rate : float;  (** fault settings the failure replays under *)
+  policy : Resilience.Policy.t;
 }
 
 type outcome = {
   streams_run : int;
   transactions_run : int;
+  stats : Harness.run_stats;  (** commit outcomes across all streams *)
   failure : counterexample option;
 }
 
 (** [run ~seed ~streams ~transactions ~domains ()] replays [streams]
     independent streams — stream [k] is generated from seed [seed + k] —
     each [transactions] transactions long, stopping at (and shrinking) the
-    first divergence.  [progress] is called after every clean stream. *)
+    first divergence.  [progress] is called after every clean stream.
+
+    With [fault_rate] > 0, every replay runs under deterministic fault
+    injection ({!Harness.run}'s fault-tolerance contract) and streams
+    alternate between the [Abort] (even) and [Quarantine] (odd) failure
+    policies; shrinking replays candidates under the failing stream's
+    settings. *)
 val run :
   ?progress:(int -> unit) ->
+  ?fault_rate:float ->
   seed:int ->
   streams:int ->
   transactions:int ->

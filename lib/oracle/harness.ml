@@ -7,6 +7,7 @@ type kind =
   | Materialization
   | Counters
   | Screening
+  | Health
 
 type divergence = {
   transaction_index : int;
@@ -20,6 +21,7 @@ let kind_name = function
   | Materialization -> "materialization"
   | Counters -> "counters"
   | Screening -> "screening"
+  | Health -> "health"
 
 let pp_divergence ppf d =
   Format.fprintf ppf "%s divergence on %S after transaction %d: %s"
@@ -108,7 +110,9 @@ let check_screening reference mgr (s : Stream.t) index txn =
       end)
     s.Stream.views
 
-let compare_states reference mgr db (s : Stream.t) index =
+(* [skip] names views whose materialization is knowingly stale
+   (quarantined): their comparison is deferred until they heal. *)
+let compare_states ?(skip = []) reference mgr db (s : Stream.t) index =
   let ref_db = Reference.database reference in
   List.iter
     (fun name ->
@@ -126,24 +130,47 @@ let compare_states reference mgr db (s : Stream.t) index =
     (Database.names db);
   List.iter
     (fun (spec : Stream.view_spec) ->
-      let engine = View.contents (Manager.view mgr spec.Stream.view_name) in
-      let oracle = Reference.contents reference spec.Stream.view_name in
-      if not (Relation.equal engine oracle) then
-        raise
-          (Diverged
-             {
-               transaction_index = index;
-               view = spec.Stream.view_name;
-               kind =
-                 (if Relation.set_equal engine oracle then Counters
-                  else Materialization);
-               detail = describe_diff engine oracle;
-             }))
+      if not (List.mem spec.Stream.view_name skip) then begin
+        let engine = View.contents (Manager.view mgr spec.Stream.view_name) in
+        let oracle = Reference.contents reference spec.Stream.view_name in
+        if not (Relation.equal engine oracle) then
+          raise
+            (Diverged
+               {
+                 transaction_index = index;
+                 view = spec.Stream.view_name;
+                 kind =
+                   (if Relation.set_equal engine oracle then Counters
+                    else Materialization);
+                 detail = describe_diff engine oracle;
+               })
+      end)
     s.Stream.views
 
-let run ?(corrupt = fun _ _ -> ()) (s : Stream.t) =
+type run_stats = {
+  mutable committed : int;
+  mutable aborted : int;
+  mutable quarantined : int;
+  mutable healed : int;
+  mutable faults : int;
+}
+
+let fresh_stats () =
+  { committed = 0; aborted = 0; quarantined = 0; healed = 0; faults = 0 }
+
+let unhealthy mgr =
+  List.filter_map
+    (fun (name, h) ->
+      match h with
+      | Manager.Healthy -> None
+      | Manager.Quarantined _ | Manager.Disabled _ -> Some name)
+    (Manager.health mgr)
+
+let run ?(corrupt = fun _ _ -> ()) ?(fault_rate = 0.0)
+    ?(policy = Resilience.Policy.Abort) ?stats (s : Stream.t) =
+  let stats = Option.value stats ~default:(fresh_stats ()) in
   let db = Stream.build_db s in
-  let mgr = Manager.create ~domains:s.Stream.domains db in
+  let mgr = Manager.create ~domains:s.Stream.domains ~policy db in
   List.iter
     (fun (spec : Stream.view_spec) ->
       ignore
@@ -155,13 +182,51 @@ let run ?(corrupt = fun _ _ -> ()) (s : Stream.t) =
     (fun (spec : Stream.view_spec) ->
       Reference.define reference ~name:spec.Stream.view_name spec.Stream.expr)
     s.Stream.views;
+  (* Faults activate only after setup, and deterministically per stream:
+     the same stream replays the same fault sequence (at domains = 1;
+     parallel interleaving may permute per-point occurrence numbering). *)
+  if fault_rate > 0.0 then
+    Resilience.Fault.configure ~seed:(s.Stream.seed lxor 0x5EED) ~rate:fault_rate
+      ();
+  Fun.protect
+    ~finally:(fun () ->
+      if fault_rate > 0.0 then
+        stats.faults <- stats.faults + Resilience.Fault.injected ();
+      Resilience.Fault.disable ())
+  @@ fun () ->
   match
     List.iteri
       (fun index raw ->
         let txn = Stream.filter_valid db raw in
         check_screening reference mgr s index txn;
-        (match Manager.commit mgr txn with
-        | (_ : Ivm.Maintenance.report list) -> ()
+        let stale_before = unhealthy mgr in
+        match Manager.commit mgr txn with
+        | (_ : Ivm.Maintenance.report list) ->
+          stats.committed <- stats.committed + 1;
+          let stale = unhealthy mgr in
+          stats.quarantined <-
+            stats.quarantined
+            + List.length
+                (List.filter (fun n -> not (List.mem n stale_before)) stale);
+          stats.healed <-
+            stats.healed
+            + List.length
+                (List.filter (fun n -> not (List.mem n stale)) stale_before);
+          corrupt mgr index;
+          (* Every commit outcome is checked against the oracle: on
+             success the reference steps and all healthy views must
+             agree (quarantined ones are stale by contract — they are
+             checked after their heal). *)
+          Reference.step reference txn;
+          compare_states ~skip:stale reference mgr db s index
+        | exception Manager.Commit_failed _ when fault_rate > 0.0 ->
+          (* Clean abort: the reference does not step, and the engine
+             must be bit-identical to the oracle's pre-commit deep
+             copy — base relations and every healthy materialization.
+             Without injected faults an abort is an engine bug and falls
+             through to the divergence branch below. *)
+          stats.aborted <- stats.aborted + 1;
+          compare_states ~skip:(unhealthy mgr) reference mgr db s index
         | exception exn ->
           raise
             (Diverged
@@ -170,11 +235,39 @@ let run ?(corrupt = fun _ _ -> ()) (s : Stream.t) =
                  view = "";
                  kind = Materialization;
                  detail = "engine raised: " ^ Printexc.to_string exn;
-               }));
-        corrupt mgr index;
-        Reference.step reference txn;
-        compare_states reference mgr db s index)
+               }))
       s.Stream.transactions
   with
-  | () -> None
+  | () ->
+    let last = List.length s.Stream.transactions - 1 in
+    (* End of stream: every quarantined view must self-heal (faults are
+       still active — healing is what the retry/recompute ladder is
+       for), after which the full state must agree with the oracle. *)
+    let stale_at_end = unhealthy mgr in
+    let still_stale =
+      List.filter (fun name -> not (Manager.heal mgr name)) stale_at_end
+    in
+    (match still_stale with
+    | [] -> ()
+    | name :: _ ->
+      raise
+        (Diverged
+           {
+             transaction_index = last;
+             view = name;
+             kind = Health;
+             detail = "view failed to self-heal by end of stream";
+           }));
+    stats.healed <- stats.healed + List.length stale_at_end;
+    compare_states reference mgr db s last;
+    if not (Manager.all_consistent mgr) then
+      raise
+        (Diverged
+           {
+             transaction_index = last;
+             view = "";
+             kind = Health;
+             detail = "all_consistent false at end of stream";
+           });
+    None
   | exception Diverged d -> Some d

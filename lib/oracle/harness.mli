@@ -22,6 +22,7 @@ type kind =
   | Materialization  (** visible tuple sets differ *)
   | Counters  (** same tuple set, different multiplicities *)
   | Screening  (** a screened-out tuple changes the view *)
+  | Health  (** a quarantined view failed to heal by end of stream *)
 
 type divergence = {
   transaction_index : int;  (** 0-based index into the stream *)
@@ -33,8 +34,37 @@ type divergence = {
 val kind_name : kind -> string
 val pp_divergence : Format.formatter -> divergence -> unit
 
-(** [run ?corrupt stream] replays [stream]; [corrupt], used by the test
-    suite to simulate maintenance bugs, runs after each commit with the
-    manager and the 0-based transaction index and may tamper with the
-    engine's state. *)
-val run : ?corrupt:(Ivm.Manager.t -> int -> unit) -> Stream.t -> divergence option
+(** Commit outcomes observed during one {!run}. *)
+type run_stats = {
+  mutable committed : int;
+  mutable aborted : int;  (** clean [Commit_failed] aborts (faults only) *)
+  mutable quarantined : int;  (** views newly quarantined by a commit *)
+  mutable healed : int;  (** quarantined views that later healed *)
+  mutable faults : int;  (** faults injected across the replay *)
+}
+
+val fresh_stats : unit -> run_stats
+
+(** [run ?corrupt ?fault_rate ?policy ?stats stream] replays [stream];
+    [corrupt], used by the test suite to simulate maintenance bugs, runs
+    after each commit with the manager and the 0-based transaction index
+    and may tamper with the engine's state.
+
+    With [fault_rate] > 0, {!Resilience.Fault} is armed (deterministically
+    from the stream's seed) for the duration of the replay and the checks
+    widen to the fault-tolerance contract: every commit must either
+    succeed (healthy views agree with the oracle), abort cleanly
+    ([Commit_failed] with the engine bit-identical to the oracle's
+    pre-commit state — the reference does not step), or quarantine views
+    that must self-heal; at end of stream every quarantined view is
+    healed, the full state compared, and {!Ivm.Manager.all_consistent}
+    must hold.  Without faults, any commit exception is an engine bug and
+    reported as a divergence.  [policy] (default [Abort]) is the
+    manager's failure policy; [stats] accumulates commit outcomes. *)
+val run :
+  ?corrupt:(Ivm.Manager.t -> int -> unit) ->
+  ?fault_rate:float ->
+  ?policy:Resilience.Policy.t ->
+  ?stats:run_stats ->
+  Stream.t ->
+  divergence option

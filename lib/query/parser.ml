@@ -308,7 +308,8 @@ let view ~lookup text =
       let schema =
         match lookup relation with
         | schema -> schema
-        | exception (Not_found | Failure _) ->
+        | exception (Not_found | Failure _ | Relalg.Database.Unknown_relation _)
+          ->
           parse_error "unknown relation %S" relation
       in
       Expr.rename

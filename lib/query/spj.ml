@@ -67,7 +67,7 @@ let rec flatten lookup used = function
     let schema =
       match lookup name with
       | schema -> schema
-      | exception (Not_found | Failure _) ->
+      | exception (Not_found | Failure _ | Relalg.Database.Unknown_relation _) ->
         compile_error "unknown base relation %S" name
     in
     let alias = fresh_alias used name in

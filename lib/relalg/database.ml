@@ -1,5 +1,13 @@
 type t = (string, Relation.t) Hashtbl.t
 
+exception Unknown_relation of string
+
+let () =
+  Printexc.register_printer (function
+    | Unknown_relation name ->
+      Some (Printf.sprintf "Database.Unknown_relation %S" name)
+    | _ -> None)
+
 let create () = Hashtbl.create 16
 
 let register db name relation =
@@ -12,7 +20,7 @@ let find_opt db name = Hashtbl.find_opt db name
 let find db name =
   match find_opt db name with
   | Some r -> r
-  | None -> failwith (Printf.sprintf "Database.find: unknown relation %S" name)
+  | None -> raise (Unknown_relation name)
 
 let mem db name = Hashtbl.mem db name
 

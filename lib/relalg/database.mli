@@ -2,6 +2,9 @@
 
 type t
 
+exception Unknown_relation of string
+(** Raised by {!find} with the missing relation's name. *)
+
 val create : unit -> t
 
 (** [register db name relation] adds a base relation.
@@ -9,8 +12,7 @@ val create : unit -> t
 val register : t -> string -> Relation.t -> unit
 
 (** [find db name] returns the named relation.
-    @raise Not_found (with the name in the message via [Failure]) when
-    missing. *)
+    @raise Unknown_relation when missing. *)
 val find : t -> string -> Relation.t
 
 val find_opt : t -> string -> Relation.t option

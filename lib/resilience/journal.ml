@@ -1,0 +1,46 @@
+open Relalg
+
+type entry =
+  | Update of { relation : Relation.t; tuple : Tuple.t; delta : int }
+  | Restore of { install : Relation.t -> unit; saved : Relation.t }
+
+(* [entries] is newest-first, so rollback is a plain left-to-right
+   iteration. *)
+type t = { mutable entries : entry list; mutable count : int; mutable bytes : int }
+
+let create () = { entries = []; count = 0; bytes = 0 }
+
+let push j e size =
+  j.entries <- e :: j.entries;
+  j.count <- j.count + 1;
+  j.bytes <- j.bytes + size
+
+let update j r t delta =
+  Relation.update r t delta;
+  (* 3 words for the record, 1 per tuple field, 8 bytes each. *)
+  push j (Update { relation = r; tuple = t; delta }) (24 + (8 * Tuple.arity t))
+
+let record_restore j ~install ~saved =
+  push j (Restore { install; saved }) (24 + (16 * Relation.cardinal saved))
+
+let append ~into sub =
+  into.entries <- sub.entries @ into.entries;
+  into.count <- into.count + sub.count;
+  into.bytes <- into.bytes + sub.bytes;
+  sub.entries <- [];
+  sub.count <- 0;
+  sub.bytes <- 0
+
+let rollback j =
+  let es = j.entries in
+  j.entries <- [];
+  j.count <- 0;
+  j.bytes <- 0;
+  List.iter
+    (function
+      | Update { relation; tuple; delta } -> Relation.update relation tuple (-delta)
+      | Restore { install; saved } -> install saved)
+    es
+
+let entries j = j.count
+let bytes j = j.bytes

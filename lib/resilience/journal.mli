@@ -1,0 +1,48 @@
+(** Undo log for transactional commit.
+
+    The journal records every mutation the commit pipeline makes — a
+    counter update on a base relation or a materialization, or the
+    wholesale replacement of a materialization by a recompute — so
+    that {!rollback} can restore the exact pre-commit state after a
+    mid-pipeline failure.
+
+    Mutations go {e through} the journal ({!update} performs the
+    update and records its inverse; {!record_restore} records the
+    inverse of a replacement the caller is about to perform), so a
+    recorded entry always corresponds to a mutation that happened:
+    [Relation.update] is atomic (it raises before mutating), which
+    makes record-after-perform safe.
+
+    A journal is single-domain.  Parallel view-maintenance tasks each
+    write their own sub-journal; the coordinator merges them with
+    {!append} after the barrier, which is sound because tasks mutate
+    disjoint materializations. *)
+
+type t
+
+val create : unit -> t
+
+val update : t -> Relalg.Relation.t -> Relalg.Tuple.t -> int -> unit
+(** [update j r t delta] performs [Relation.update r t delta] and, if
+    it succeeded, records the inverse.
+    @raise Relalg.Relation.Negative_count as [Relation.update] does
+    (nothing is recorded then). *)
+
+val record_restore :
+  t -> install:(Relalg.Relation.t -> unit) -> saved:Relalg.Relation.t -> unit
+(** Record that rollback must [install saved].  Call {e before}
+    performing the replacement being protected (e.g. a view
+    recompute), with [saved] the relation being replaced. *)
+
+val append : into:t -> t -> unit
+(** [append ~into sub] moves [sub]'s entries into [into] as if they
+    had been recorded there after everything [into] already holds.
+    [sub] is emptied. *)
+
+val rollback : t -> unit
+(** Undo every recorded mutation, newest first, leaving the journal
+    empty.  Sound to call at most once per recorded history. *)
+
+val entries : t -> int
+val bytes : t -> int
+(** Approximate retained size of the undo log in bytes. *)

@@ -1,0 +1,6 @@
+type t = Abort | Quarantine | Unprotected
+
+let name = function
+  | Abort -> "abort"
+  | Quarantine -> "quarantine"
+  | Unprotected -> "unprotected"

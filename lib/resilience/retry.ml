@@ -1,0 +1,33 @@
+type policy = {
+  attempts : int;
+  backoff_ns : int;
+  jitter : float;
+  seed : int;
+}
+
+let default = { attempts = 3; backoff_ns = 100_000; jitter = 0.5; seed = 1986 }
+
+let sleep_ns policy ~attempt =
+  let base = float_of_int policy.backoff_ns *. (2.0 ** float_of_int (attempt - 1)) in
+  (* Jitter in [-j, +j) of the base, deterministic in (seed, attempt). *)
+  let u = Fault.hash_unit ~seed:policy.seed "retry-jitter" attempt in
+  let ns = base *. (1.0 +. (policy.jitter *. ((2.0 *. u) -. 1.0))) in
+  if ns > 0.0 then Unix.sleepf (ns /. 1e9)
+
+let run ?(label = "op") ?(on_retry = fun ~attempt:_ _ -> ()) policy f =
+  let attempts = max 1 policy.attempts in
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if attempt >= attempts then Error (e, bt)
+      else begin
+        Obs.Metrics.add "ivm_resilience_retries_total"
+          ~labels:[ ("op", label) ] 1;
+        on_retry ~attempt e;
+        sleep_ns policy ~attempt;
+        go (attempt + 1)
+      end
+  in
+  go 1

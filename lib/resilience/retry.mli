@@ -1,0 +1,28 @@
+(** Bounded retry with seed-deterministic jittered backoff.
+
+    Used by the quarantine self-heal path: a quarantined view gets
+    [attempts] differential maintenance tries (transient faults — the
+    kind {!Fault} injects — usually clear on retry), then falls back
+    to full recompute, the paper's always-correct strategy. *)
+
+type policy = {
+  attempts : int;  (** total tries per operation, clamped to >= 1 *)
+  backoff_ns : int;
+      (** sleep before retry k is [backoff_ns * 2^(k-1)], +/- jitter *)
+  jitter : float;  (** jitter fraction in [0, 1] of the computed sleep *)
+  seed : int;  (** jitter determinism, same role as {!Fault}'s seed *)
+}
+
+val default : policy
+(** 3 attempts, 100 us base backoff, 0.5 jitter, seed 1986. *)
+
+val run :
+  ?label:string ->
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  policy ->
+  (unit -> 'a) ->
+  ('a, exn * Printexc.raw_backtrace) result
+(** [run policy f] calls [f] up to [policy.attempts] times, sleeping
+    between tries, and returns the first success or the {e last}
+    failure.  Each retry increments [ivm_resilience_retries_total]
+    (labelled with [label]) and calls [on_retry]. *)

@@ -81,6 +81,44 @@ let test_shared_registry () =
   Alcotest.(check bool) "one pool per size" true (p1 == p2);
   Alcotest.(check int) "size" 3 (Pool.size p1)
 
+let test_map_list_results () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let results =
+        Pool.map_list_results pool
+          (fun x -> if x mod 3 = 0 then failwith (string_of_int x) else x * 10)
+          [ 1; 2; 3; 4; 5; 6 ]
+      in
+      let describe = function
+        | Ok v -> Printf.sprintf "ok %d" v
+        | Error (Failure m, _) -> "fail " ^ m
+        | Error _ -> "other"
+      in
+      Alcotest.(check (list string))
+        "every task resolves in order, failures as Error"
+        [ "ok 10"; "ok 20"; "fail 3"; "ok 40"; "ok 50"; "fail 6" ]
+        (List.map describe results);
+      (* A failing task must not abandon its siblings or the pool. *)
+      Alcotest.(check (list int))
+        "pool still runs new work" [ 2; 4 ]
+        (Pool.map_list pool (fun x -> x * 2) [ 1; 2 ]))
+
+let test_map_list_results_inline () =
+  let pool = Pool.create ~domains:1 () in
+  let backtrace_flag = Printexc.backtrace_status () in
+  Fun.protect
+    ~finally:(fun () ->
+      Printexc.record_backtrace backtrace_flag;
+      Pool.shutdown pool)
+    (fun () ->
+      Printexc.record_backtrace true;
+      match Pool.map_list_results pool (fun x -> 100 / x) [ 2; 0 ] with
+      | [ Ok 50; Error (Division_by_zero, bt) ] ->
+        ignore (Printexc.raw_backtrace_to_string bt)
+      | _ -> Alcotest.fail "inline path must mirror the pooled result shape")
+
 let test_chunks () =
   Alcotest.(check (list (list int)))
     "splits in order"
@@ -105,6 +143,10 @@ let () =
             test_shutdown_idempotent;
           quick "tasks may submit sub-tasks to their own pool"
             test_nested_submission;
+          quick "map_list_results awaits every task and reports per-task errors"
+            test_map_list_results;
+          quick "map_list_results inline path matches the pooled shape"
+            test_map_list_results_inline;
           quick "shared registry returns one pool per size" test_shared_registry;
           quick "chunks splits lists in order" test_chunks;
         ] );

@@ -220,10 +220,28 @@ let agrees ~domains seed =
       (Format.asprintf "%a" Harness.pp_divergence d)
       (Format.asprintf "%a" Stream.pp s)
 
+(* Fault-injected replays: every commit must either succeed in agreement
+   with the oracle, abort to a state bit-identical to the oracle's
+   pre-commit copy, or quarantine views that self-heal by end of
+   stream (see Harness.run's contract). *)
+let survives_faults ~domains ~policy seed =
+  let s = Stream.generate ~domains ~seed ~transactions:12 () in
+  match Harness.run ~fault_rate:0.1 ~policy s with
+  | None -> true
+  | Some d ->
+    QCheck.Test.fail_reportf "%s@.%s"
+      (Format.asprintf "%a" Harness.pp_divergence d)
+      (Format.asprintf "%a" Stream.pp s)
+
 let equivalence_tests =
   [
     property "engine = oracle on random streams (domains=1)" (agrees ~domains:1);
     property "engine = oracle on random streams (domains=4)" (agrees ~domains:4);
+    property ~count:40 "faulted streams uphold the abort contract (domains=1)"
+      (survives_faults ~domains:1 ~policy:Resilience.Policy.Abort);
+    property ~count:40
+      "faulted streams uphold the quarantine contract (domains=4)"
+      (survives_faults ~domains:4 ~policy:Resilience.Policy.Quarantine);
   ]
 
 let () =

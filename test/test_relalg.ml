@@ -354,10 +354,9 @@ let database_tests =
         Alcotest.check_raises "dup"
           (Invalid_argument "Database.register: \"R\" already exists")
           (fun () -> Database.register db "R" (rel [ "A" ] [])));
-    quick "find missing fails" (fun () ->
-        Alcotest.check_raises "missing"
-          (Failure "Database.find: unknown relation \"Z\"") (fun () ->
-            ignore (Database.find (Database.create ()) "Z")));
+    quick "find missing raises the typed exception" (fun () ->
+        Alcotest.check_raises "missing" (Database.Unknown_relation "Z")
+          (fun () -> ignore (Database.find (Database.create ()) "Z")));
     quick "names sorted" (fun () ->
         let db = db_of [ ("B", rel [ "X" ] []); ("A", rel [ "Y" ] []) ] in
         Alcotest.(check (list string)) "sorted" [ "A"; "B" ] (Database.names db));

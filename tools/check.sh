@@ -18,6 +18,13 @@ for d in 1 4; do
   IVM_DOMAINS=$d dune runtest --force
   dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 50 \
     --transactions 40 --domains "$d" --quiet
+  # Fault-injection gate: the same fixed-seed streams replayed with
+  # faults raised at maintenance phase boundaries, alternating the abort
+  # and quarantine policies; every commit must either succeed, roll back
+  # to a state bit-identical to the oracle's pre-commit copy, or
+  # quarantine views that self-heal before the stream ends.
+  dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 50 \
+    --transactions 40 --domains "$d" --fault-rate 0.05 --quiet
 done
 dune exec bin/ivm_cli.exe -- lint --all-scenarios
 

@@ -6,12 +6,15 @@
                                       contain spans for every Algorithm
                                       5.1 phase (net, screen, row, apply);
      validate_snapshot bench FILE   — BENCH_IVM.json from bench/main.exe:
-                                      must parse, be schema_version >= 2,
+                                      must parse, be schema_version >= 3,
                                       and carry per-view latency
                                       percentiles, advisor
-                                      predicted-vs-actual pairs, and the
-                                      E18 domain-scaling curve with its
-                                      speedup fields.
+                                      predicted-vs-actual pairs, the E18
+                                      domain-scaling curve with its
+                                      speedup fields, and the E20
+                                      resilience section whose happy-path
+                                      journaling overhead must stay
+                                      within budget (<= 5%).
 
    Exits nonzero with a reason on any violation, so tools/check.sh can
    assert that the instrumentation keeps emitting what downstream tooling
@@ -89,9 +92,10 @@ let validate_bench path =
   ignore (require_member "calibration" advisor);
   ignore (require_member "metrics" json);
   (match require_member "schema_version" json with
-  | Obs.Json.Int v when v >= 2 -> ()
+  | Obs.Json.Int v when v >= 3 -> ()
   | Obs.Json.Int v ->
-    fail "schema_version %d < 2 (E18 parallel section required)" v
+    fail "schema_version %d < 3 (E18 parallel and E20 resilience sections \
+          required)" v
   | _ -> fail "schema_version is not an integer");
   let parallel = require_member "parallel" json in
   let parallel_member key =
@@ -120,9 +124,37 @@ let validate_bench path =
       | _ -> fail "parallel.%s is not a float" key)
     [ "speedup_at_2"; "speedup_at_4"; "speedup_at_8" ];
   ignore (parallel_member "cores_available");
+  let resilience = require_member "resilience" json in
+  let resilience_member key =
+    match Obs.Json.member key resilience with
+    | Some v -> v
+    | None -> fail "resilience section has no %S field" key
+  in
+  List.iter
+    (fun key ->
+      match resilience_member key with
+      | Obs.Json.Int ns when ns > 0 -> ()
+      | _ -> fail "resilience.%s is not a positive integer" key)
+    [ "protected_ns"; "unprotected_ns" ];
+  (* Unlike the speedups, the journaling overhead IS thresholded: the
+     undo log runs on every protected commit, so the happy path must
+     stay within its budget on any hardware. *)
+  let max_overhead_pct = 5.0 in
+  let overhead =
+    match resilience_member "journal_overhead_pct" with
+    | Obs.Json.Float pct -> pct
+    | Obs.Json.Int pct -> float_of_int pct
+    | _ -> fail "resilience.journal_overhead_pct is not a number"
+  in
+  if overhead > max_overhead_pct then
+    fail
+      "resilience.journal_overhead_pct %.2f exceeds the %.1f%% happy-path \
+       budget"
+      overhead max_overhead_pct;
   Printf.printf
-    "ok: %s (%d views, %d advisor pairs, %d-point domain-scaling curve)\n" path
-    (List.length views) (List.length pairs) (List.length curve)
+    "ok: %s (%d views, %d advisor pairs, %d-point domain-scaling curve, \
+     journal overhead %+.2f%%)\n"
+    path (List.length views) (List.length pairs) (List.length curve) overhead
 
 let () =
   match Sys.argv with
