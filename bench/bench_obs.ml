@@ -119,6 +119,7 @@ let view_entry mgr name =
        ("name", Obs.Json.Str name);
        ("commits", Obs.Json.Int stats.Manager.commits);
        ("recomputations", Obs.Json.Int stats.Manager.recomputations);
+       ("self_maintained", Obs.Json.Int stats.Manager.self_maintained);
        ("rows_evaluated", Obs.Json.Int stats.Manager.rows_evaluated);
        ("screened_out", Obs.Json.Int stats.Manager.screened_out);
        ("screened_kept", Obs.Json.Int stats.Manager.screened_kept);
@@ -131,8 +132,11 @@ let snapshot_json mgr =
     [
       ("benchmark", Obs.Json.Str "ivm-maintenance");
       (* v2: adds the E18 "parallel" domain-scaling section;
-         v3: adds the E20 "resilience" journaling-overhead section. *)
-      ("schema_version", Obs.Json.Int 3);
+         v3: adds the E20 "resilience" journaling-overhead section;
+         v4: adds the E21 "self_maintenance" eval-phase comparison, a
+             "self_maintained" count per view, and the third advisor arm
+             in calibration/pairs. *)
+      ("schema_version", Obs.Json.Int 4);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List
@@ -147,6 +151,7 @@ let snapshot_json mgr =
       ("metrics", Obs.Metrics.snapshot ());
       ("parallel", Bench_parallel.scaling_json ());
       ("resilience", resilience_json ());
+      ("self_maintenance", Bench_selfmaint.e21_json ());
     ]
 
 (* Always runs the canonical workload fresh so the snapshot is
@@ -194,17 +199,12 @@ let run () =
   let agreements_by_outcome =
     let samples = Advisor.samples () in
     List.map
-      (fun differential ->
+      (fun arm ->
         let of_kind =
-          List.filter
-            (fun (s : Advisor.sample) -> s.Advisor.used_differential = differential)
-            samples
+          List.filter (fun (s : Advisor.sample) -> s.Advisor.used = arm) samples
         in
-        [
-          (if differential then "differential" else "recompute");
-          string_of_int (List.length of_kind);
-        ])
-      [ true; false ]
+        [ Advisor.arm_name arm; string_of_int (List.length of_kind) ])
+      [ Advisor.Differential; Advisor.Recompute; Advisor.Self_maintain ]
   in
   Bench_util.print_table ~header:[ "strategy used"; "samples" ]
     agreements_by_outcome;

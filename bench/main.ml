@@ -4,7 +4,7 @@
    Run everything:        dune exec bench/main.exe
    Run a single section:  dune exec bench/main.exe -- tables screening
    Sections: tables screening views sat ablation crossover snapshot obs
-   parallel *)
+   parallel selfmaint *)
 
 let sections =
   [
@@ -17,6 +17,7 @@ let sections =
     ("snapshot", Bench_snapshot.run);
     ("obs", Bench_obs.run);
     ("parallel", Bench_parallel.run);
+    ("selfmaint", Bench_selfmaint.run);
   ]
 
 let () =

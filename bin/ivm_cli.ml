@@ -276,18 +276,89 @@ let parse_key_spec spec =
     end;
     (relation, attrs)
 
-let lint_one ~quiet (label, lookup, expr, keys) =
+let lint_one ~quiet ~code (label, lookup, expr, keys) =
   let diagnostics = Analysis.Analyzer.run_expr ~keys ~lookup expr in
   let failed = Analysis.Diagnostic.has_errors diagnostics in
-  if diagnostics = [] then begin
+  let shown =
+    match code with
+    | None -> diagnostics
+    | Some query -> Analysis.Diagnostic.with_code query diagnostics
+  in
+  if shown = [] then begin
     if not quiet then Printf.printf "== %s ==\nok\n" label
   end
   else
     Printf.printf "== %s ==\n%s\n" label
-      (Format.asprintf "%a" Analysis.Diagnostic.pp_report diagnostics);
+      (Format.asprintf "%a"
+         (fun ppf ds -> Analysis.Diagnostic.pp_report ppf ds)
+         shown);
   failed
 
-let run_lint all_scenarios dir file keys quiet statements =
+let severity_name = function
+  | Analysis.Diagnostic.Error -> "error"
+  | Analysis.Diagnostic.Warning -> "warning"
+  | Analysis.Diagnostic.Hint -> "hint"
+
+(* Machine-readable report: one object per definition, stable field
+   names, and a summary block — tools/check.sh feeds this to
+   tools/validate_snapshot.exe as a CI gate.  Exit code contract is the
+   same as the human mode: 0 clean, 1 any Error-level diagnostic, 2
+   usage problems. *)
+let lint_json ~code targets =
+  let definition (label, lookup, expr, keys) =
+    let diagnostics = Analysis.Analyzer.run_expr ~keys ~lookup expr in
+    let shown =
+      match code with
+      | None -> diagnostics
+      | Some query -> Analysis.Diagnostic.with_code query diagnostics
+    in
+    let diag (d : Analysis.Diagnostic.t) =
+      let opt = function None -> Obs.Json.Null | Some s -> Obs.Json.Str s in
+      Obs.Json.Obj
+        [
+          ("code", Obs.Json.Str d.Analysis.Diagnostic.code);
+          ("severity", Obs.Json.Str (severity_name d.Analysis.Diagnostic.severity));
+          ("message", Obs.Json.Str d.Analysis.Diagnostic.message);
+          ("context", opt d.Analysis.Diagnostic.context);
+          ("paper", opt d.Analysis.Diagnostic.paper);
+        ]
+    in
+    ( Obs.Json.Obj
+        [
+          ("label", Obs.Json.Str label);
+          ("diagnostics", Obs.Json.List (List.map diag shown));
+        ],
+      diagnostics )
+  in
+  let entries = List.map definition targets in
+  let all = List.concat_map snd entries in
+  let count severity =
+    List.length
+      (List.filter
+         (fun (d : Analysis.Diagnostic.t) ->
+           d.Analysis.Diagnostic.severity = severity)
+         all)
+  in
+  let errors = count Analysis.Diagnostic.Error in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("version", Obs.Json.Int 1);
+        ("definitions", Obs.Json.List (List.map fst entries));
+        ( "summary",
+          Obs.Json.Obj
+            [
+              ("definitions", Obs.Json.Int (List.length targets));
+              ("errors", Obs.Json.Int errors);
+              ("warnings", Obs.Json.Int (count Analysis.Diagnostic.Warning));
+              ("hints", Obs.Json.Int (count Analysis.Diagnostic.Hint));
+            ] );
+      ]
+  in
+  print_endline (Obs.Json.to_string doc);
+  if errors > 0 then 1 else 0
+
+let run_lint all_scenarios dir file keys quiet json code statements =
   let keys = List.map parse_key_spec keys in
   let from_statements =
     match statements, file with
@@ -346,16 +417,22 @@ let run_lint all_scenarios dir file keys quiet statements =
       "lint: nothing to lint (pass statements, --file or --all-scenarios)\n";
     exit 2
   end;
-  let failures = List.filter Fun.id (List.map (lint_one ~quiet) targets) in
-  if failures = [] then begin
-    if not quiet then
-      Printf.printf "lint: %d definition(s), no errors\n" (List.length targets);
-    0
-  end
+  if json then lint_json ~code targets
   else begin
-    Printf.printf "lint: %d of %d definition(s) carry errors\n"
-      (List.length failures) (List.length targets);
-    1
+    let failures =
+      List.filter Fun.id (List.map (lint_one ~quiet ~code) targets)
+    in
+    if failures = [] then begin
+      if not quiet then
+        Printf.printf "lint: %d definition(s), no errors\n"
+          (List.length targets);
+      0
+    end
+    else begin
+      Printf.printf "lint: %d of %d definition(s) carry errors\n"
+        (List.length failures) (List.length targets);
+      1
+    end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -713,6 +790,28 @@ let lint_cmd =
       value & flag
       & info [ "quiet"; "q" ] ~doc:"Only print definitions with diagnostics.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a machine-readable report on stdout: {version, \
+             definitions: [{label, diagnostics: [{code, severity, \
+             message, context, paper}]}], summary: {definitions, errors, \
+             warnings, hints}}.  The summary always counts every \
+             diagnostic; $(b,--code) filters only the per-definition \
+             listings.")
+  in
+  let code =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "code" ] ~docv:"CODE"
+          ~doc:
+            "Show only diagnostics matching $(docv) — an exact code \
+             ($(b,IVM051)) or a band prefix ($(b,IVM05*)).  The exit code \
+             still reflects all Error-level diagnostics, filtered or not.")
+  in
   let statements =
     Arg.(
       value & pos_all string []
@@ -723,11 +822,16 @@ let lint_cmd =
        ~doc:
          "Statically analyze view definitions before registration: \
           unsatisfiable or redundant conditions, unscreenable sources, \
-          hidden Cartesian products, projection and typing problems \
-          (diagnostic codes IVM001-IVM040).  Exits nonzero when an \
-          Error-level diagnostic is found, making it usable as a CI gate.")
+          hidden Cartesian products, projection and typing problems, and \
+          self-maintainability certificates (diagnostic codes \
+          IVM001-IVM059).  Exit code contract: 0 when no Error-level \
+          diagnostic was found, 1 when at least one definition carries an \
+          Error, 2 on usage problems (bad flags, unparseable statements, \
+          nothing to lint) — making both the human and $(b,--json) modes \
+          usable as CI gates.")
     Term.(
-      const run_lint $ all_scenarios $ dir $ file $ keys $ quiet $ statements)
+      const run_lint $ all_scenarios $ dir $ file $ keys $ quiet $ json $ code
+      $ statements)
 
 let fuzz_cmd =
   let streams =

@@ -1,14 +1,29 @@
+(* Overlapping checks can emit the same diagnostic (e.g. two sources of
+   one relation, both without a declared key); after the severity sort a
+   stable pass drops exact duplicates, so output is deterministic and
+   duplicate-free across runs. *)
+let dedupe ds =
+  List.rev
+    (List.fold_left
+       (fun acc d ->
+         match acc with
+         | prev :: _ when prev = d -> acc
+         | _ -> d :: acc)
+       [] ds)
+
 let run ?(keys = []) ~lookup spj =
-  List.stable_sort Diagnostic.compare
-    (List.concat
-       [
-         Check_satisfiable.check ~lookup spj;
-         Check_redundancy.check ~lookup spj;
-         Check_screening.check ~lookup spj;
-         Check_join_graph.check ~lookup spj;
-         Check_projection.check ~keys ~lookup spj;
-         Check_types.check ~lookup spj;
-       ])
+  dedupe
+    (List.stable_sort Diagnostic.compare
+       (List.concat
+          [
+            Check_satisfiable.check ~lookup spj;
+            Check_redundancy.check ~lookup spj;
+            Check_screening.check ~lookup spj;
+            Check_join_graph.check ~lookup spj;
+            Check_projection.check ~keys ~lookup spj;
+            Check_types.check ~lookup spj;
+            Check_self_maintain.check ~keys ~lookup spj;
+          ]))
 
 let run_expr ?keys ?(minimize = true) ~lookup expr =
   match Query.Spj.compile lookup expr with

@@ -19,18 +19,31 @@
       provably required ({!Check_projection}, Section 5.2);
     - [IVM040] Warning — mixed-type comparisons folded to constants
       ({!Check_types});
+    - [IVM050]/[IVM051] Hint — insertions/deletions provably
+      self-maintainable: the view delta needs no base-relation access
+      ({!Check_self_maintain}; the [Self_maintain] strategy in [lib/core]
+      exploits the proof);
+    - [IVM052]–[IVM054] Warning — self-maintainability near-misses:
+      unrecovered key attributes, a missing key declaration, a disjunction
+      blocking the key analysis ({!Check_self_maintain}; only emitted when
+      keys are declared);
     - [IVM000] Error — the definition does not compile at all (only from
       {!run_expr}).
 
     The registration gate ({!Ivm.Manager.define_view}) refuses definitions
     with [Error]-level diagnostics unless forced; the [ivm_cli lint]
-    subcommand exposes the same analysis as a CI gate. *)
+    subcommand exposes the same analysis as a CI gate.
+
+    The returned list is deterministic: sorted by {!Diagnostic.compare}
+    (stable, so equal-ranked diagnostics keep check order), then exact
+    duplicates from overlapping checks are dropped. *)
 
 open Relalg
 
 (** [run ~lookup spj] analyzes a compiled definition.  [keys] declares
     candidate keys of base relations for the Section 5.2 key-retention
-    analysis; omitting it skips [IVM031]. *)
+    analysis and the IVM05x self-maintainability band; omitting it skips
+    [IVM031] and the IVM05x near-miss warnings. *)
 val run :
   ?keys:Query.Keys.t ->
   lookup:(string -> Schema.t) ->

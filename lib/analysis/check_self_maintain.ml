@@ -1,0 +1,246 @@
+open Relalg
+module Formula = Condition.Formula
+
+type binding =
+  | From_output of int
+  | Pinned of Value.t
+
+type delete_plan = {
+  alias : string;
+  relation : string;
+  key : Attr.t list;
+  bindings : (int * binding) list;
+}
+
+type source_status =
+  | Plan of delete_plan
+  | No_declared_key
+  | Undetermined of Attr.t list
+
+type source_report = {
+  source_alias : string;
+  source_relation : string;
+  status : source_status;
+}
+
+type t = {
+  single_source : (string * string) option;
+  disjunctive : bool;
+  reports : source_report list;
+}
+
+(* Union-find over the qualified attributes of a single conjunct, exactly
+   as in Query.Keys — but here we keep, per equality class, how its value
+   can be read back off a view tuple (a projected output position or a
+   pinned constant). *)
+let rec find parent a =
+  match Hashtbl.find_opt parent a with
+  | None -> a
+  | Some p ->
+    let root = find parent p in
+    if not (Attr.equal root p) then Hashtbl.replace parent a root;
+    root
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if not (Attr.equal ra rb) then Hashtbl.replace parent ra rb
+
+(* The constant an [x = c (+ shift)] atom pins [x] to, with the shift
+   folded in.  A shift against a string constant is ill-typed (IVM040
+   catches it); such atoms pin nothing here. *)
+let pinned_value (a : Formula.atom) =
+  match (a.Formula.left, a.Formula.cmp, a.Formula.right, a.Formula.shift) with
+  | Formula.O_var x, Formula.Eq, Formula.O_const (Value.Int c), s ->
+    Some (x, Value.Int (c + s))
+  | Formula.O_const (Value.Int c), Formula.Eq, Formula.O_var x, s ->
+    Some (x, Value.Int (c - s))
+  | Formula.O_var x, Formula.Eq, Formula.O_const (Value.Str _ as c), 0
+  | Formula.O_const (Value.Str _ as c), Formula.Eq, Formula.O_var x, 0 ->
+    Some (x, c)
+  | _ -> None
+
+let keyed_reports ~keys ~lookup (spj : Query.Spj.t) conj =
+  let parent = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Formula.atom) ->
+      match (a.Formula.left, a.Formula.cmp, a.Formula.right, a.Formula.shift)
+      with
+      | Formula.O_var x, Formula.Eq, Formula.O_var y, 0 -> union parent x y
+      | _ -> ())
+    conj;
+  (* Recovery rule per class root: projected outputs win over pins (they
+     need no trust in the condition's satisfiability). *)
+  let recover : (Attr.t, binding) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Formula.atom) ->
+      match pinned_value a with
+      | Some (x, v) ->
+        let root = find parent x in
+        if not (Hashtbl.mem recover root) then
+          Hashtbl.replace recover root (Pinned v)
+      | None -> ())
+    conj;
+  List.iteri
+    (fun j (_, q) -> Hashtbl.replace recover (find parent q) (From_output j))
+    spj.Query.Spj.projection;
+  List.map
+    (fun (source : Query.Spj.source) ->
+      let alias = source.Query.Spj.alias in
+      let relation = source.Query.Spj.relation in
+      let status =
+        match List.assoc_opt relation keys with
+        | None | Some [] -> No_declared_key
+        | Some key ->
+          let schema = lookup relation in
+          let resolved =
+            List.map
+              (fun attr ->
+                let qualified = Attr.qualify ~alias attr in
+                ( Schema.position schema attr,
+                  qualified,
+                  Hashtbl.find_opt recover (find parent qualified) ))
+              key
+          in
+          let missing =
+            List.filter_map
+              (fun (_, q, b) -> if b = None then Some q else None)
+              resolved
+          in
+          if missing <> [] then Undetermined missing
+          else
+            Plan
+              {
+                alias;
+                relation;
+                key;
+                bindings =
+                  List.map (fun (pos, _, b) -> (pos, Option.get b)) resolved;
+              }
+      in
+      { source_alias = alias; source_relation = relation; status })
+    spj.Query.Spj.sources
+
+let analyze ~keys ~lookup (spj : Query.Spj.t) =
+  let single_source =
+    match spj.Query.Spj.sources with
+    | [ s ] -> Some (s.Query.Spj.alias, s.Query.Spj.relation)
+    | _ -> None
+  in
+  match spj.Query.Spj.condition_dnf with
+  | [ conj ] ->
+    {
+      single_source;
+      disjunctive = false;
+      reports = keyed_reports ~keys ~lookup spj conj;
+    }
+  | _ -> { single_source; disjunctive = true; reports = [] }
+
+let relations t =
+  List.sort_uniq String.compare
+    (List.map (fun r -> r.source_relation) t.reports)
+
+let insert_self_maintainable t relation =
+  match t.single_source with
+  | Some (_, r) -> String.equal r relation
+  | None -> false
+
+let delete_plans t relation =
+  let over = List.filter (fun r -> String.equal r.source_relation relation) t.reports in
+  if over = [] then None
+  else
+    let plans =
+      List.filter_map
+        (fun r -> match r.status with Plan p -> Some p | _ -> None)
+        over
+    in
+    if List.length plans = List.length over then Some plans else None
+
+let delete_self_maintainable t relation =
+  insert_self_maintainable t relation
+  || (t.single_source = None && delete_plans t relation <> None)
+
+let pp_attrs attrs = String.concat ", " attrs
+
+let check ?(keys = []) ~lookup (spj : Query.Spj.t) =
+  let t = analyze ~keys ~lookup spj in
+  let paper_single = "Algorithm 5.1, p = 1 truth table" in
+  let paper_keyed = "Section 5.2 key retention; self-maintenance (PAPERS.md)" in
+  match t.single_source with
+  | Some (_, relation) ->
+    [
+      Diagnostic.make ~code:"IVM050" ~severity:Diagnostic.Hint ~context:relation
+        ~paper:paper_single
+        (Printf.sprintf
+           "insertions into %s are self-maintainable: with a single source \
+            the insert delta is pi_X(sigma_C({t})) per inserted tuple — no \
+            base-relation access needed"
+           relation);
+      Diagnostic.make ~code:"IVM051" ~severity:Diagnostic.Hint ~context:relation
+        ~paper:paper_single
+        (Printf.sprintf
+           "deletions from %s are self-maintainable: the delete delta is \
+            computable from the deleted tuples alone"
+           relation);
+    ]
+  | None ->
+    (* Multi-source: keyed deletion facts (Hints), then near-misses
+       (Warnings) — the latter only when the caller declared keys, like
+       IVM031, so key-free lints stay quiet. *)
+    let provable =
+      List.filter_map
+        (fun relation ->
+          match delete_plans t relation with
+          | Some plans ->
+            Some
+              (Diagnostic.make ~code:"IVM051" ~severity:Diagnostic.Hint
+                 ~context:relation ~paper:paper_keyed
+                 (Printf.sprintf
+                    "deletions from %s are self-maintainable: the view \
+                     recovers its candidate key (%s) at every source, so \
+                     affected view tuples can be drained from the \
+                     materialization by key"
+                    relation
+                    (pp_attrs (List.hd plans).key)))
+          | None -> None)
+        (relations t)
+    in
+    let near_misses =
+      if keys = [] then []
+      else if t.disjunctive then
+        [
+          Diagnostic.make ~code:"IVM054" ~severity:Diagnostic.Warning
+            ~paper:paper_keyed
+            "the condition's disjunction blocks key-based self-maintenance \
+             analysis for this multi-source view: equality classes are only \
+             sound per conjunct";
+        ]
+      else
+        List.filter_map
+          (fun r ->
+            match r.status with
+            | Plan _ -> None
+            | No_declared_key ->
+              Some
+                (Diagnostic.make ~code:"IVM053" ~severity:Diagnostic.Warning
+                   ~context:r.source_relation ~paper:paper_keyed
+                   (Printf.sprintf
+                      "near miss: no candidate key declared for %s — \
+                       declaring one the view recovers would make its \
+                       deletions self-maintainable"
+                      r.source_relation))
+            | Undetermined missing ->
+              Some
+                (Diagnostic.make ~code:"IVM052" ~severity:Diagnostic.Warning
+                   ~context:r.source_alias ~paper:paper_keyed
+                   (Printf.sprintf
+                      "near miss: deletions from %s are not provably \
+                       self-maintainable — the view does not recover key \
+                       attribute(s) %s of source %s; projecting them (or \
+                       pinning them in the condition) would enable key-based \
+                       drain maintenance"
+                      r.source_relation
+                      (pp_attrs missing)
+                      r.source_alias)))
+          t.reports
+    in
+    provable @ near_misses

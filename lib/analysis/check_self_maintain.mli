@@ -1,0 +1,97 @@
+(** IVM050–IVM054 — self-maintainability (ROADMAP open item 5).
+
+    A view is {e self-maintainable} for an update class when its new
+    contents are computable from the update set plus the current
+    materialization, with no base-relation access.  The analysis works from
+    the SPJ definition alone:
+
+    - {b Insertions} ([IVM050], Hint): provable exactly for single-source
+      views ([p = 1]).  The only truth-table row carrying the delta is
+      [dR], so the insert delta is [pi_X(sigma_C({t}))] per inserted tuple
+      — the condition is fully evaluable by substitution (Definition 4.1)
+      and no old part is joined.  With [p > 1] the delta rows join against
+      old parts of the {e other} sources, which the update set cannot
+      provide.
+    - {b Deletions} ([IVM051], Hint): provable for [p = 1] by the same
+      direct computation, and for multi-source views by {e key recovery}:
+      if, for every source over the deleted relation, the equality classes
+      of the (single-conjunct) condition let a declared candidate key of
+      that relation be read back off a view tuple — each key attribute's
+      class contains a projected output or is pinned to a constant — then
+      every derivation of a view tuple shares the one base tuple with that
+      key, so deleting a base tuple drains exactly the view tuples whose
+      recovered key matches, counters and all.  This is the Section 5.2
+      key-retention argument turned from counter-redundancy into a
+      maintenance procedure.
+
+    Near-misses are Warnings, emitted only when the caller declared keys
+    (mirroring [IVM031]): [IVM052] names the key attributes the projection
+    fails to recover, [IVM053] flags a relation with no declared key at
+    all, and [IVM054] reports that a disjunctive condition blocks the
+    per-conjunct equality-class analysis for multi-source views.
+
+    Declared keys are trusted, exactly as in {!Query.Keys}: declaring a
+    non-key unsoundly widens what the analysis certifies. *)
+
+open Relalg
+
+(** How one attribute of a recovered candidate key is read back off a view
+    tuple. *)
+type binding =
+  | From_output of int  (** view-tuple position carrying the value *)
+  | Pinned of Value.t  (** the condition pins the attribute to a constant *)
+
+(** Proof that deletions from one source are drainable by key: [bindings]
+    pairs each key attribute's position in the {e base} schema with its
+    recovery rule. *)
+type delete_plan = {
+  alias : string;
+  relation : string;
+  key : Attr.t list;  (** the declared candidate key the proof uses *)
+  bindings : (int * binding) list;
+}
+
+type source_status =
+  | Plan of delete_plan
+  | No_declared_key
+  | Undetermined of Attr.t list
+      (** qualified key attributes the projection does not recover *)
+
+type source_report = {
+  source_alias : string;
+  source_relation : string;
+  status : source_status;
+}
+
+type t = {
+  single_source : (string * string) option;
+      (** [(alias, relation)] when [p = 1]: inserts and deletes are both
+          directly computable, whatever the condition's shape *)
+  disjunctive : bool;
+      (** the DNF has several disjuncts, so the key analysis was skipped
+          for multi-source views (equality classes are per-conjunct) *)
+  reports : source_report list;  (** per source, in declaration order *)
+}
+
+val analyze :
+  keys:Query.Keys.t -> lookup:(string -> Schema.t) -> Query.Spj.t -> t
+
+(** [insert_self_maintainable t relation]: insertions into [relation] are
+    provably self-maintainable. *)
+val insert_self_maintainable : t -> string -> bool
+
+(** [delete_self_maintainable t relation]: deletions from [relation] are
+    provably self-maintainable (directly for [p = 1], by key recovery
+    otherwise). *)
+val delete_self_maintainable : t -> string -> bool
+
+(** The key-recovery plans covering {e every} source over [relation], when
+    the keyed argument applies; [None] otherwise (including the [p = 1]
+    case, which needs no plan). *)
+val delete_plans : t -> string -> delete_plan list option
+
+val check :
+  ?keys:Query.Keys.t ->
+  lookup:(string -> Schema.t) ->
+  Query.Spj.t ->
+  Diagnostic.t list

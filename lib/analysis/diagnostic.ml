@@ -31,7 +31,16 @@ let compare a b =
 
 let errors ds = List.filter (fun d -> d.severity = Error) ds
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
-let with_code code ds = List.filter (fun d -> String.equal d.code code) ds
+
+(* A trailing [*] matches a whole band: [IVM05*] selects IVM050–IVM059. *)
+let code_matches ~query code =
+  let n = String.length query in
+  if n > 0 && query.[n - 1] = '*' then
+    String.length code >= n - 1
+    && String.equal (String.sub code 0 (n - 1)) (String.sub query 0 (n - 1))
+  else String.equal code query
+
+let with_code code ds = List.filter (fun d -> code_matches ~query:code d.code) ds
 
 let pp_severity ppf s =
   Format.pp_print_string ppf
@@ -51,7 +60,12 @@ let pp ppf d =
   | None -> ());
   Format.fprintf ppf "@]"
 
-let pp_report ppf ds =
+let pp_report ?code ppf ds =
+  let ds =
+    match code with
+    | None -> ds
+    | Some code -> with_code code ds
+  in
   let ds = List.stable_sort compare ds in
   Format.fprintf ppf "@[<v>";
   List.iter (fun d -> Format.fprintf ppf "%a@," pp d) ds;

@@ -37,11 +37,16 @@ val compare : t -> t -> int
 val errors : t list -> t list
 val has_errors : t list -> bool
 
-(** Diagnostics carrying the given code. *)
+(** [code_matches ~query code]: exact match, or whole-band prefix match
+    when [query] ends in [*] ([IVM05*] selects IVM050–IVM059). *)
+val code_matches : query:string -> string -> bool
+
+(** Diagnostics matching the given code query (see {!code_matches}). *)
 val with_code : string -> t list -> t list
 
 val pp_severity : Format.formatter -> severity -> unit
 val pp : Format.formatter -> t -> unit
 
-(** Severity-sorted listing followed by a one-line summary. *)
-val pp_report : Format.formatter -> t list -> unit
+(** Severity-sorted listing followed by a one-line summary; [?code]
+    restricts to a code query first (see {!code_matches}). *)
+val pp_report : ?code:string -> Format.formatter -> t list -> unit

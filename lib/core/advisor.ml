@@ -1,17 +1,31 @@
 open Relalg
 
+type arm =
+  | Differential
+  | Recompute
+  | Self_maintain
+
+let arm_name = function
+  | Differential -> "differential"
+  | Recompute -> "recompute"
+  | Self_maintain -> "self_maintain"
+
 type decision = {
   differential_cost : float;
   recompute_cost : float;
+  self_maintain_cost : float option;
+  choose : arm;
   choose_differential : bool;
 }
 
 (* Calibrated against experiment E9 on the hash-join engine: differential
    work is dominated by re-hashing the old parts each modified row joins
    with, recomputation by one scan of every source plus materializing the
-   view. *)
+   view.  Self-maintenance touches each update tuple twice (condition or
+   key probe, then the drain/apply) and nothing else. *)
 let differential_weight = 1.0
 let recompute_weight = 1.0
+let self_maintain_weight = 1.0
 
 let decide view ~db ~net =
   let spj = View.spj view in
@@ -62,16 +76,37 @@ let decide view ~db ~net =
     *. (float_of_int total_sources
        +. float_of_int (Relation.cardinal (View.contents view)))
   in
+  let self_maintain_cost =
+    match View.self_maintain view with
+    | Some plan when Self_maintain.applies plan ~net ->
+      Some (self_maintain_weight *. ((2.0 *. float_of_int delta_total) +. 1.0))
+    | _ -> None
+  in
+  let cheaper_classic =
+    if differential_cost <= recompute_cost then Differential else Recompute
+  in
+  let choose =
+    match self_maintain_cost with
+    | Some c
+      when c <= differential_cost && c <= recompute_cost ->
+      Self_maintain
+    | _ -> cheaper_classic
+  in
   {
     differential_cost;
     recompute_cost;
-    choose_differential = differential_cost <= recompute_cost;
+    self_maintain_cost;
+    choose;
+    choose_differential = choose = Differential;
   }
 
 let pp_decision ppf d =
-  Format.fprintf ppf "differential=%.0f recompute=%.0f -> %s"
+  Format.fprintf ppf "differential=%.0f recompute=%.0f%s -> %s"
     d.differential_cost d.recompute_cost
-    (if d.choose_differential then "differential" else "recompute")
+    (match d.self_maintain_cost with
+    | None -> ""
+    | Some c -> Printf.sprintf " self_maintain=%.0f" c)
+    (arm_name d.choose)
 
 (* ------------------------------------------------------------------ *)
 (* calibration: predicted cost units vs measured wall time             *)
@@ -80,7 +115,7 @@ let pp_decision ppf d =
 type sample = {
   view : string;
   decision : decision;
-  used_differential : bool;
+  used : arm;
   actual_ns : int;
 }
 
@@ -92,29 +127,34 @@ let locked f =
   Mutex.lock store_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock store_mutex) f
 
-let record ~view ~used_differential ~actual_ns decision =
+let record ~view ~used ~actual_ns decision =
   locked (fun () ->
       if Queue.length store >= sample_capacity then ignore (Queue.pop store);
-      Queue.push { view; decision; used_differential; actual_ns } store);
+      Queue.push { view; decision; used; actual_ns } store);
   if Obs.Control.enabled () then begin
-    let choice d = if d then "differential" else "recompute" in
     Obs.Metrics.add "ivm_advisor_decisions_total"
       ~labels:
         [
           ("view", view);
-          ("predicted", choice decision.choose_differential);
-          ("used", choice used_differential);
+          ("predicted", arm_name decision.choose);
+          ("used", arm_name used);
         ]
       1;
     Obs.Metrics.observe "ivm_advisor_actual_ns"
-      ~labels:[ ("view", view); ("used", choice used_differential) ]
+      ~labels:[ ("view", view); ("used", arm_name used) ]
       actual_ns;
     Obs.Metrics.set_gauge "ivm_advisor_predicted_cost"
       ~labels:[ ("view", view); ("strategy", "differential") ]
       decision.differential_cost;
     Obs.Metrics.set_gauge "ivm_advisor_predicted_cost"
       ~labels:[ ("view", view); ("strategy", "recompute") ]
-      decision.recompute_cost
+      decision.recompute_cost;
+    match decision.self_maintain_cost with
+    | Some c ->
+      Obs.Metrics.set_gauge "ivm_advisor_predicted_cost"
+        ~labels:[ ("view", view); ("strategy", "self_maintain") ]
+        c
+    | None -> ()
   end
 
 let samples () = locked (fun () -> List.of_seq (Queue.to_seq store))
@@ -125,46 +165,59 @@ type calibration = {
   agreements : int;
   scale_differential : float option;
   scale_recompute : float option;
+  scale_self_maintain : float option;
   mean_abs_rel_error : float option;
 }
+
+(* The model cost of the arm a sample actually ran; [None] when the arm
+   carried no prediction (a forced Self_maintain without a certificate
+   cannot happen, but a fallback-to-differential sample is an ordinary
+   differential prediction). *)
+let predicted s =
+  match s.used with
+  | Differential -> Some s.decision.differential_cost
+  | Recompute -> Some s.decision.recompute_cost
+  | Self_maintain -> s.decision.self_maintain_cost
 
 let calibrate () =
   let samples = samples () in
   let n_samples = List.length samples in
   let agreements =
-    List.length
-      (List.filter
-         (fun s -> s.decision.choose_differential = s.used_differential)
-         samples)
+    List.length (List.filter (fun s -> s.decision.choose = s.used) samples)
   in
-  let predicted s =
-    if s.used_differential then s.decision.differential_cost
-    else s.decision.recompute_cost
-  in
-  let scale_for strategy_differential =
+  let scale_for arm =
     let relevant =
       List.filter
-        (fun s -> s.used_differential = strategy_differential && predicted s > 0.0)
+        (fun s ->
+          s.used = arm
+          && match predicted s with Some p -> p > 0.0 | None -> false)
         samples
     in
-    let sum_pred = List.fold_left (fun acc s -> acc +. predicted s) 0.0 relevant in
+    let sum_pred =
+      List.fold_left
+        (fun acc s -> acc +. Option.value ~default:0.0 (predicted s))
+        0.0 relevant
+    in
     let sum_actual =
       List.fold_left (fun acc s -> acc +. float_of_int s.actual_ns) 0.0 relevant
     in
     if sum_pred > 0.0 then Some (sum_actual /. sum_pred) else None
   in
-  let scale_differential = scale_for true in
-  let scale_recompute = scale_for false in
+  let scale_differential = scale_for Differential in
+  let scale_recompute = scale_for Recompute in
+  let scale_self_maintain = scale_for Self_maintain in
+  let scale_of = function
+    | Differential -> scale_differential
+    | Recompute -> scale_recompute
+    | Self_maintain -> scale_self_maintain
+  in
   let errors =
     List.filter_map
       (fun s ->
-        let scale =
-          if s.used_differential then scale_differential else scale_recompute
-        in
-        match scale with
-        | Some scale when predicted s > 0.0 && s.actual_ns > 0 ->
+        match (scale_of s.used, predicted s) with
+        | Some scale, Some p when p > 0.0 && s.actual_ns > 0 ->
           Some
-            (Float.abs ((predicted s *. scale) -. float_of_int s.actual_ns)
+            (Float.abs ((p *. scale) -. float_of_int s.actual_ns)
             /. float_of_int s.actual_ns)
         | _ -> None)
       samples
@@ -177,7 +230,7 @@ let calibrate () =
         (List.fold_left ( +. ) 0.0 errors /. float_of_int (List.length errors))
   in
   { n_samples; agreements; scale_differential; scale_recompute;
-    mean_abs_rel_error }
+    scale_self_maintain; mean_abs_rel_error }
 
 let sample_json s =
   Obs.Json.Obj
@@ -185,10 +238,13 @@ let sample_json s =
       ("view", Obs.Json.Str s.view);
       ("predicted_differential", Obs.Json.Float s.decision.differential_cost);
       ("predicted_recompute", Obs.Json.Float s.decision.recompute_cost);
+      ( "predicted_self_maintain",
+        match s.decision.self_maintain_cost with
+        | Some c -> Obs.Json.Float c
+        | None -> Obs.Json.Null );
+      ("chose", Obs.Json.Str (arm_name s.decision.choose));
       ("chose_differential", Obs.Json.Bool s.decision.choose_differential);
-      ( "used",
-        Obs.Json.Str
-          (if s.used_differential then "differential" else "recompute") );
+      ("used", Obs.Json.Str (arm_name s.used));
       ("actual_ns", Obs.Json.Int s.actual_ns);
     ]
 
@@ -215,6 +271,7 @@ let calibration_json () =
       ("agreements", Obs.Json.Int c.agreements);
       ("scale_differential_ns_per_unit", opt c.scale_differential);
       ("scale_recompute_ns_per_unit", opt c.scale_recompute);
+      ("scale_self_maintain_ns_per_unit", opt c.scale_self_maintain);
       ("mean_abs_rel_error", opt c.mean_abs_rel_error);
     ]
 
@@ -224,6 +281,7 @@ let pp_calibration ppf c =
     | Some x -> Format.fprintf ppf "%.3g" x
   in
   Format.fprintf ppf
-    "%d samples, %d/%d agree; scale diff=%a rec=%a ns/unit; mean |rel err| %a"
+    "%d samples, %d/%d agree; scale diff=%a rec=%a sm=%a ns/unit; mean |rel \
+     err| %a"
     c.n_samples c.agreements c.n_samples opt c.scale_differential opt
-    c.scale_recompute opt c.mean_abs_rel_error
+    c.scale_recompute opt c.scale_self_maintain opt c.mean_abs_rel_error

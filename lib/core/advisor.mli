@@ -1,13 +1,15 @@
-(** Adaptive choice between differential and complete re-evaluation.
+(** Adaptive choice among differential, complete re-evaluation, and
+    certified self-maintenance.
 
     The paper's conclusion leaves open "under what circumstances
     differential re-evaluation is more efficient than complete
     re-evaluation".  Experiment E9 locates the crossover empirically; this
     module turns it into a runtime policy: a cheap cost model compares the
-    expected work of both strategies per transaction, so churn-heavy
-    transactions fall back to recomputation automatically.
+    expected work of the strategies per transaction, so churn-heavy
+    transactions fall back to recomputation automatically and certified
+    transactions take the zero-base-read path.
 
-    The model is deliberately simple (both costs are linear in the sizes a
+    The model is deliberately simple (costs are linear in the sizes a
     hash-join engine touches):
 
     - differential: every truth-table row evaluation scans the update sets
@@ -16,15 +18,35 @@
       approximate with [2^k * (delta_total + (p-1) * avg_source)] damped by
       the observation that most rows short-circuit on empty operands;
     - recompute: scans every source and rebuilds the view:
-      [sum sources + |view|].
+      [sum sources + |view|];
+    - self-maintain (only when the view's {!Self_maintain} certificate
+      covers the transaction): each update tuple is touched twice — the
+      substituted condition or the key probe, then the drain/apply —
+      [2 * delta_total + 1].
 
-    The constants were calibrated against E9 on this engine; see
+    The constants were calibrated against E9/E21 on this engine; see
     EXPERIMENTS.md.  The decision is exposed so callers can log it. *)
+
+(** A maintenance arm the advisor can pick.  Mirrors the concrete
+    {!Maintenance.strategy} values (that type also carries [Adaptive],
+    which is what invokes this module, so it cannot be reused here). *)
+type arm =
+  | Differential
+  | Recompute
+  | Self_maintain
+
+val arm_name : arm -> string
 
 type decision = {
   differential_cost : float;  (** model estimate, abstract units *)
   recompute_cost : float;
+  self_maintain_cost : float option;
+      (** [None] when the view has no certificate or it does not cover
+          this transaction's update sets *)
+  choose : arm;  (** cheapest applicable arm *)
   choose_differential : bool;
+      (** [choose = Differential]; kept for the pre-[Self_maintain]
+          consumers of the two-arm model *)
 }
 
 (** [decide view ~db ~net] evaluates the cost model for one transaction.
@@ -48,16 +70,15 @@ val pp_decision : Format.formatter -> decision -> unit
 type sample = {
   view : string;
   decision : decision;
-  used_differential : bool;  (** strategy actually executed *)
+  used : arm;  (** strategy actually executed *)
   actual_ns : int;  (** measured wall time of the maintenance *)
 }
 
 val sample_capacity : int
 
-(** [record ~view ~used_differential ~actual_ns decision] appends one
-    calibration sample (oldest dropped past capacity). *)
-val record :
-  view:string -> used_differential:bool -> actual_ns:int -> decision -> unit
+(** [record ~view ~used ~actual_ns decision] appends one calibration
+    sample (oldest dropped past capacity). *)
+val record : view:string -> used:arm -> actual_ns:int -> decision -> unit
 
 (** Newest-last; at most {!sample_capacity}. *)
 val samples : unit -> sample list
@@ -72,6 +93,7 @@ type calibration = {
       (** ns per differential cost unit: [sum actual / sum predicted] over
           samples that ran differentially; [None] without such samples *)
   scale_recompute : float option;
+  scale_self_maintain : float option;
   mean_abs_rel_error : float option;
       (** mean of [|scaled prediction - actual| / actual] over all samples
           whose strategy has a scale *)
@@ -85,7 +107,8 @@ val pp_calibration : Format.formatter -> calibration -> unit
 
 (** The newest [limit] samples (all, by default) as a JSON array of
     [{view, predicted_differential, predicted_recompute,
-    chose_differential, used, actual_ns}] objects. *)
+    predicted_self_maintain, chose, chose_differential, used, actual_ns}]
+    objects. *)
 val samples_json : ?limit:int -> unit -> Obs.Json.t
 
 val calibration_json : unit -> Obs.Json.t

@@ -8,6 +8,7 @@ type strategy =
   | Differential
   | Recompute
   | Adaptive
+  | Self_maintain
 
 type options = {
   strategy : strategy;
@@ -61,29 +62,44 @@ let strategy_name = function
   | Differential -> "differential"
   | Recompute -> "recompute"
   | Adaptive -> "adaptive"
+  | Self_maintain -> "self_maintain"
 
-let resolve_strategy options view ~db ~net =
+(* The arm a sample executes, for advisor calibration. *)
+let arm_of_strategy = function
+  | Recompute -> Advisor.Recompute
+  | Self_maintain -> Advisor.Self_maintain
+  | Differential | Adaptive -> Advisor.Differential
+
+let self_maintain_applies view ~net =
+  match View.self_maintain view with
+  | Some plan -> Self_maintain.applies plan ~net
+  | None -> false
+
+let concrete_strategy options view ~net ~decision =
   match options.strategy with
   | Differential -> Differential
   | Recompute -> Recompute
-  | Adaptive ->
-    if (Advisor.decide view ~db ~net).Advisor.choose_differential then
-      Differential
-    else Recompute
+  | Self_maintain ->
+    (* Forced self-maintenance still degrades gracefully: when the
+       certificate does not cover this transaction, differential is the
+       always-applicable default. *)
+    if self_maintain_applies view ~net then Self_maintain else Differential
+  | Adaptive -> (
+    match (decision : Advisor.decision).Advisor.choose with
+    | Advisor.Self_maintain -> Self_maintain
+    | Advisor.Differential -> Differential
+    | Advisor.Recompute -> Recompute)
+
+let resolve_strategy options view ~db ~net =
+  concrete_strategy options view ~net
+    ~decision:(Advisor.decide view ~db ~net)
 
 (* [resolve_with_decision] always evaluates the cost model, so its
    prediction can be recorded against the measured cost even when the
    strategy is forced — that is what calibrates the advisor. *)
 let resolve_with_decision options view ~db ~net =
   let decision = Advisor.decide view ~db ~net in
-  let strategy =
-    match options.strategy with
-    | Differential -> Differential
-    | Recompute -> Recompute
-    | Adaptive ->
-      if decision.Advisor.choose_differential then Differential else Recompute
-  in
-  (strategy, decision)
+  (concrete_strategy options view ~net ~decision, decision)
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -286,7 +302,78 @@ let maintain_differential ~options ?pool ?journal ~decision view ~db ~net =
   record_report report;
   (match decision with
   | Some d ->
-    Advisor.record ~view:report.view_name ~used_differential:true
+    Advisor.record ~view:report.view_name ~used:Advisor.Differential
+      ~actual_ns:report.total_ns d
+  | None -> ());
+  report
+
+(* Certified self-maintenance: the delta comes from the net effect plus
+   the current materialization alone.  The whole evaluation runs under the
+   base-relation read probe — a certificate bug surfaces as a loud
+   [Self_maintain.Base_read_detected], never as silent corruption. *)
+let maintain_self_maintain ?journal ~decision view ~net =
+  let t0 = Obs.Clock.now_ns () in
+  let plan =
+    match View.self_maintain view with
+    | Some plan -> plan
+    | None ->
+      invalid_arg
+        (Printf.sprintf "maintain_self_maintain: view %s has no certificate"
+           (View.name view))
+  in
+  let rows =
+    List.fold_left
+      (fun acc (_, (inserts, deletes)) ->
+        acc + List.length inserts + List.length deletes)
+      0 net
+  in
+  let t_eval = Obs.Clock.now_ns () in
+  let delta, reads =
+    Obs.Span.with_span "eval"
+      ~args:(fun () ->
+        [
+          ("view", Obs.Json.Str (View.name view));
+          ("strategy", Obs.Json.Str "self_maintain");
+        ])
+      (fun () ->
+        Resilience.Fault.point "eval";
+        Database.probe_reads (fun () ->
+            Self_maintain.delta plan ~contents:(View.contents view) ~net))
+  in
+  if reads > 0 then
+    raise (Self_maintain.Base_read_detected { view = View.name view; reads });
+  let eval_ns = Obs.Clock.now_ns () - t_eval in
+  let t_apply = Obs.Clock.now_ns () in
+  Obs.Span.with_span "apply"
+    ~args:(fun () ->
+      [
+        ("target", Obs.Json.Str "view");
+        ("view", Obs.Json.Str (View.name view));
+      ])
+    (fun () ->
+      Resilience.Fault.point "apply";
+      apply_view_delta ?journal view delta);
+  let now = Obs.Clock.now_ns () in
+  let report =
+    {
+      view_name = View.name view;
+      strategy_used = Self_maintain;
+      screened_out = 0;
+      screened_kept = 0;
+      rows_evaluated = rows;
+      delta_inserts = Relation.total delta.Delta.inserts;
+      delta_deletes = Relation.total delta.Delta.deletes;
+      screen_ns = 0;
+      eval_ns;
+      apply_ns = now - t_apply;
+      total_ns = now - t0;
+      advisor = decision;
+    }
+  in
+  record_report report;
+  (match decision with
+  | Some d ->
+    Advisor.record ~view:report.view_name ~used:Advisor.Self_maintain
       ~actual_ns:report.total_ns d
   | None -> ());
   report
@@ -314,7 +401,7 @@ let maintain_recompute ?journal ~decision view ~db =
   record_report report;
   (match decision with
   | Some d ->
-    Advisor.record ~view:report.view_name ~used_differential:false
+    Advisor.record ~view:report.view_name ~used:Advisor.Recompute
       ~actual_ns:total_ns d
   | None -> ());
   report
@@ -353,6 +440,12 @@ let process ?(options = default_options) ?(options_for = fun _ -> None) ?pool
             match view_options.strategy with
             | Differential -> (view, view_options, Differential, None)
             | Recompute -> (view, view_options, Recompute, None)
+            | Self_maintain ->
+              ( view,
+                view_options,
+                (if self_maintain_applies view ~net then Self_maintain
+                 else Differential),
+                None )
             | Adaptive ->
               let strategy, decision =
                 resolve_with_decision view_options view ~db ~net
@@ -361,19 +454,25 @@ let process ?(options = default_options) ?(options_for = fun _ -> None) ?pool
           views
       in
       apply_deletes db net;
+      (* Self-maintained views run in the differential phase: both need
+         the deletions-applied, insertions-pending base state (the former
+         only to leave it untouched). *)
       let differential, recomputed =
         List.partition
           (fun (_, _, strategy, _) ->
             match strategy with
             | Recompute -> false
-            | Differential | Adaptive -> true)
+            | Differential | Adaptive | Self_maintain -> true)
           resolved
       in
       let reports =
         pmap
-          (fun (view, view_options, _, decision) ->
-            maintain_differential ~options:view_options ?pool ~decision view
-              ~db ~net)
+          (fun (view, view_options, strategy, decision) ->
+            match strategy with
+            | Self_maintain -> maintain_self_maintain ~decision view ~net
+            | _ ->
+              maintain_differential ~options:view_options ?pool ~decision view
+                ~db ~net)
           differential
       in
       apply_inserts db net;

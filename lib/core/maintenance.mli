@@ -23,7 +23,13 @@ type strategy =
   | Recompute  (** the paper's baseline: re-evaluate from scratch *)
   | Adaptive
       (** choose per transaction with {!Advisor}: differential for small
-          update sets, recomputation past the crossover of E9 *)
+          update sets, recomputation past the crossover of E9,
+          self-maintenance when the certificate covers the transaction *)
+  | Self_maintain
+      (** compute the delta from the update sets plus the current
+          materialization with zero base-relation reads (probe-enforced),
+          whenever the view's {!Self_maintain} certificate covers the
+          transaction; falls back to [Differential] when it does not *)
 
 type options = {
   strategy : strategy;
@@ -37,8 +43,9 @@ type options = {
     reuse. *)
 val default_options : options
 
-(** [resolve_strategy options view ~db ~net] resolves [Adaptive] into a
-    concrete strategy for this transaction. *)
+(** [resolve_strategy options view ~db ~net] resolves [Adaptive] and
+    [Self_maintain] into a concrete strategy for this transaction
+    ([Self_maintain] survives only when the certificate applies). *)
 val resolve_strategy :
   options ->
   View.t ->
@@ -58,9 +65,18 @@ val resolve_with_decision :
 
 val strategy_name : strategy -> string
 
+(** The calibration arm a concrete strategy executes ([Adaptive] has
+    already been resolved by the time a sample is taken). *)
+val arm_of_strategy : strategy -> Advisor.arm
+
+(** [self_maintain_applies view ~net]: the view carries a certificate and
+    it covers this transaction's update sets. *)
+val self_maintain_applies : View.t -> net:Transaction.net -> bool
+
 type report = {
   view_name : string;
-  strategy_used : strategy;  (** always [Differential] or [Recompute] *)
+  strategy_used : strategy;
+      (** always [Differential], [Recompute] or [Self_maintain] *)
   screened_out : int;  (** update tuples proven irrelevant *)
   screened_kept : int;
   rows_evaluated : int;
@@ -97,6 +113,21 @@ val maintain_differential :
   decision:Advisor.decision option ->
   View.t ->
   db:Database.t ->
+  net:Transaction.net ->
+  report
+
+(** Self-maintenance counterpart of {!maintain_differential}: computes the
+    view delta from [net] plus the current materialization under the
+    {!Database.probe_reads} probe and applies it.  No [db] argument — the
+    whole point.  Precondition: the view's certificate covers [net]
+    (callers resolve with {!resolve_strategy} first).
+    @raise Self_maintain.Base_read_detected when the evaluation touched the
+    base-relation catalog after all (a certificate bug; fails the commit
+    loudly instead of corrupting the view). *)
+val maintain_self_maintain :
+  ?journal:Resilience.Journal.t ->
+  decision:Advisor.decision option ->
+  View.t ->
   net:Transaction.net ->
   report
 

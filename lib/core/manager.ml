@@ -12,6 +12,7 @@ type stats = {
   tuples_inserted : int;
   tuples_deleted : int;
   recomputations : int;
+  self_maintained : int;
   maintenance_ns : int;
   advisor_decisions : int;
   advisor_agreements : int;
@@ -28,6 +29,7 @@ let empty_stats =
     tuples_inserted = 0;
     tuples_deleted = 0;
     recomputations = 0;
+    self_maintained = 0;
     maintenance_ns = 0;
     advisor_decisions = 0;
     advisor_agreements = 0;
@@ -36,11 +38,7 @@ let empty_stats =
   }
 
 let add_report stats (r : Maintenance.report) =
-  let used_differential =
-    match r.Maintenance.strategy_used with
-    | Maintenance.Recompute -> false
-    | Maintenance.Differential | Maintenance.Adaptive -> true
-  in
+  let used = Maintenance.arm_of_strategy r.Maintenance.strategy_used in
   {
     commits = stats.commits + 1;
     rows_evaluated = stats.rows_evaluated + r.Maintenance.rows_evaluated;
@@ -48,7 +46,10 @@ let add_report stats (r : Maintenance.report) =
     screened_kept = stats.screened_kept + r.Maintenance.screened_kept;
     tuples_inserted = stats.tuples_inserted + r.Maintenance.delta_inserts;
     tuples_deleted = stats.tuples_deleted + r.Maintenance.delta_deletes;
-    recomputations = (stats.recomputations + if used_differential then 0 else 1);
+    recomputations =
+      (stats.recomputations + if used = Advisor.Recompute then 1 else 0);
+    self_maintained =
+      (stats.self_maintained + if used = Advisor.Self_maintain then 1 else 0);
     maintenance_ns = stats.maintenance_ns + r.Maintenance.total_ns;
     advisor_decisions =
       (stats.advisor_decisions
@@ -57,7 +58,7 @@ let add_report stats (r : Maintenance.report) =
       (stats.advisor_agreements
       +
       match r.Maintenance.advisor with
-      | Some d when d.Advisor.choose_differential = used_differential -> 1
+      | Some d when d.Advisor.choose = used -> 1
       | Some _ | None -> 0);
     predicted_differential_cost =
       (stats.predicted_differential_cost
@@ -201,9 +202,10 @@ let stats mgr name = (entry mgr name).stats
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d commits (%d recomputed), %d rows evaluated, screened %d/%d, +%d -%d \
-     view tuples, %s maintenance"
-    s.commits s.recomputations s.rows_evaluated s.screened_out
+    "%d commits (%d recomputed, %d self-maintained), %d rows evaluated, \
+     screened %d/%d, +%d -%d view tuples, %s maintenance"
+    s.commits s.recomputations s.self_maintained s.rows_evaluated
+    s.screened_out
     (s.screened_out + s.screened_kept)
     s.tuples_inserted s.tuples_deleted
     (Obs.Summary.fmt_ns s.maintenance_ns);
@@ -496,7 +498,7 @@ let commit mgr txn =
         in
         let oks = ref [] and failed = ref [] and quarantined = ref [] in
         List.iter2
-          (fun (e, _, task_journal) result ->
+          (fun (e, _, task_journal, _) result ->
             match result with
             | Ok report ->
               (match (journal, task_journal) with
@@ -540,20 +542,32 @@ let commit mgr txn =
       let task_journal () =
         if protected_ mgr then Some (Resilience.Journal.create ()) else None
       in
+      (* Self-maintained views share the differential phase (both need
+         the deletions-applied, insertions-pending base state — the
+         self-maintained task only to leave it untouched, which the read
+         probe inside [maintain_self_maintain] enforces). *)
       let differential_tasks =
         List.filter_map
           (fun (e, strategy, decision) ->
             match strategy with
             | Maintenance.Differential | Maintenance.Adaptive ->
-              Some (e, decision, task_journal ())
+              Some (e, decision, task_journal (), `Differential)
+            | Maintenance.Self_maintain ->
+              Some (e, decision, task_journal (), `Self_maintain)
             | Maintenance.Recompute -> None)
           resolved
       in
       let diff_ok, diff_quarantined =
         run_tasks ~phase:"maintain" differential_tasks
-          (fun (e, decision, task_journal) ->
-            Maintenance.maintain_differential ~options:e.options ~pool:mgr.pool
-              ?journal:task_journal ~decision e.view ~db:mgr.db ~net)
+          (fun (e, decision, task_journal, kind) ->
+            match kind with
+            | `Self_maintain ->
+              Maintenance.maintain_self_maintain ?journal:task_journal
+                ~decision e.view ~net
+            | `Differential ->
+              Maintenance.maintain_differential ~options:e.options
+                ~pool:mgr.pool ?journal:task_journal ~decision e.view
+                ~db:mgr.db ~net)
       in
       base_phase ~phase:"apply-inserts" (fun () ->
           Maintenance.apply_inserts ?journal mgr.db net);
@@ -561,13 +575,16 @@ let commit mgr txn =
         List.filter_map
           (fun (e, strategy, decision) ->
             match strategy with
-            | Maintenance.Recompute -> Some (e, decision, task_journal ())
-            | Maintenance.Differential | Maintenance.Adaptive -> None)
+            | Maintenance.Recompute ->
+              Some (e, decision, task_journal (), `Recompute)
+            | Maintenance.Differential | Maintenance.Adaptive
+            | Maintenance.Self_maintain ->
+              None)
           resolved
       in
       let rec_ok, rec_quarantined =
         run_tasks ~phase:"recompute" recompute_tasks
-          (fun (e, decision, task_journal) ->
+          (fun (e, decision, task_journal, _) ->
             Maintenance.maintain_recompute ?journal:task_journal ~decision
               e.view ~db:mgr.db)
       in

@@ -177,6 +177,8 @@ type stats = {
   tuples_inserted : int;  (** counted, into the view *)
   tuples_deleted : int;
   recomputations : int;  (** commits resolved to the recompute strategy *)
+  self_maintained : int;
+      (** commits resolved to the zero-base-read self-maintenance path *)
   maintenance_ns : int;  (** wall time spent maintaining this view *)
   advisor_decisions : int;  (** cost-model predictions recorded *)
   advisor_agreements : int;

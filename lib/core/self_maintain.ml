@@ -1,0 +1,257 @@
+open Relalg
+module Cert = Analysis.Check_self_maintain
+
+exception Base_read_detected of { view : string; reads : int }
+
+let () =
+  Printexc.register_printer (function
+    | Base_read_detected { view; reads } ->
+      Some
+        (Printf.sprintf
+           "Self_maintain.Base_read_detected(view %s: %d base-relation \
+            read(s) under a zero-read certificate)"
+           view reads)
+    | _ -> None)
+
+module Tuple_table = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+(* Auxiliary key index over the view's contents: key signature (the view
+   positions recovering the deleted relation's key) -> live tuples with
+   their counters.  Unlike Relalg.Index there is no process-wide registry:
+   the index belongs to one drain plan, and when the contents' storage
+   identity changes (recompute/restore) the stale index is deactivated and
+   dropped, so nothing leaks across rebuilds. *)
+type kindex = {
+  key_of : Tuple.t -> Tuple.t;
+  buckets : int Tuple_table.t Tuple_table.t;
+  mutable active : bool;
+}
+
+type drain_plan = {
+  sig_base : int array;  (* deleted-tuple positions forming the signature *)
+  sig_outputs : int array;  (* view-tuple positions, aligned with sig_base *)
+  consts : (int * Value.t) list;  (* deleted-tuple position -> pinned value *)
+  mutable index : (int * kindex) option;  (* storage id it tracks *)
+}
+
+type single = {
+  s_relation : string;
+  s_qualified : Schema.t;
+  s_positions : int array;  (* output position -> source tuple position *)
+  s_dnf : Condition.Formula.dnf;
+}
+
+type t = {
+  view_name : string;
+  relations : string list;
+  single : single option;
+  drains : (string * drain_plan list) list;
+}
+
+let of_spj ~name ~keys ~lookup (spj : Query.Spj.t) =
+  let cert = Cert.analyze ~keys ~lookup spj in
+  let relations =
+    List.sort_uniq String.compare
+      (List.map (fun (s : Query.Spj.source) -> s.Query.Spj.relation)
+         spj.Query.Spj.sources)
+  in
+  let single =
+    match (cert.Cert.single_source, spj.Query.Spj.sources) with
+    | Some (_, relation), [ source ] ->
+      let qualified = Query.Spj.qualified_schema lookup source in
+      Some
+        {
+          s_relation = relation;
+          s_qualified = qualified;
+          s_positions =
+            Array.of_list
+              (List.map
+                 (fun (_, q) -> Schema.position qualified q)
+                 spj.Query.Spj.projection);
+          s_dnf = spj.Query.Spj.condition_dnf;
+        }
+    | _ -> None
+  in
+  let drains =
+    if single <> None then []
+    else
+      List.filter_map
+        (fun relation ->
+          match Cert.delete_plans cert relation with
+          | None -> None
+          | Some plans ->
+            let compile (p : Cert.delete_plan) =
+              let outputs, consts =
+                List.partition_map
+                  (fun (pos, binding) ->
+                    match binding with
+                    | Cert.From_output j -> Either.Left (pos, j)
+                    | Cert.Pinned v -> Either.Right (pos, v))
+                  p.Cert.bindings
+              in
+              {
+                sig_base = Array.of_list (List.map fst outputs);
+                sig_outputs = Array.of_list (List.map snd outputs);
+                consts;
+                index = None;
+              }
+            in
+            Some (relation, List.map compile plans))
+        relations
+  in
+  if single = None && drains = [] then None
+  else Some { view_name = name; relations; single; drains }
+
+let insertable t =
+  match t.single with
+  | Some s -> [ s.s_relation ]
+  | None -> []
+
+let deletable t =
+  match t.single with
+  | Some s -> [ s.s_relation ]
+  | None -> List.map fst t.drains
+
+let covers_deletes t relation =
+  List.mem relation (deletable t)
+
+let covers_inserts t relation =
+  List.mem relation (insertable t)
+
+let applies t ~net =
+  let touched =
+    List.filter
+      (fun (relation, (inserts, deletes)) ->
+        List.mem relation t.relations && (inserts <> [] || deletes <> []))
+      net
+  in
+  touched <> []
+  && List.for_all
+       (fun (relation, (inserts, deletes)) ->
+         (inserts = [] || covers_inserts t relation)
+         && (deletes = [] || covers_deletes t relation))
+       touched
+
+(* ------------------------------------------------------------------ *)
+(* delta evaluation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let index_apply idx tuple delta =
+  if idx.active then begin
+    let key = idx.key_of tuple in
+    let bucket =
+      match Tuple_table.find_opt idx.buckets key with
+      | Some bucket -> bucket
+      | None ->
+        let bucket = Tuple_table.create 4 in
+        Tuple_table.replace idx.buckets key bucket;
+        bucket
+    in
+    let current = Option.value ~default:0 (Tuple_table.find_opt bucket tuple) in
+    let updated = current + delta in
+    if updated <= 0 then begin
+      Tuple_table.remove bucket tuple;
+      if Tuple_table.length bucket = 0 then Tuple_table.remove idx.buckets key
+    end
+    else Tuple_table.replace bucket tuple updated
+  end
+
+let ensure_index plan contents =
+  let storage = Relation.storage_id contents in
+  match plan.index with
+  | Some (id, idx) when id = storage -> idx
+  | stale ->
+    (match stale with
+    | Some (_, idx) -> idx.active <- false
+    | None -> ());
+    let positions = plan.sig_outputs in
+    let idx =
+      {
+        key_of = (fun tuple -> Array.map (fun j -> tuple.(j)) positions);
+        buckets = Tuple_table.create (max 16 (Relation.cardinal contents));
+        active = true;
+      }
+    in
+    Relation.iter (fun tuple c -> index_apply idx tuple c) contents;
+    Relation.subscribe contents (index_apply idx);
+    plan.index <- Some (storage, idx);
+    idx
+
+(* All derivations of a view tuple share the one base tuple whose key the
+   view recovers, so a matching deletion drains the tuple at its full
+   multiplicity.  [drain] dedupes across plans and relations: a view tuple
+   killed from two sides dies once. *)
+let drain_matches plan contents deleted drain =
+  if
+    List.for_all
+      (fun (pos, v) -> Value.equal deleted.(pos) v)
+      plan.consts
+  then begin
+    let idx = ensure_index plan contents in
+    let key = Array.map (fun pos -> deleted.(pos)) plan.sig_base in
+    match Tuple_table.find_opt idx.buckets key with
+    | None -> ()
+    | Some bucket -> Tuple_table.iter drain bucket
+  end
+
+let delta t ~contents ~net =
+  let schema = Relation.schema contents in
+  let inserts = ref [] in
+  let direct_deletes = ref [] in
+  let drained : int Tuple_table.t = Tuple_table.create 16 in
+  List.iter
+    (fun (relation, (ins, dels)) ->
+      if List.mem relation t.relations then
+        match t.single with
+        | Some s when String.equal s.s_relation relation ->
+          let project tuple =
+            Array.map (fun p -> tuple.(p)) s.s_positions
+          in
+          let passes tuple =
+            let sub = Condition.Substitute.of_tuple s.s_qualified tuple in
+            Condition.Formula.eval_dnf
+              (fun a ->
+                match sub a with
+                | Some v -> v
+                | None ->
+                  invalid_arg
+                    (Printf.sprintf
+                       "Self_maintain.delta: unbound attribute %s" a))
+              s.s_dnf
+          in
+          List.iter
+            (fun tuple ->
+              if passes tuple then inserts := (project tuple, 1) :: !inserts)
+            ins;
+          List.iter
+            (fun tuple ->
+              if passes tuple then
+                direct_deletes := (project tuple, 1) :: !direct_deletes)
+            dels
+        | _ -> (
+          match List.assoc_opt relation t.drains with
+          | None -> () (* not covered; [applies] rules this out *)
+          | Some plans ->
+            List.iter
+              (fun deleted ->
+                List.iter
+                  (fun plan ->
+                    drain_matches plan contents deleted (fun tuple count ->
+                        if not (Tuple_table.mem drained tuple) then
+                          Tuple_table.replace drained tuple count))
+                  plans)
+              dels))
+    net;
+  let deletes =
+    Tuple_table.fold (fun tuple count acc -> (tuple, count) :: acc) drained
+      !direct_deletes
+  in
+  {
+    Delta.inserts = Relation.of_counted schema !inserts;
+    deletes = Relation.of_counted schema deletes;
+  }

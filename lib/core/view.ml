@@ -10,6 +10,7 @@ type t = {
   screens : (string, Irrelevance.screen) Hashtbl.t;
   duplicate_free : bool;
   keys : Query.Keys.t;
+  self_maintain : Self_maintain.t option;
 }
 
 let define ?(minimize = true) ?(keys = []) ~name ~db expr =
@@ -35,6 +36,7 @@ let define ?(minimize = true) ?(keys = []) ~name ~db expr =
     screens = Hashtbl.create 4;
     duplicate_free;
     keys;
+    self_maintain = Self_maintain.of_spj ~name ~keys ~lookup spj;
   }
 
 let name v = v.name
@@ -43,6 +45,7 @@ let schema v = v.schema
 let contents v = v.state
 let duplicate_free v = v.duplicate_free
 let lookup v = v.lookup
+let self_maintain v = v.self_maintain
 
 let qualified_schema v ~alias =
   match List.assoc_opt alias v.qualified with

@@ -39,6 +39,10 @@ val duplicate_free : t -> bool
 (** Schema lookup for the base relations of the defining database. *)
 val lookup : t -> string -> Schema.t
 
+(** The compiled self-maintainability certificate (see {!Self_maintain}),
+    when the definition plus the declared keys admit one. *)
+val self_maintain : t -> Self_maintain.t option
+
 (** Qualified schema of the source with the given alias. *)
 val qualified_schema : t -> alias:string -> Schema.t
 

@@ -175,7 +175,8 @@ let run ?(corrupt = fun _ _ -> ()) ?(fault_rate = 0.0)
     (fun (spec : Stream.view_spec) ->
       ignore
         (Manager.define_view mgr ~name:spec.Stream.view_name ~force:true
-           ~options:spec.Stream.options spec.Stream.expr))
+           ~options:spec.Stream.options ~keys:spec.Stream.keys
+           spec.Stream.expr))
     s.Stream.views;
   let reference = Reference.create db in
   List.iter

@@ -8,6 +8,7 @@ type view_spec = {
   view_name : string;
   expr : Query.Expr.t;
   options : Maintenance.options;
+  keys : Query.Keys.t;
 }
 
 type t = {
@@ -120,11 +121,20 @@ let view_templates =
     Query.Expr.(project [ "C" ] (select (v "C" <>% i 7) (base "S")));
   |]
 
+(* Base relations are sets, so the full attribute list is always a sound
+   candidate key — streams declare it for every relation, which arms the
+   self-maintainability analysis without trusting anything beyond set
+   semantics.  (Join views recover both full keys through the equality
+   classes; single-source views need no key at all.) *)
+let stream_keys =
+  [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "D" ]) ]
+
 let random_options rng =
   let strategy =
-    match Rng.int rng 4 with
+    match Rng.int rng 5 with
     | 0 -> Maintenance.Recompute
     | 1 | 2 -> Maintenance.Differential
+    | 3 -> Maintenance.Self_maintain
     | _ -> Maintenance.Adaptive
   in
   {
@@ -177,6 +187,7 @@ let generate ?(domains = 1) ~seed ~transactions () =
           view_name = Printf.sprintf "v%d" k;
           expr = view_templates.(template_order.(k));
           options = random_options rng;
+          keys = stream_keys;
         })
   in
   (* Scratch state the transactions are generated against: the stream must

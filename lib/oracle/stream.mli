@@ -17,6 +17,10 @@ type view_spec = {
   view_name : string;
   expr : Query.Expr.t;
   options : Ivm.Maintenance.options;
+  keys : Query.Keys.t;
+      (** declared candidate keys — generated streams declare each
+          relation's full attribute list, which set semantics makes sound,
+          so the [Self_maintain] arm gets real certificates to exercise *)
 }
 
 type t = {

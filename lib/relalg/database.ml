@@ -10,12 +10,35 @@ let () =
 
 let create () = Hashtbl.create 16
 
+(* Read probe: while any probe is active anywhere in the process, every
+   catalog access on the probing domain is counted.  The flag is a single
+   atomic load on the [find] hot path (zero cost when no probe runs); the
+   counter lives in domain-local storage so concurrent maintenance tasks
+   on other domains never pollute a probe's count. *)
+let probing = Atomic.make 0
+let probe_key = Domain.DLS.new_key (fun () -> ref 0)
+let note_read () = if Atomic.get probing > 0 then incr (Domain.DLS.get probe_key)
+
+let probe_reads f =
+  let counter = Domain.DLS.get probe_key in
+  let before = !counter in
+  Atomic.incr probing;
+  match f () with
+  | v ->
+    Atomic.decr probing;
+    (v, !counter - before)
+  | exception exn ->
+    Atomic.decr probing;
+    raise exn
+
 let register db name relation =
   if Hashtbl.mem db name then
     invalid_arg (Printf.sprintf "Database.register: %S already exists" name);
   Hashtbl.replace db name relation
 
-let find_opt db name = Hashtbl.find_opt db name
+let find_opt db name =
+  note_read ();
+  Hashtbl.find_opt db name
 
 let find db name =
   match find_opt db name with

@@ -24,4 +24,14 @@ val names : t -> string list
 (** Deep copy: relations are copied, so mutations do not alias. *)
 val copy : t -> t
 
+(** [probe_reads f] runs [f] and additionally returns how many catalog
+    lookups ({!find} / {!find_opt}, on {e any} database) the current domain
+    performed during the call.  This is the base-relation read probe behind
+    the [Self_maintain] strategy: a maintenance path that claims to need no
+    base-relation access runs under a probe and fails loudly when the count
+    is nonzero.  Counting is per-domain, so concurrent work on other pool
+    domains never pollutes a probe; probes nest, and the counting flag costs
+    one atomic load on the [find] hot path when no probe is active. *)
+val probe_reads : (unit -> 'a) -> 'a * int
+
 val pp : Format.formatter -> t -> unit

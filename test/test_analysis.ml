@@ -378,6 +378,148 @@ let manager_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* IVM050-IVM054: self-maintainability                                 *)
+(* ------------------------------------------------------------------ *)
+
+module SM = Analysis.Check_self_maintain
+
+let severity_of_code c ds =
+  List.filter_map
+    (fun d ->
+      if String.equal d.Diagnostic.code c then Some d.Diagnostic.severity
+      else None)
+    ds
+
+let self_maintain_tests =
+  [
+    quick "example 5.1: single-source views are fully self-maintainable"
+      (fun () ->
+        (* pi_B(R), the paper's Example 5.1 — p = 1, so both insertions
+           and deletions are maintainable from the update tuples alone,
+           without any key declaration. *)
+        let db = db_of [ ("R", rel [ "A"; "B" ] [ [ 1; 10 ] ]) ] in
+        let ds = diags db Expr.(project [ "B" ] (base "R")) in
+        Alcotest.(check bool) "IVM050" true (has_code "IVM050" ds);
+        Alcotest.(check bool) "IVM051" true (has_code "IVM051" ds);
+        Alcotest.(check (list string)) "both anchored to R" [ "R" ]
+          (List.sort_uniq String.compare
+             (contexts_of_code "IVM050" ds @ contexts_of_code "IVM051" ds));
+        Alcotest.(check bool) "hints, not warnings" true
+          (List.for_all
+             (fun s -> s = Diagnostic.Hint)
+             (severity_of_code "IVM050" ds @ severity_of_code "IVM051" ds));
+        let spj =
+          Query.Spj.compile (lookup_of db) Expr.(project [ "B" ] (base "R"))
+        in
+        let cert = SM.analyze ~keys:[] ~lookup:(lookup_of db) spj in
+        Alcotest.(check bool) "insert provable" true
+          (SM.insert_self_maintainable cert "R");
+        Alcotest.(check bool) "delete provable" true
+          (SM.delete_self_maintainable cert "R"));
+    quick "example 4.1 with keys: R provable by key, S a near miss"
+      (fun () ->
+        (* pi_{A,D}(sigma_{A<10 & C>5 & B=C}(R x S)) with keys R:A, S:C.
+           The view projects A, so deletions from R drain by key; S's key
+           C lives in the unprojected class {B, C}, a near miss. *)
+        let ds =
+          diags
+            ~keys:[ ("R", [ "A" ]); ("S", [ "C" ]) ]
+            (example_4_1_db ()) (example_4_1_expr ())
+        in
+        Alcotest.(check (list string)) "IVM051 for R" [ "R" ]
+          (contexts_of_code "IVM051" ds);
+        Alcotest.(check (list string)) "IVM052 names source S" [ "S" ]
+          (contexts_of_code "IVM052" ds);
+        Alcotest.(check bool) "near miss is a warning" true
+          (severity_of_code "IVM052" ds = [ Diagnostic.Warning ]);
+        Alcotest.(check bool) "no insert certificate (p = 2)" false
+          (has_code "IVM050" ds));
+    quick "without declared keys multi-source views stay quiet" (fun () ->
+        let ds = diags (example_4_1_db ()) (example_4_1_expr ()) in
+        Alcotest.(check (list string)) "no IVM05x" []
+          (List.filter (fun c -> Diagnostic.code_matches ~query:"IVM05*" c)
+             (codes ds)));
+    quick "pinned key attributes count as recovered" (fun () ->
+        (* B = 3 pins the join class {R.B, S.B}; A and C are projected,
+           so both relations' full keys are recoverable off a view tuple. *)
+        let db =
+          db_of
+            [ ("R", rel [ "A"; "B" ] [ [ 1; 3 ] ]);
+              ("S", rel [ "B"; "C" ] [ [ 3; 7 ] ]) ]
+        in
+        let ds =
+          diags
+            ~keys:[ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]) ]
+            db
+            Expr.(
+              project [ "A"; "C" ]
+                (select (v "B" =% i 3) (join (base "R") (base "S"))))
+        in
+        Alcotest.(check (list string)) "both relations provable" [ "R"; "S" ]
+          (List.sort String.compare (contexts_of_code "IVM051" ds));
+        Alcotest.(check bool) "no near misses" false
+          (has_code "IVM052" ds || has_code "IVM053" ds));
+    quick "a keyless sibling relation is an IVM053 near miss" (fun () ->
+        let db =
+          db_of
+            [ ("R", rel [ "A"; "B" ] [ [ 1; 3 ] ]);
+              ("S", rel [ "B"; "C" ] [ [ 3; 7 ] ]) ]
+        in
+        let ds =
+          diags ~keys:[ ("R", [ "A"; "B" ]) ] db
+            Expr.(join (base "R") (base "S"))
+        in
+        Alcotest.(check (list string)) "R provable" [ "R" ]
+          (contexts_of_code "IVM051" ds);
+        Alcotest.(check (list string)) "S lacks a key" [ "S" ]
+          (contexts_of_code "IVM053" ds));
+    quick "disjunction blocks keyed analysis with a targeted warning"
+      (fun () ->
+        let db =
+          db_of
+            [ ("R", rel [ "A"; "B" ] [ [ 1; 3 ] ]);
+              ("S", rel [ "B"; "C" ] [ [ 3; 7 ] ]) ]
+        in
+        let expr =
+          Expr.(
+            select ((v "A" <% i 5) ||% (v "C" >% i 2))
+              (join (base "R") (base "S")))
+        in
+        let keyed = diags ~keys:[ ("R", [ "A"; "B" ]) ] db expr in
+        Alcotest.(check bool) "IVM054 with keys" true
+          (has_code "IVM054" keyed);
+        let keyless = diags db expr in
+        Alcotest.(check bool) "quiet without keys" false
+          (has_code "IVM054" keyless));
+    quick "IVM05* prefix query selects exactly the band" (fun () ->
+        let ds =
+          diags
+            ~keys:[ ("R", [ "A" ]); ("S", [ "C" ]) ]
+            (example_4_1_db ()) (example_4_1_expr ())
+        in
+        let band = Diagnostic.with_code "IVM05*" ds in
+        Alcotest.(check bool) "nonempty" true (band <> []);
+        Alcotest.(check bool) "only IVM05x codes" true
+          (List.for_all
+             (fun d ->
+               String.length d.Diagnostic.code = 6
+               && String.sub d.Diagnostic.code 0 5 = "IVM05")
+             band);
+        Alcotest.(check int) "exact query still works" 1
+          (List.length (Diagnostic.with_code "IVM052" ds)));
+    quick "analyzer output is deterministic and duplicate-free" (fun () ->
+        let run () =
+          diags
+            ~keys:[ ("R", [ "A" ]); ("S", [ "C" ]) ]
+            (example_4_1_db ()) (example_4_1_expr ())
+        in
+        let a = run () and b = run () in
+        Alcotest.(check bool) "two runs agree" true (a = b);
+        Alcotest.(check int) "no duplicates" (List.length a)
+          (List.length (List.sort_uniq compare a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: Satisfiability never answers Unsat on a conjunction a       *)
 (* brute-force enumerator can satisfy (IVM001 soundness guard)         *)
 (* ------------------------------------------------------------------ *)
@@ -439,6 +581,7 @@ let () =
       ("IVM020: join graph", ivm020_tests);
       ("IVM030/IVM031: projection", projection_tests);
       ("IVM040: typing", ivm040_tests);
+      ("IVM050-IVM054: self-maintenance", self_maintain_tests);
       ("manager gate", manager_tests);
       ("properties", property_tests);
     ]

@@ -202,17 +202,24 @@ let net_of_size n : Transaction.net =
 
 let advisor_tests =
   [
-    quick "small delta on a large relation chooses differential" (fun () ->
+    quick "small delta on a large relation avoids recompute" (fun () ->
         let db, view = big_r_view () in
         let d = Advisor.decide view ~db ~net:(net_of_size 2) in
-        Alcotest.(check bool) "differential wins" true
-          d.Advisor.choose_differential;
-        Alcotest.(check bool) "strictly cheaper" true
+        (* The single-source selection carries a self-maintenance
+           certificate, so on a small delta the zero-base-read arm beats
+           both classic strategies; differential still beats recompute. *)
+        Alcotest.(check bool) "self-maintenance wins" true
+          (d.Advisor.choose = Advisor.Self_maintain);
+        Alcotest.(check bool) "certificate cost present" true
+          (d.Advisor.self_maintain_cost <> None);
+        Alcotest.(check bool) "differential beats recompute" true
           (d.Advisor.differential_cost < d.Advisor.recompute_cost));
     quick "huge churn flips the choice to recompute" (fun () ->
         let db, view = big_r_view () in
         let d = Advisor.decide view ~db ~net:(net_of_size 5000) in
-        Alcotest.(check bool) "recompute wins" false
+        Alcotest.(check bool) "recompute wins" true
+          (d.Advisor.choose = Advisor.Recompute);
+        Alcotest.(check bool) "compat flag agrees" false
           d.Advisor.choose_differential);
     quick "differential cost is monotone in the delta size" (fun () ->
         let db, view = big_r_view () in
@@ -240,15 +247,17 @@ let advisor_tests =
           {
             Advisor.differential_cost = (if diff then cost else cost *. 10.0);
             recompute_cost = (if diff then cost *. 10.0 else cost);
+            self_maintain_cost = None;
+            choose = (if diff then Advisor.Differential else Advisor.Recompute);
             choose_differential = diff;
           }
         in
         List.iter
           (fun cost ->
-            Advisor.record ~view:"v" ~used_differential:true
+            Advisor.record ~view:"v" ~used:Advisor.Differential
               ~actual_ns:(int_of_float (cost *. 2.0))
               (decision ~diff:true cost);
-            Advisor.record ~view:"v" ~used_differential:false
+            Advisor.record ~view:"v" ~used:Advisor.Recompute
               ~actual_ns:(int_of_float (cost *. 2.0))
               (decision ~diff:false cost))
           [ 500.0; 1000.0; 2000.0 ];

@@ -275,12 +275,14 @@ let advisor_tests =
           {
             Advisor.differential_cost = cost;
             recompute_cost = cost *. 10.0;
+            self_maintain_cost = None;
+            choose = Advisor.Differential;
             choose_differential = true;
           }
         in
         List.iter
           (fun cost ->
-            Advisor.record ~view:"v" ~used_differential:true
+            Advisor.record ~view:"v" ~used:Advisor.Differential
               ~actual_ns:(int_of_float (cost *. 7.0))
               (decision cost))
           [ 100.0; 200.0; 400.0 ];
@@ -300,11 +302,13 @@ let advisor_tests =
           {
             Advisor.differential_cost = 1.0;
             recompute_cost = 2.0;
+            self_maintain_cost = None;
+            choose = Advisor.Differential;
             choose_differential = true;
           }
         in
-        Advisor.record ~view:"v" ~used_differential:false ~actual_ns:10 d;
-        Advisor.record ~view:"v" ~used_differential:true ~actual_ns:10 d;
+        Advisor.record ~view:"v" ~used:Advisor.Recompute ~actual_ns:10 d;
+        Advisor.record ~view:"v" ~used:Advisor.Differential ~actual_ns:10 d;
         let c = Advisor.calibrate () in
         Alcotest.(check int) "samples" 2 c.Advisor.n_samples;
         Alcotest.(check int) "agreements" 1 c.Advisor.agreements;

@@ -13,7 +13,9 @@ dune build @all
 # every fuzzed stream, not just the dedicated ones.  The fuzz gate
 # replays fixed-seed random transaction streams against the naive
 # full-recompute oracle (see lib/oracle); a failure prints a shrunk,
-# replayable counterexample.
+# replayable counterexample.  Generated streams declare full-tuple
+# candidate keys and draw the forced Self_maintain strategy, so the
+# certified zero-base-read path is lockstep-checked here too.
 for d in 1 4; do
   IVM_DOMAINS=$d dune runtest --force
   dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 50 \
@@ -28,7 +30,14 @@ for d in 1 4; do
 done
 dune exec bin/ivm_cli.exe -- lint --all-scenarios
 
-# Bench smoke: one cheap section; every run also writes BENCH_IVM.json.
+# Lint gate, machine-readable: the JSON report over the built-in
+# scenarios must carry no Error-level diagnostics and must show the
+# IVM05x self-maintainability band (proof the analysis still runs).
+dune exec bin/ivm_cli.exe -- lint --all-scenarios --json > lint.json
+dune exec tools/validate_snapshot.exe -- lint lint.json
+
+# Bench smoke: one cheap section; every run also writes BENCH_IVM.json
+# (including the E21 self-maintenance comparison the validator gates).
 dune exec bench/main.exe -- tables > /dev/null
 dune exec tools/validate_snapshot.exe -- bench BENCH_IVM.json
 

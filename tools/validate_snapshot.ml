@@ -6,15 +6,24 @@
                                       contain spans for every Algorithm
                                       5.1 phase (net, screen, row, apply);
      validate_snapshot bench FILE   — BENCH_IVM.json from bench/main.exe:
-                                      must parse, be schema_version >= 3,
+                                      must parse, be schema_version >= 4,
                                       and carry per-view latency
                                       percentiles, advisor
                                       predicted-vs-actual pairs, the E18
                                       domain-scaling curve with its
-                                      speedup fields, and the E20
-                                      resilience section whose happy-path
-                                      journaling overhead must stay
-                                      within budget (<= 5%).
+                                      speedup fields, the E20 resilience
+                                      section whose happy-path journaling
+                                      overhead must stay within budget
+                                      (<= 5%), and the E21
+                                      self-maintenance section whose
+                                      eval-phase reduction must exceed 1x
+                                      with every commit on the certified
+                                      path;
+     validate_snapshot lint FILE    — report from `ivm_cli lint --json`:
+                                      must parse, carry no Error-severity
+                                      diagnostics, and prove the
+                                      IVM050-IVM059 analysis ran (at
+                                      least one IVM05x code present).
 
    Exits nonzero with a reason on any violation, so tools/check.sh can
    assert that the instrumentation keeps emitting what downstream tooling
@@ -92,10 +101,10 @@ let validate_bench path =
   ignore (require_member "calibration" advisor);
   ignore (require_member "metrics" json);
   (match require_member "schema_version" json with
-  | Obs.Json.Int v when v >= 3 -> ()
+  | Obs.Json.Int v when v >= 4 -> ()
   | Obs.Json.Int v ->
-    fail "schema_version %d < 3 (E18 parallel and E20 resilience sections \
-          required)" v
+    fail "schema_version %d < 4 (E18 parallel, E20 resilience and E21 \
+          self-maintenance sections required)" v
   | _ -> fail "schema_version is not an integer");
   let parallel = require_member "parallel" json in
   let parallel_member key =
@@ -151,15 +160,101 @@ let validate_bench path =
       "resilience.journal_overhead_pct %.2f exceeds the %.1f%% happy-path \
        budget"
       overhead max_overhead_pct;
+  let selfmaint = require_member "self_maintenance" json in
+  let selfmaint_member key =
+    match Obs.Json.member key selfmaint with
+    | Some v -> v
+    | None -> fail "self_maintenance section has no %S field" key
+  in
+  List.iter
+    (fun key ->
+      match selfmaint_member key with
+      | Obs.Json.Int n when n > 0 -> ()
+      | _ -> fail "self_maintenance.%s is not a positive integer" key)
+    [
+      "commits"; "differential_eval_ns"; "self_maintain_eval_ns";
+      "self_maintained_commits";
+    ];
+  (* The certificate must actually cover the whole delete-only stream
+     (every commit on the certified path), and eliminating the base-read
+     evaluation phase must show up as a real reduction — the exact factor
+     is hardware-dependent, so the gate is > 1x, not a target. *)
+  (match (selfmaint_member "commits", selfmaint_member "self_maintained_commits")
+   with
+  | Obs.Json.Int total, Obs.Json.Int certified when certified <> total ->
+    fail "self_maintenance: only %d of %d commits took the certified path"
+      certified total
+  | _ -> ());
+  let reduction =
+    match selfmaint_member "eval_reduction" with
+    | Obs.Json.Float r -> r
+    | Obs.Json.Int r -> float_of_int r
+    | _ -> fail "self_maintenance.eval_reduction is not a number"
+  in
+  if reduction <= 1.0 then
+    fail
+      "self_maintenance.eval_reduction %.2fx: the certified arm should beat \
+       differential evaluation on delete-only streams"
+      reduction;
   Printf.printf
     "ok: %s (%d views, %d advisor pairs, %d-point domain-scaling curve, \
-     journal overhead %+.2f%%)\n"
+     journal overhead %+.2f%%, self-maintenance eval reduction %.2fx)\n"
     path (List.length views) (List.length pairs) (List.length curve) overhead
+    reduction
+
+(* `ivm_cli lint --json` over the built-in scenarios: parseable, no
+   Error-severity diagnostics, and the IVM05x self-maintenance band must
+   be present — its silent disappearance would mean the analysis stopped
+   running, which no other gate would notice. *)
+let validate_lint path =
+  let json = parse path in
+  let definitions = as_list "definitions" (require_member "definitions" json) in
+  if definitions = [] then fail "definitions is empty";
+  let diagnostics =
+    List.concat_map
+      (fun entry ->
+        match Obs.Json.member "diagnostics" entry with
+        | Some (Obs.Json.List ds) -> ds
+        | _ -> fail "a definitions[] entry has no diagnostics array")
+      definitions
+  in
+  List.iter
+    (fun d ->
+      match (Obs.Json.member "code" d, Obs.Json.member "severity" d) with
+      | Some (Obs.Json.Str code), Some (Obs.Json.Str "error") ->
+        fail "unexpected Error-level diagnostic %s" code
+      | Some (Obs.Json.Str _), Some (Obs.Json.Str _) -> ()
+      | _ -> fail "a diagnostic lacks code or severity")
+    diagnostics;
+  let ivm05 =
+    List.filter
+      (fun d ->
+        match Obs.Json.member "code" d with
+        | Some (Obs.Json.Str code) ->
+          String.length code >= 5 && String.sub code 0 5 = "IVM05"
+        | _ -> false)
+      diagnostics
+  in
+  if ivm05 = [] then
+    fail "no IVM05x diagnostics: the self-maintainability analysis did not \
+          run over the built-in scenarios";
+  (match require_member "summary" json with
+  | summary ->
+    (match Obs.Json.member "errors" summary with
+    | Some (Obs.Json.Int 0) -> ()
+    | Some (Obs.Json.Int n) -> fail "summary.errors = %d" n
+    | _ -> fail "summary.errors missing"));
+  Printf.printf
+    "ok: %s (%d definitions, %d diagnostics, %d in the IVM05x band, no \
+     errors)\n"
+    path (List.length definitions) (List.length diagnostics)
+    (List.length ivm05)
 
 let () =
   match Sys.argv with
   | [| _; "trace"; path |] -> validate_trace path
   | [| _; "bench"; path |] -> validate_bench path
+  | [| _; "lint"; path |] -> validate_lint path
   | _ ->
-    prerr_endline "usage: validate_snapshot (trace|bench) FILE";
+    prerr_endline "usage: validate_snapshot (trace|bench|lint) FILE";
     exit 2
