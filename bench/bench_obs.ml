@@ -93,6 +93,43 @@ let resilience_json () =
       ("journal_overhead_pct", Obs.Json.Float overhead_pct);
     ]
 
+(* E22: flight-recorder overhead.  The provenance ring is always on, so
+   its cost must be demonstrably negligible; same interleaved-pairs
+   median methodology as E20 — recorder-off and recorder-on runs
+   alternate, so load drift cancels in the per-pair ratio. *)
+let measure_recorder ?(pairs = 5) () =
+  let once recording =
+    Obs.Provenance.set_recording recording;
+    Fun.protect
+      ~finally:(fun () -> Obs.Provenance.set_recording true)
+      (fun () ->
+        Bench_util.time_once (fun () -> ignore (run_canonical_workload ())))
+  in
+  ignore (once false);
+  ignore (once true);
+  let samples =
+    List.init pairs (fun _ ->
+        let off = once false in
+        let on = once true in
+        (on, off, on /. off))
+  in
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) samples
+  in
+  let on, off, ratio = List.nth sorted (pairs / 2) in
+  (on, off, (ratio -. 1.0) *. 100.0)
+
+let provenance_json () =
+  let on, off, overhead_pct = measure_recorder () in
+  Obs.Json.Obj
+    [
+      ("capacity", Obs.Json.Int Obs.Provenance.recorder_capacity);
+      ("recorded", Obs.Json.Int (Obs.Provenance.recorded ()));
+      ("recorder_on_ns", Obs.Json.Int (int_of_float (on *. 1e9)));
+      ("recorder_off_ns", Obs.Json.Int (int_of_float (off *. 1e9)));
+      ("recorder_overhead_pct", Obs.Json.Float overhead_pct);
+    ]
+
 let with_fresh_registry f =
   Obs.Metrics.reset ();
   Obs.Span.reset ();
@@ -135,8 +172,11 @@ let snapshot_json mgr =
          v3: adds the E20 "resilience" journaling-overhead section;
          v4: adds the E21 "self_maintenance" eval-phase comparison, a
              "self_maintained" count per view, and the third advisor arm
-             in calibration/pairs. *)
-      ("schema_version", Obs.Json.Int 4);
+             in calibration/pairs;
+         v5: adds the E22 "provenance" recorder-overhead section and
+             switches advisor pairs to a fixed-size deterministic
+             reservoir sample. *)
+      ("schema_version", Obs.Json.Int 5);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List
@@ -146,12 +186,13 @@ let snapshot_json mgr =
         Obs.Json.Obj
           [
             ("calibration", Advisor.calibration_json ());
-            ("pairs", Advisor.samples_json ~limit:100 ());
+            ("pairs", Advisor.reservoir_json ());
           ] );
       ("metrics", Obs.Metrics.snapshot ());
       ("parallel", Bench_parallel.scaling_json ());
       ("resilience", resilience_json ());
       ("self_maintenance", Bench_selfmaint.e21_json ());
+      ("provenance", provenance_json ());
     ]
 
 (* Always runs the canonical workload fresh so the snapshot is
@@ -220,8 +261,17 @@ let run () =
         Printf.sprintf "%+.2f%%" overhead_pct;
       ];
     ];
+  Bench_util.banner
+    "E22: flight-recorder overhead (provenance ring on vs off)";
+  let on, off, recorder_pct = measure_recorder () in
+  Bench_util.print_table
+    ~header:[ "recorder"; "elapsed"; "overhead" ]
+    [
+      [ "off"; Bench_util.fmt_time off; "-" ];
+      [ "on"; Bench_util.fmt_time on; Printf.sprintf "%+.2f%%" recorder_pct ];
+    ];
   Printf.printf
     "\nThe snapshot of this section is what main.exe serializes to %s;\n\
-     compare it across PRs with tools/validate_snapshot.exe or any JSON\n\
-     diff.\n"
+     compare it across PRs with tools/validate_snapshot.exe, or against a\n\
+     committed baseline with tools/bench_diff.exe.\n"
     snapshot_path

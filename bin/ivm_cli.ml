@@ -440,6 +440,9 @@ let run_lint all_scenarios dir file keys quiet json code statements =
 (* ------------------------------------------------------------------ *)
 
 let run_fuzz seed streams transactions domains fault_rate quiet =
+  (* Fault-injected fuzzing aborts thousands of commits on purpose; each
+     abort would rewrite the same post-mortem dump over and over. *)
+  Resilience.Flight.set_dir None;
   let domains =
     match domains with
     | Some d -> max 1 d
@@ -642,6 +645,12 @@ let run_trace scenario seed transactions batch domains out format no_obs =
   setup_obs no_obs;
   ignore (run_obs_scenario ~scenario ~seed ~transactions ~batch ~domains);
   Obs.Control.disable ();
+  let dropped = Obs.Span.dropped () in
+  if dropped > 0 then
+    Printf.eprintf
+      "warning: span sink overflowed, %d spans dropped — the trace is \
+       incomplete; trace fewer transactions or a smaller batch\n"
+      dropped;
   let spans = Obs.Span.drain () in
   (match format with
   | "summary" -> Format.printf "%a@?" Obs.Summary.pp_spans spans
@@ -656,6 +665,149 @@ let run_trace scenario seed transactions batch domains out format no_obs =
       spans;
     Printf.printf "wrote %s (%d spans%s)\n" out (List.length spans)
       (if no_obs then ", telemetry disabled" else ""));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* ivm-cli explain / metrics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let explain_verdict screen label tuple =
+  match Ivm.Irrelevance.explain screen tuple with
+  | None -> Printf.printf "  %s: relevant (no Theorem 4.1 refutation)\n" label
+  | Some rule ->
+    Printf.printf "  %s: irrelevant [%s]\n      %s\n" label
+      (Ivm.Irrelevance.rule_id rule)
+      (Ivm.Irrelevance.rule_description rule)
+
+(* The paper demo behind `explain`: Examples 4.1, 5.1 and 5.4 run end to
+   end, each on its own manager, so the provenance ring afterwards holds
+   one commit per maintenance situation the paper discusses — screened
+   updates (with the rule that fired), a keyed self-maintained delete,
+   and a certificate miss falling back to differential. *)
+let run_paper_demo ~domains ~verdicts =
+  let open Condition.Formula.Dsl in
+  (* Example 4.1: A < 10 && C > 5 && B = C over R x S.  Forced
+     differential (the advisor would recompute a database this small and
+     hide the screening phase the demo is about); its three-arm
+     prediction is recorded in the provenance either way. *)
+  let db = Database.create () in
+  Database.register db "R"
+    (Relation.of_tuples
+       (Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ])
+       [ Tuple.of_ints [ 1; 2 ]; Tuple.of_ints [ 5; 10 ] ]);
+  Database.register db "S"
+    (Relation.of_tuples
+       (Schema.make [ ("C", Value.Int_ty); ("D", Value.Int_ty) ])
+       [ Tuple.of_ints [ 2; 10 ]; Tuple.of_ints [ 10; 20 ] ]);
+  let mgr = Manager.create ?domains db in
+  let view_4_1 =
+    Manager.define_view mgr ~name:"example_4_1"
+      Query.Expr.(
+        project [ "A"; "D" ]
+          (select
+             ((v "A" <% i 10) &&% (v "C" >% i 5) &&% (v "B" =% v "C"))
+             (product (base "R") (base "S"))))
+  in
+  if verdicts then begin
+    Printf.printf
+      "Example 4.1: u = project[A,D] select[A<10 && C>5 && B=C] (R x S)\n\
+       per-tuple Theorem 4.1 verdicts for updates to R:\n";
+    let screen = View.screen_for view_4_1 ~alias:"R" in
+    explain_verdict screen "insert R(9,10)" (Tuple.of_ints [ 9; 10 ]);
+    explain_verdict screen "insert R(11,10)" (Tuple.of_ints [ 11; 10 ]);
+    explain_verdict screen "insert R(9,3)" (Tuple.of_ints [ 9; 3 ]);
+    print_newline ()
+  end;
+  ignore
+    (Manager.commit mgr
+       [
+         Transaction.insert "R" (Tuple.of_ints [ 9; 10 ]);
+         Transaction.insert "R" (Tuple.of_ints [ 11; 10 ]);
+         Transaction.insert "R" (Tuple.of_ints [ 9; 3 ]);
+       ]);
+  (* Example 5.1: v = project[B](R), key R:[A], r = {(1,10),(2,10),(3,20)}.
+     Deleting R(1,10) drains through the key with zero base reads; the
+     record shows the self_maintain strategy and the keyed-drain rule. *)
+  let db = Database.create () in
+  Database.register db "R"
+    (Relation.of_tuples
+       (Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ])
+       [ Tuple.of_ints [ 1; 10 ]; Tuple.of_ints [ 2; 10 ]; Tuple.of_ints [ 3; 20 ] ]);
+  let mgr = Manager.create ?domains db in
+  ignore
+    (Manager.define_view mgr ~name:"example_5_1"
+       ~keys:[ ("R", [ "A" ]) ]
+       ~options:
+         {
+           Maintenance.default_options with
+           strategy = Maintenance.Self_maintain;
+         }
+       Query.Expr.(project [ "B" ] (base "R")));
+  ignore (Manager.commit mgr [ Transaction.delete "R" (Tuple.of_ints [ 1; 10 ]) ]);
+  (* Example 5.4: R(A,B) join S(B,C) under keys.  The certificate covers
+     deletions only; the insert commit records the fallback reason and
+     runs differentially. *)
+  let db = Database.create () in
+  Database.register db "R"
+    (Relation.of_tuples
+       (Schema.make [ ("A", Value.Int_ty); ("B", Value.Int_ty) ])
+       [ Tuple.of_ints [ 1; 10 ]; Tuple.of_ints [ 2; 20 ] ]);
+  Database.register db "S"
+    (Relation.of_tuples
+       (Schema.make [ ("B", Value.Int_ty); ("C", Value.Int_ty) ])
+       [ Tuple.of_ints [ 10; 100 ]; Tuple.of_ints [ 20; 200 ] ]);
+  let mgr = Manager.create ?domains db in
+  ignore
+    (Manager.define_view mgr ~name:"example_5_4"
+       ~keys:[ ("R", [ "A" ]); ("S", [ "B" ]) ]
+       ~options:
+         {
+           Maintenance.default_options with
+           strategy = Maintenance.Self_maintain;
+         }
+       Query.Expr.(join (base "R") (base "S")));
+  ignore (Manager.commit mgr [ Transaction.delete "R" (Tuple.of_ints [ 1; 10 ]) ]);
+  ignore (Manager.commit mgr [ Transaction.insert "R" (Tuple.of_ints [ 3; 20 ]) ])
+
+let explain_scenario_names = "paper" :: obs_scenario_names
+
+let run_explain scenario seed transactions batch domains json last =
+  setup_obs false;
+  Obs.Provenance.reset ();
+  (match scenario with
+  | "paper" -> run_paper_demo ~domains ~verdicts:(not json)
+  | s -> ignore (run_obs_scenario ~scenario:s ~seed ~transactions ~batch ~domains));
+  Obs.Control.disable ();
+  let records = Obs.Provenance.recent () in
+  let records =
+    let n = List.length records in
+    if n <= last then records
+    else List.filteri (fun i _ -> i >= n - last) records
+  in
+  if json then
+    print_endline
+      (Obs.Json.to_string
+         (Obs.Json.List (List.map Obs.Provenance.commit_to_json records)))
+  else if records = [] then
+    print_endline "no provenance records (recorder disabled?)"
+  else
+    List.iter
+      (fun c -> Format.printf "%a@." Obs.Provenance.pp_commit c)
+      records;
+  0
+
+let run_metrics scenario seed transactions batch domains out =
+  setup_obs false;
+  ignore (run_obs_scenario ~scenario ~seed ~transactions ~batch ~domains);
+  Obs.Control.disable ();
+  let text = Obs.Metrics.to_openmetrics () in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
   0
 
 (* ------------------------------------------------------------------ *)
@@ -959,6 +1111,65 @@ let trace_cmd =
       const run_trace $ scenario_arg $ seed_arg $ obs_transactions_arg
       $ obs_batch_arg $ domains_arg $ out $ format $ no_obs_arg)
 
+let explain_cmd =
+  let scenario =
+    Arg.(
+      value
+      & opt string "paper"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Workload to explain: %s.  $(b,paper) replays the paper's \
+                Examples 4.1, 5.1 and 5.4 with per-tuple screening verdicts."
+               (String.concat ", " explain_scenario_names)))
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the provenance records as a JSON array (the same schema \
+             the flight recorder dumps) instead of the human tree.")
+  in
+  let last =
+    Arg.(
+      value & opt int 10
+      & info [ "last" ] ~docv:"N"
+          ~doc:"Show only the newest $(docv) commit records.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Run a workload and print each commit's provenance record: the \
+          screening verdict with the Theorem 4.1 rule that fired, the \
+          advisor's three-arm predicted costs against the measured cost, \
+          the strategy used (and why self-maintenance fell back when the \
+          certificate did not cover the commit), rollback/quarantine \
+          events, and per-phase wall times.")
+    Term.(
+      const run_explain $ scenario $ seed_arg $ obs_transactions_arg
+      $ obs_batch_arg $ domains_arg $ json $ last)
+
+let metrics_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the exposition to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a built-in scenario and print the metrics registry in \
+          OpenMetrics text exposition format (counters, gauges, and \
+          log2-bucketed histograms with cumulative $(b,_bucket) series), \
+          ready to be scraped or pushed to a Prometheus-compatible \
+          backend.")
+    Term.(
+      const run_metrics $ scenario_arg $ seed_arg $ obs_transactions_arg
+      $ obs_batch_arg $ domains_arg $ out)
+
 let () =
   let info =
     Cmd.info "ivm-cli" ~version:"1.0.0"
@@ -971,5 +1182,5 @@ let () =
        (Cmd.group info
           [
             example_cmd; check_cmd; stream_cmd; query_cmd; lint_cmd; fuzz_cmd;
-            stats_cmd; trace_cmd;
+            stats_cmd; trace_cmd; explain_cmd; metrics_cmd;
           ]))

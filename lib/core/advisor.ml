@@ -259,6 +259,30 @@ let samples_json ?limit () =
   in
   Obs.Json.List (List.map sample_json all)
 
+(* Algorithm R over the in-memory sample queue with a private LCG
+   (Numerical Recipes constants): the snapshot keeps a fixed-size,
+   deterministic cross-section of the whole run instead of just its
+   tail, so two runs of the same workload diff cleanly. *)
+let reservoir_samples ?(k = 64) ?(seed = 1986) () =
+  let state = ref (Int64.of_int seed) in
+  let rand bound =
+    state :=
+      Int64.add (Int64.mul !state 6364136223846793005L) 1442695040888963407L;
+    Int64.to_int (Int64.unsigned_rem !state (Int64.of_int bound))
+  in
+  let reservoir = Array.make (max 1 k) None in
+  List.iteri
+    (fun i s ->
+      if i < k then reservoir.(i) <- Some s
+      else
+        let j = rand (i + 1) in
+        if j < k then reservoir.(j) <- Some s)
+    (samples ());
+  Array.to_list reservoir |> List.filter_map Fun.id
+
+let reservoir_json ?k ?seed () =
+  Obs.Json.List (List.map sample_json (reservoir_samples ?k ?seed ()))
+
 let calibration_json () =
   let c = calibrate () in
   let opt = function

@@ -111,4 +111,11 @@ val pp_calibration : Format.formatter -> calibration -> unit
     objects. *)
 val samples_json : ?limit:int -> unit -> Obs.Json.t
 
+(** A fixed-size ([k], default 64) uniform cross-section of the recorded
+    samples via reservoir sampling (Algorithm R) with a private
+    deterministic generator ([seed], default 1986): the same workload
+    always exports the same pairs, and the snapshot stays bounded no
+    matter how long the run. *)
+val reservoir_json : ?k:int -> ?seed:int -> unit -> Obs.Json.t
+
 val calibration_json : unit -> Obs.Json.t

@@ -201,8 +201,53 @@ let edges_of_constraints node_of cs =
           assert false))
     (Some ([], [])) cs
 
-let disjunct_possibly_sat screen d tuple =
-  if d.dead then false
+(* The Theorem 4.1 clause (or solver) that proved a tuple irrelevant —
+   provenance reuses the diagnostic-code bands of lib/analysis: IVM011 is
+   the static "always irrelevant" verdict, IVM001 the per-tuple
+   unsatisfiability clauses. *)
+type rule =
+  | Invariant_unsat
+  | Substituted_false
+  | String_conflict
+  | Negative_cycle
+
+let all_rules =
+  [ Invariant_unsat; Substituted_false; String_conflict; Negative_cycle ]
+
+(* Doubles as a precedence: when several disjuncts die for different
+   reasons, the per-tuple reasons outrank the static invariant one. *)
+let rule_index = function
+  | Invariant_unsat -> 0
+  | Substituted_false -> 1
+  | String_conflict -> 2
+  | Negative_cycle -> 3
+
+let rule_id = function
+  | Invariant_unsat -> "IVM011:invariant-unsat"
+  | Substituted_false -> "IVM001:substituted-false"
+  | String_conflict -> "IVM001:string-conflict"
+  | Negative_cycle -> "IVM001:negative-cycle"
+
+let rule_description = function
+  | Invariant_unsat ->
+    "Theorem 4.1 via the invariant split (Definition 4.2): the condition's \
+     invariant part is unsatisfiable, so every update to this source is \
+     irrelevant"
+  | Substituted_false ->
+    "Theorem 4.1: substituting the tuple makes an atom of every surviving \
+     disjunct constant-false"
+  | String_conflict ->
+    "Theorem 4.1: the substituted string equalities are contradictory \
+     (equality-solver refutation)"
+  | Negative_cycle ->
+    "Theorem 4.1 via Algorithm 4.1: the substituted difference constraints \
+     close a negative cycle in the constraint graph"
+
+(* Why this disjunct cannot be satisfied by any extension of [tuple];
+   [None] when it still can be — the single implementation behind both
+   the boolean screen and the provenance explain. *)
+let disjunct_refutation screen d tuple =
+  if d.dead then Some Invariant_unsat
   else begin
     let lookup = Substitute.of_tuple screen.qualified_schema tuple in
     let substituted = List.map (Substitute.atom lookup) d.variant in
@@ -220,18 +265,35 @@ let disjunct_possibly_sat screen d tuple =
             walk (more_in @ extra_in) (more_out @ extra_out) str_atoms rest))
     in
     match walk [] [] [] substituted with
-    | `Dead -> false
+    | `Dead -> Some Substituted_false
     | `Check (extra_in, extra_out, str_atoms) ->
-      let str_ok =
-        str_atoms = []
-        || not (str_fragment_unsat (d.invariant_str @ str_atoms))
-      in
-      str_ok
-      && not (Graph.negative_with_zero_edges d.apsp ~extra_in ~extra_out)
+      if
+        str_atoms <> []
+        && str_fragment_unsat (d.invariant_str @ str_atoms)
+      then Some String_conflict
+      else if Graph.negative_with_zero_edges d.apsp ~extra_in ~extra_out then
+        Some Negative_cycle
+      else None
   end
+
+let disjunct_possibly_sat screen d tuple =
+  disjunct_refutation screen d tuple = None
 
 let relevant screen tuple =
   List.exists (fun d -> disjunct_possibly_sat screen d tuple) screen.disjuncts
+
+(* [None] = relevant; [Some rule] = provably irrelevant, naming the
+   highest-precedence refutation across the disjuncts.  Early-exits on
+   the first live disjunct exactly like [relevant]. *)
+let explain screen tuple =
+  let rec go best = function
+    | [] -> Some best
+    | d :: rest -> (
+      match disjunct_refutation screen d tuple with
+      | None -> None
+      | Some r -> go (if rule_index r > rule_index best then r else best) rest)
+  in
+  go Invariant_unsat screen.disjuncts
 
 let relevant_naive screen tuple =
   let lookup = Substitute.of_tuple screen.qualified_schema tuple in
@@ -253,18 +315,23 @@ let relevant_naive screen tuple =
    cannot win, so small update sets always take the sequential path. *)
 let screen_chunk_size = 512
 
-let screen_delta_stats ?pool screen (d : Delta.t) =
+let n_rules = List.length all_rules
+
+let screen_delta_explain ?pool screen (d : Delta.t) =
   let kept = ref 0 and dropped = ref 0 in
+  let rule_counts = Array.make n_rules 0 in
   let filter r =
     let out = Relation.create (Relation.schema r) in
     let sequential () =
       Relation.iter
         (fun t c ->
-          if relevant screen t then begin
+          match explain screen t with
+          | None ->
             incr kept;
             Relation.update out t c
-          end
-          else incr dropped)
+          | Some rule ->
+            incr dropped;
+            rule_counts.(rule_index rule) <- rule_counts.(rule_index rule) + 1)
         r
     in
     (match pool with
@@ -273,20 +340,32 @@ let screen_delta_stats ?pool screen (d : Delta.t) =
            && Relation.cardinal r >= 2 * screen_chunk_size ->
       (* Screening is a pure per-tuple check (Theorem 4.1 reads only the
          precomputed screen), so chunks are independent; each returns
-         its kept sublist and the counts merge sequentially. *)
+         its kept sublist and per-rule drop counts that merge
+         sequentially. *)
       let chunks =
         Exec.Pool.chunks ~size:screen_chunk_size (Relation.elements r)
       in
       Exec.Pool.map_list pool
         (fun chunk ->
-          List.fold_left
-            (fun (keep, drop) (t, c) ->
-              if relevant screen t then ((t, c) :: keep, drop)
-              else (keep, drop + 1))
-            ([], 0) chunk)
+          let counts = Array.make n_rules 0 in
+          let keep =
+            List.fold_left
+              (fun keep (t, c) ->
+                match explain screen t with
+                | None -> (t, c) :: keep
+                | Some rule ->
+                  counts.(rule_index rule) <- counts.(rule_index rule) + 1;
+                  keep)
+              [] chunk
+          in
+          (keep, counts))
         chunks
-      |> List.iter (fun (keep, drop) ->
-             dropped := !dropped + drop;
+      |> List.iter (fun (keep, counts) ->
+             Array.iteri
+               (fun i n ->
+                 dropped := !dropped + n;
+                 rule_counts.(i) <- rule_counts.(i) + n)
+               counts;
              List.iter
                (fun (t, c) ->
                  incr kept;
@@ -298,13 +377,30 @@ let screen_delta_stats ?pool screen (d : Delta.t) =
   let screened =
     { Delta.inserts = filter d.Delta.inserts; deletes = filter d.Delta.deletes }
   in
+  let rules =
+    List.filter_map
+      (fun rule ->
+        let n = rule_counts.(rule_index rule) in
+        if n > 0 then Some (rule, n) else None)
+      all_rules
+  in
   (* Bulk counter updates after the per-tuple loop: the hot path stays
-     free of telemetry except for this one guarded pair of adds. *)
+     free of telemetry except for this one guarded block of adds. *)
   if Obs.Control.enabled () then begin
     Obs.Metrics.add "ivm_screen_kept_total" !kept;
-    Obs.Metrics.add "ivm_screen_dropped_total" !dropped
+    Obs.Metrics.add "ivm_screen_dropped_total" !dropped;
+    List.iter
+      (fun (rule, n) ->
+        Obs.Metrics.add "ivm_screen_rule_dropped_total"
+          ~labels:[ ("rule", rule_id rule) ]
+          n)
+      rules
   end;
-  (screened, (!kept, !dropped))
+  (screened, (!kept, !dropped), rules)
+
+let screen_delta_stats ?pool screen d =
+  let screened, counts, _rules = screen_delta_explain ?pool screen d in
+  (screened, counts)
 
 let screen_delta ?pool screen d = fst (screen_delta_stats ?pool screen d)
 

@@ -31,9 +31,39 @@ val prepare :
     source: every update to it is irrelevant. *)
 val always_irrelevant : screen -> bool
 
+(** The Theorem 4.1 clause (or decision procedure) that proved a tuple
+    irrelevant.  {!rule_id} reuses the diagnostic-code bands of
+    [lib/analysis]: IVM011 for the static always-irrelevant verdict,
+    IVM001 for the per-tuple unsatisfiability clauses. *)
+type rule =
+  | Invariant_unsat
+      (** the invariant split (Definition 4.2) is unsatisfiable: every
+          update to this source is irrelevant *)
+  | Substituted_false
+      (** substitution made an atom of every surviving disjunct
+          constant-false *)
+  | String_conflict
+      (** the substituted string equalities are contradictory *)
+  | Negative_cycle
+      (** the substituted difference constraints close a negative cycle
+          (Algorithm 4.1) *)
+
+val all_rules : rule list
+
+val rule_id : rule -> string
+(** Stable machine-readable identifier, e.g. ["IVM001:negative-cycle"]. *)
+
+val rule_description : rule -> string
+(** One-sentence human explanation anchored to the paper. *)
+
 (** [relevant screen t] decides Theorem 4.1 for one (unqualified) tuple of
     the updated relation; [false] means provably irrelevant. *)
 val relevant : screen -> Tuple.t -> bool
+
+val explain : screen -> Tuple.t -> rule option
+(** [explain screen t] is [None] iff [relevant screen t]; [Some rule]
+    names the refutation that screened the tuple out.  Same per-tuple
+    cost as {!relevant}. *)
 
 (** Per-tuple decision without the incremental precomputation: substitutes
     into the whole condition and runs the full satisfiability procedure.
@@ -50,6 +80,16 @@ val screen_delta : ?pool:Exec.Pool.t -> screen -> Delta.t -> Delta.t
     using [screen_delta_stats]: (kept, dropped). *)
 val screen_delta_stats :
   ?pool:Exec.Pool.t -> screen -> Delta.t -> Delta.t * (int * int)
+
+(** Like {!screen_delta_stats}, but additionally returns how many dropped
+    tuples each screening {!rule} accounted for (rules with zero drops are
+    omitted; order follows {!all_rules}).  Counts merge identically across
+    the sequential and chunked-parallel paths. *)
+val screen_delta_explain :
+  ?pool:Exec.Pool.t ->
+  screen ->
+  Delta.t ->
+  Delta.t * (int * int) * (rule * int) list
 
 (** Theorem 4.2: a set of tuples inserted into (or deleted from) several
     relations with disjoint schemes is irrelevant iff the simultaneous

@@ -32,6 +32,7 @@ type report = {
   strategy_used : strategy;
   screened_out : int;
   screened_kept : int;
+  screen_rules : (string * int) list;
   rows_evaluated : int;
   delta_inserts : int;
   delta_deletes : int;
@@ -40,6 +41,7 @@ type report = {
   apply_ns : int;
   total_ns : int;
   advisor : Advisor.decision option;
+  fallback : string option;
 }
 
 let empty_report ~view_name ~strategy_used =
@@ -48,6 +50,7 @@ let empty_report ~view_name ~strategy_used =
     strategy_used;
     screened_out = 0;
     screened_kept = 0;
+    screen_rules = [];
     rows_evaluated = 0;
     delta_inserts = 0;
     delta_deletes = 0;
@@ -56,7 +59,12 @@ let empty_report ~view_name ~strategy_used =
     apply_ns = 0;
     total_ns = 0;
     advisor = None;
+    fallback = None;
   }
+
+(* Self-maintenance screens deletions through the key, not Theorem 4.1;
+   provenance labels that verdict with its own rule id. *)
+let keyed_drain_rule_id = "IVM051:keyed-drain"
 
 let strategy_name = function
   | Differential -> "differential"
@@ -74,6 +82,17 @@ let self_maintain_applies view ~net =
   match View.self_maintain view with
   | Some plan -> Self_maintain.applies plan ~net
   | None -> false
+
+(* Why a requested [Self_maintain] cannot run on this transaction;
+   [None] when it can.  The distinction matters for provenance: "no
+   certificate" is a property of the view, "not covered" of the
+   transaction. *)
+let self_maintain_fallback view ~net =
+  match View.self_maintain view with
+  | None -> Some "view has no self-maintenance certificate"
+  | Some plan ->
+    if Self_maintain.applies plan ~net then None
+    else Some "certificate does not cover this transaction's update sets"
 
 let concrete_strategy options view ~net ~decision =
   match options.strategy with
@@ -110,6 +129,12 @@ let pp_report ppf r =
     (r.screened_out + r.screened_kept)
     r.rows_evaluated r.delta_inserts r.delta_deletes
     (Obs.Summary.fmt_ns r.total_ns);
+  List.iter
+    (fun (rule, n) -> Format.fprintf ppf " [%s x%d]" rule n)
+    r.screen_rules;
+  (match r.fallback with
+  | None -> ()
+  | Some why -> Format.fprintf ppf " [fallback: %s]" why);
   match r.advisor with
   | None -> ()
   | Some d -> Format.fprintf ppf " [advisor: %a]" Advisor.pp_decision d
@@ -144,10 +169,22 @@ let record_report r =
       r.delta_deletes
   end
 
+(* Rule tallies merge across a view's sources (each source has its own
+   screen, several can drop tuples for the same reason). *)
+let merge_rule_counts acc rules =
+  List.fold_left
+    (fun acc (rule, n) ->
+      let id = Irrelevance.rule_id rule in
+      match List.assoc_opt id acc with
+      | Some m -> (id, m + n) :: List.remove_assoc id acc
+      | None -> acc @ [ (id, n) ])
+    acc rules
+
 let view_delta ?(options = default_options) ?pool view ~db ~net =
   let t_start = Obs.Clock.now_ns () in
   let spj = View.spj view in
   let screened_out = ref 0 and screened_kept = ref 0 in
+  let screen_rules = ref [] in
   let screen_ns = ref 0 in
   let inputs =
     List.map
@@ -176,10 +213,11 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
                     ])
                   (fun () ->
                     Resilience.Fault.point "screen";
-                    let screened, stats =
-                      Irrelevance.screen_delta_stats ?pool screen raw
+                    let screened, stats, rules =
+                      Irrelevance.screen_delta_explain ?pool screen raw
                     in
                     row_stats := stats;
+                    screen_rules := merge_rule_counts !screen_rules rules;
                     screened)
               in
               screen_ns := !screen_ns + (Obs.Clock.now_ns () - t0);
@@ -217,6 +255,7 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
       strategy_used = Differential;
       screened_out = !screened_out;
       screened_kept = !screened_kept;
+      screen_rules = !screen_rules;
       rows_evaluated = result.Delta_eval.rows_evaluated;
       delta_inserts = Relation.total delta.Delta.inserts;
       delta_deletes = Relation.total delta.Delta.deletes;
@@ -225,6 +264,7 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
       apply_ns = 0;
       total_ns = Obs.Clock.now_ns () - t_start;
       advisor = None;
+      fallback = None;
     } )
 
 (* Every base or view mutation optionally goes through the undo
@@ -277,7 +317,8 @@ let apply_view_delta ?journal view (delta : Delta.t) =
 (* Differential maintenance of one view against a netted update set whose
    deletions are already installed: evaluate, then apply the view delta,
    completing the report's timing fields. *)
-let maintain_differential ~options ?pool ?journal ~decision view ~db ~net =
+let maintain_differential ~options ?pool ?journal ?fallback ~decision view ~db
+    ~net =
   let t0 = Obs.Clock.now_ns () in
   let delta, report = view_delta ~options ?pool view ~db ~net in
   let t_apply = Obs.Clock.now_ns () in
@@ -297,6 +338,7 @@ let maintain_differential ~options ?pool ?journal ~decision view ~db ~net =
       apply_ns = now - t_apply;
       total_ns = now - t0;
       advisor = decision;
+      fallback;
     }
   in
   record_report report;
@@ -325,6 +367,11 @@ let maintain_self_maintain ?journal ~decision view ~net =
     List.fold_left
       (fun acc (_, (inserts, deletes)) ->
         acc + List.length inserts + List.length deletes)
+      0 net
+  in
+  let drained =
+    List.fold_left
+      (fun acc (_, (_, deletes)) -> acc + List.length deletes)
       0 net
   in
   let t_eval = Obs.Clock.now_ns () in
@@ -360,6 +407,8 @@ let maintain_self_maintain ?journal ~decision view ~net =
       strategy_used = Self_maintain;
       screened_out = 0;
       screened_kept = 0;
+      screen_rules =
+        (if drained > 0 then [ (keyed_drain_rule_id, drained) ] else []);
       rows_evaluated = rows;
       delta_inserts = Relation.total delta.Delta.inserts;
       delta_deletes = Relation.total delta.Delta.deletes;
@@ -368,6 +417,7 @@ let maintain_self_maintain ?journal ~decision view ~net =
       apply_ns = now - t_apply;
       total_ns = now - t0;
       advisor = decision;
+      fallback = None;
     }
   in
   record_report report;
@@ -438,19 +488,17 @@ let process ?(options = default_options) ?(options_for = fun _ -> None) ?pool
           (fun view ->
             let view_options = options_of view in
             match view_options.strategy with
-            | Differential -> (view, view_options, Differential, None)
-            | Recompute -> (view, view_options, Recompute, None)
-            | Self_maintain ->
-              ( view,
-                view_options,
-                (if self_maintain_applies view ~net then Self_maintain
-                 else Differential),
-                None )
+            | Differential -> (view, view_options, Differential, None, None)
+            | Recompute -> (view, view_options, Recompute, None, None)
+            | Self_maintain -> (
+              match self_maintain_fallback view ~net with
+              | None -> (view, view_options, Self_maintain, None, None)
+              | Some why -> (view, view_options, Differential, None, Some why))
             | Adaptive ->
               let strategy, decision =
                 resolve_with_decision view_options view ~db ~net
               in
-              (view, view_options, strategy, Some decision))
+              (view, view_options, strategy, Some decision, None))
           views
       in
       apply_deletes db net;
@@ -459,7 +507,7 @@ let process ?(options = default_options) ?(options_for = fun _ -> None) ?pool
          only to leave it untouched). *)
       let differential, recomputed =
         List.partition
-          (fun (_, _, strategy, _) ->
+          (fun (_, _, strategy, _, _) ->
             match strategy with
             | Recompute -> false
             | Differential | Adaptive | Self_maintain -> true)
@@ -467,18 +515,19 @@ let process ?(options = default_options) ?(options_for = fun _ -> None) ?pool
       in
       let reports =
         pmap
-          (fun (view, view_options, strategy, decision) ->
+          (fun (view, view_options, strategy, decision, fallback) ->
             match strategy with
             | Self_maintain -> maintain_self_maintain ~decision view ~net
             | _ ->
-              maintain_differential ~options:view_options ?pool ~decision view
-                ~db ~net)
+              maintain_differential ~options:view_options ?pool ?fallback
+                ~decision view ~db ~net)
           differential
       in
       apply_inserts db net;
       let recompute_reports =
         pmap
-          (fun (view, _, _, decision) -> maintain_recompute ~decision view ~db)
+          (fun (view, _, _, decision, _) ->
+            maintain_recompute ~decision view ~db)
           recomputed
       in
       reports @ recompute_reports)

@@ -73,12 +73,22 @@ val arm_of_strategy : strategy -> Advisor.arm
     it covers this transaction's update sets. *)
 val self_maintain_applies : View.t -> net:Transaction.net -> bool
 
+(** Why a requested [Self_maintain] cannot run on this transaction —
+    either the view has no certificate or the certificate does not cover
+    the update sets; [None] when self-maintenance applies.  Feeds the
+    provenance [fallback] field. *)
+val self_maintain_fallback : View.t -> net:Transaction.net -> string option
+
 type report = {
   view_name : string;
   strategy_used : strategy;
       (** always [Differential], [Recompute] or [Self_maintain] *)
   screened_out : int;  (** update tuples proven irrelevant *)
   screened_kept : int;
+  screen_rules : (string * int) list;
+      (** dropped-tuple counts per screening rule that fired
+          ({!Irrelevance.rule_id} strings, plus ["IVM051:keyed-drain"] for
+          self-maintained deletions); empty when nothing was screened *)
   rows_evaluated : int;
   delta_inserts : int;  (** counted tuples inserted into the view *)
   delta_deletes : int;
@@ -88,6 +98,9 @@ type report = {
   total_ns : int;  (** whole maintenance of this view, including apply *)
   advisor : Advisor.decision option;
       (** the cost-model prediction for this transaction, when it ran *)
+  fallback : string option;
+      (** set when a requested [Self_maintain] degraded to the strategy
+          actually used ({!self_maintain_fallback}) *)
 }
 
 (** A zeroed report (timing fields included). *)
@@ -110,6 +123,7 @@ val maintain_differential :
   options:options ->
   ?pool:Exec.Pool.t ->
   ?journal:Resilience.Journal.t ->
+  ?fallback:string ->
   decision:Advisor.decision option ->
   View.t ->
   db:Database.t ->

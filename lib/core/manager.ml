@@ -255,6 +255,41 @@ let accumulate mgr e net =
 
 let protected_ mgr = mgr.policy <> Resilience.Policy.Unprotected
 
+(* One provenance view record from a finished maintenance report — plain
+   strings only, the obs layer cannot see core's types. *)
+let provenance_view (r : Maintenance.report) =
+  {
+    Obs.Provenance.view = r.Maintenance.view_name;
+    strategy = Maintenance.strategy_name r.Maintenance.strategy_used;
+    fallback = r.Maintenance.fallback;
+    advisor =
+      Option.map
+        (fun (d : Advisor.decision) ->
+          {
+            Obs.Provenance.predicted_differential = d.Advisor.differential_cost;
+            predicted_recompute = d.Advisor.recompute_cost;
+            predicted_self_maintain = d.Advisor.self_maintain_cost;
+            chosen = Advisor.arm_name d.Advisor.choose;
+          })
+        r.Maintenance.advisor;
+    screen_rules = r.Maintenance.screen_rules;
+    screened_kept = r.Maintenance.screened_kept;
+    screened_out = r.Maintenance.screened_out;
+    rows_evaluated = r.Maintenance.rows_evaluated;
+    delta_inserts = r.Maintenance.delta_inserts;
+    delta_deletes = r.Maintenance.delta_deletes;
+    screen_ns = r.Maintenance.screen_ns;
+    eval_ns = r.Maintenance.eval_ns;
+    apply_ns = r.Maintenance.apply_ns;
+    total_ns = r.Maintenance.total_ns;
+  }
+
+let provenance_net net =
+  List.map
+    (fun (relation, (inserts, deletes)) ->
+      (relation, (List.length inserts, List.length deletes)))
+    net
+
 (* Differential drain of a view's composed pending deltas — the
    snapshot-refresh core, shared by deferred [refresh] and the
    quarantine self-heal.  The current base state S is S0 U i_N - d_N
@@ -386,6 +421,15 @@ let commit mgr txn =
         ("domains", Obs.Json.Int mgr.domains);
       ])
     (fun () ->
+      let t_start = Obs.Clock.now_ns () in
+      (* Provenance accumulators: noteworthy pipeline events and the
+         reports of views that finished, so even an aborted commit's
+         record shows what completed before the failing phase. *)
+      let events = ref [] in
+      let completed : Maintenance.report list ref = ref [] in
+      let event ~phase ~kind detail =
+        events := { Obs.Provenance.phase; kind; detail } :: !events
+      in
       (* Views quarantined by an earlier commit self-heal before this
          one runs, so a healed view takes part in it normally. *)
       List.iter
@@ -422,7 +466,15 @@ let commit mgr txn =
                   Maintenance.resolve_with_decision e.options e.view ~db:mgr.db
                     ~net
                 in
-                Some (e, strategy, Some decision)
+                (* Provenance wants to know when a requested
+                   self-maintenance could not run on this commit. *)
+                let fallback =
+                  match e.options.Maintenance.strategy with
+                  | Maintenance.Self_maintain ->
+                    Maintenance.self_maintain_fallback e.view ~net
+                  | _ -> None
+                in
+                Some (e, strategy, Some decision, fallback)
               else None)
           mgr.entries
       in
@@ -431,6 +483,7 @@ let commit mgr txn =
          under [Unprotected] there is no journal and the original
          exception escapes mid-pipeline (the legacy torn behaviour). *)
       let abort ~phase ~error ~bt outcomes =
+        let journal_bytes = Option.map Resilience.Journal.bytes journal in
         Option.iter
           (fun j ->
             Obs.Span.with_span "rollback"
@@ -438,8 +491,29 @@ let commit mgr txn =
               (fun () -> Resilience.Journal.rollback j);
             Obs.Metrics.add "ivm_resilience_rollbacks_total"
               ~labels:[ ("scope", "commit") ]
-              1)
+              1;
+            event ~phase ~kind:"rollback"
+              (Printf.sprintf "commit journal rolled back (%d bytes)"
+                 (Option.value ~default:0 journal_bytes)))
           journal;
+        event ~phase ~kind:"abort" (Printexc.to_string error);
+        Obs.Provenance.record
+          {
+            Obs.Provenance.seq = mgr.commit_seq;
+            kind = "commit";
+            outcome = "aborted";
+            failing_phase = Some phase;
+            domains = mgr.domains;
+            net = provenance_net net;
+            views = List.map provenance_view !completed;
+            events = List.rev !events;
+            journal_bytes;
+            total_ns = Obs.Clock.now_ns () - t_start;
+          };
+        (* Post-mortem to disk while the failure context is still whole:
+           the dump carries this aborted record (failing phase included)
+           plus the ring of commits that led up to it. *)
+        ignore (Resilience.Flight.dump ~reason:("commit-failed-" ^ phase));
         raise
           (Commit_failed
              {
@@ -456,7 +530,7 @@ let commit mgr txn =
       let succeeded : entry list ref = ref [] in
       let outcomes ~failures =
         List.map
-          (fun (e, _, _) ->
+          (fun (e, _, _, _) ->
             let name = View.name e.view in
             match List.find_opt (fun (f, _, _) -> f == e) failures with
             | Some (_, err, bt) ->
@@ -498,7 +572,7 @@ let commit mgr txn =
         in
         let oks = ref [] and failed = ref [] and quarantined = ref [] in
         List.iter2
-          (fun (e, _, task_journal, _) result ->
+          (fun (e, _, task_journal, _, _) result ->
             match result with
             | Ok report ->
               (match (journal, task_journal) with
@@ -525,12 +599,16 @@ let commit mgr txn =
                       (fun () -> Resilience.Journal.rollback sub);
                     Obs.Metrics.add "ivm_resilience_rollbacks_total"
                       ~labels:[ ("scope", "view") ]
-                      1)
+                      1;
+                    event ~phase ~kind:"view-rollback" (View.name e.view))
                   task_journal;
+                event ~phase ~kind:"quarantine"
+                  (View.name e.view ^ ": " ^ Printexc.to_string err);
                 quarantined := (e, err, bt) :: !quarantined))
           tasks results;
         let oks = List.rev !oks in
         succeeded := !succeeded @ List.map fst oks;
+        completed := !completed @ List.map snd oks;
         (match (mgr.policy, List.rev !failed) with
         | _, [] -> ()
         | Resilience.Policy.Unprotected, (_, err, bt) :: _ ->
@@ -548,35 +626,35 @@ let commit mgr txn =
          probe inside [maintain_self_maintain] enforces). *)
       let differential_tasks =
         List.filter_map
-          (fun (e, strategy, decision) ->
+          (fun (e, strategy, decision, fallback) ->
             match strategy with
             | Maintenance.Differential | Maintenance.Adaptive ->
-              Some (e, decision, task_journal (), `Differential)
+              Some (e, decision, task_journal (), `Differential, fallback)
             | Maintenance.Self_maintain ->
-              Some (e, decision, task_journal (), `Self_maintain)
+              Some (e, decision, task_journal (), `Self_maintain, fallback)
             | Maintenance.Recompute -> None)
           resolved
       in
       let diff_ok, diff_quarantined =
         run_tasks ~phase:"maintain" differential_tasks
-          (fun (e, decision, task_journal, kind) ->
+          (fun (e, decision, task_journal, kind, fallback) ->
             match kind with
             | `Self_maintain ->
               Maintenance.maintain_self_maintain ?journal:task_journal
                 ~decision e.view ~net
             | `Differential ->
               Maintenance.maintain_differential ~options:e.options
-                ~pool:mgr.pool ?journal:task_journal ~decision e.view
+                ~pool:mgr.pool ?journal:task_journal ?fallback ~decision e.view
                 ~db:mgr.db ~net)
       in
       base_phase ~phase:"apply-inserts" (fun () ->
           Maintenance.apply_inserts ?journal mgr.db net);
       let recompute_tasks =
         List.filter_map
-          (fun (e, strategy, decision) ->
+          (fun (e, strategy, decision, fallback) ->
             match strategy with
             | Maintenance.Recompute ->
-              Some (e, decision, task_journal (), `Recompute)
+              Some (e, decision, task_journal (), `Recompute, fallback)
             | Maintenance.Differential | Maintenance.Adaptive
             | Maintenance.Self_maintain ->
               None)
@@ -584,7 +662,7 @@ let commit mgr txn =
       in
       let rec_ok, rec_quarantined =
         run_tasks ~phase:"recompute" recompute_tasks
-          (fun (e, decision, task_journal, _) ->
+          (fun (e, decision, task_journal, _, _) ->
             Maintenance.maintain_recompute ?journal:task_journal ~decision
               e.view ~db:mgr.db)
       in
@@ -622,6 +700,22 @@ let commit mgr txn =
           Obs.Metrics.observe "ivm_resilience_journal_bytes"
             (Resilience.Journal.bytes j))
         journal;
+      let quarantined_now = diff_quarantined @ rec_quarantined in
+      Obs.Provenance.record
+        {
+          Obs.Provenance.seq = mgr.commit_seq;
+          kind = "commit";
+          outcome = (if quarantined_now = [] then "committed" else "degraded");
+          failing_phase = None;
+          domains = mgr.domains;
+          net = provenance_net net;
+          views = List.map provenance_view !completed;
+          events = List.rev !events;
+          journal_bytes = Option.map Resilience.Journal.bytes journal;
+          total_ns = Obs.Clock.now_ns () - t_start;
+        };
+      if quarantined_now <> [] then
+        ignore (Resilience.Flight.dump ~reason:"quarantine");
       List.map snd diff_ok @ List.map snd rec_ok)
 
 let refresh mgr name =
@@ -637,9 +731,31 @@ let refresh mgr name =
       Obs.Span.with_span "refresh"
         ~args:(fun () -> [ ("view", Obs.Json.Str name) ])
         (fun () ->
+          let t_start = Obs.Clock.now_ns () in
+          let net_sizes =
+            List.map
+              (fun (relation, (d : Delta.t)) ->
+                ( relation,
+                  ( Relation.total d.Delta.inserts,
+                    Relation.total d.Delta.deletes ) ))
+              e.pending
+          in
           let report = drain_pending mgr e in
           e.pending <- [];
           e.stats <- add_report e.stats report;
+          Obs.Provenance.record
+            {
+              Obs.Provenance.seq = mgr.commit_seq;
+              kind = "refresh";
+              outcome = "committed";
+              failing_phase = None;
+              domains = mgr.domains;
+              net = net_sizes;
+              views = [ provenance_view report ];
+              events = [];
+              journal_bytes = None;
+              total_ns = Obs.Clock.now_ns () - t_start;
+            };
           Some report)
 
 let refresh_all mgr =

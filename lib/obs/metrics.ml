@@ -219,4 +219,153 @@ let snapshot () =
           ("histograms", Json.List (entries `Histogram));
         ])
 
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics text exposition                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Label values escape backslash, double-quote and newline per the
+   OpenMetrics ABNF; everything else passes through verbatim. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Metric names: OpenMetrics allows [a-zA-Z_:][a-zA-Z0-9_:]*; every name
+   this registry receives already fits, but sanitizing keeps the output
+   spec-conformant even for exotic callers. *)
+let sanitize_name name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (sanitize_name k);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}'
+
+let render_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+(* Upper bound of log2 bucket [b]: the bucket holds values in
+   [2^b, 2^(b+1) - 1] (bucket 0 also absorbs 0 and 1). *)
+let bucket_upper b = (2.0 ** float_of_int (b + 1)) -. 1.0
+
+let to_openmetrics () =
+  let entries =
+    locked (fun () ->
+        Hashtbl.fold
+          (fun (name, labels) cell acc ->
+            let snap =
+              match cell with
+              | Counter r -> `Counter !r
+              | Gauge r -> `Gauge !r
+              | Histogram h ->
+                `Histogram (Array.copy h.buckets, h.h_count, h.h_sum)
+            in
+            (name, labels, snap) :: acc)
+          table [])
+  in
+  (* One MetricFamily per name: group, then emit families and their
+     sample lines in sorted order so the exposition is deterministic. *)
+  let families = Hashtbl.create 16 in
+  List.iter
+    (fun (name, labels, snap) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt families name) in
+      Hashtbl.replace families name ((labels, snap) :: prev))
+    entries;
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) families []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 4096 in
+  let line name labels value =
+    Buffer.add_string buf name;
+    render_labels buf labels;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf value;
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun name ->
+      let series =
+        List.sort compare (Hashtbl.find families name)
+      in
+      let metric = sanitize_name name in
+      (* Counter family names drop the [_total] suffix; their sample
+         lines keep it (OpenMetrics counters expose <family>_total). *)
+      match series with
+      | (_, `Counter _) :: _ ->
+        let family =
+          if String.length metric > 6
+             && String.sub metric (String.length metric - 6) 6 = "_total"
+          then String.sub metric 0 (String.length metric - 6)
+          else metric
+        in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" family);
+        List.iter
+          (fun (labels, snap) ->
+            match snap with
+            | `Counter v -> line (family ^ "_total") labels (string_of_int v)
+            | _ -> ())
+          series
+      | (_, `Gauge _) :: _ ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" metric);
+        List.iter
+          (fun (labels, snap) ->
+            match snap with
+            | `Gauge v -> line metric labels (render_float v)
+            | _ -> ())
+          series
+      | (_, `Histogram _) :: _ ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" metric);
+        List.iter
+          (fun (labels, snap) ->
+            match snap with
+            | `Histogram (buckets, count, sum) ->
+              (* Cumulative buckets; empty log2 buckets are skipped, the
+                 mandatory +Inf bucket always closes the series. *)
+              let cumulative = ref 0 in
+              Array.iteri
+                (fun b n ->
+                  if n > 0 then begin
+                    cumulative := !cumulative + n;
+                    line (metric ^ "_bucket")
+                      (labels @ [ ("le", render_float (bucket_upper b)) ])
+                      (string_of_int !cumulative)
+                  end)
+                buckets;
+              line (metric ^ "_bucket")
+                (labels @ [ ("le", "+Inf") ])
+                (string_of_int count);
+              line (metric ^ "_count") labels (string_of_int count);
+              line (metric ^ "_sum") labels (string_of_int sum)
+            | _ -> ())
+          series
+      | [] -> ())
+    names;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
 let reset () = locked (fun () -> Hashtbl.reset table)

@@ -54,6 +54,15 @@ val label_sets : string -> labels list
     entry carrying [name], [labels] and its values. *)
 val snapshot : unit -> Json.t
 
+(** Whole-registry OpenMetrics text exposition (the format Prometheus
+    scrapes): one MetricFamily per metric name with a [# TYPE] line,
+    counter samples under [<family>_total], gauges verbatim, histograms
+    as cumulative [_bucket{le="..."}] series over the log2 buckets (plus
+    the mandatory [+Inf] bucket, [_count] and [_sum]), label values
+    escaped per the spec, families and series in deterministic sorted
+    order, terminated by [# EOF]. *)
+val to_openmetrics : unit -> string
+
 val reset : unit -> unit
 
 (** {2 Bucketing internals, exposed for tests} *)

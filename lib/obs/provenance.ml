@@ -1,0 +1,367 @@
+type advisor = {
+  predicted_differential : float;
+  predicted_recompute : float;
+  predicted_self_maintain : float option;
+  chosen : string;
+}
+
+type view_record = {
+  view : string;
+  strategy : string;
+  fallback : string option;
+  advisor : advisor option;
+  screen_rules : (string * int) list;
+  screened_kept : int;
+  screened_out : int;
+  rows_evaluated : int;
+  delta_inserts : int;
+  delta_deletes : int;
+  screen_ns : int;
+  eval_ns : int;
+  apply_ns : int;
+  total_ns : int;
+}
+
+type event = {
+  phase : string;
+  kind : string;
+  detail : string;
+}
+
+type commit = {
+  seq : int;
+  kind : string;
+  outcome : string;
+  failing_phase : string option;
+  domains : int;
+  net : (string * (int * int)) list;
+  views : view_record list;
+  events : event list;
+  journal_bytes : int option;
+  total_ns : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+let opt_float = function None -> Json.Null | Some x -> Json.Float x
+
+let advisor_to_json a =
+  Json.Obj
+    [
+      ("predicted_differential", Json.Float a.predicted_differential);
+      ("predicted_recompute", Json.Float a.predicted_recompute);
+      ("predicted_self_maintain", opt_float a.predicted_self_maintain);
+      ("chosen", Json.Str a.chosen);
+    ]
+
+let view_to_json v =
+  Json.Obj
+    [
+      ("view", Json.Str v.view);
+      ("strategy", Json.Str v.strategy);
+      ("fallback", opt_str v.fallback);
+      ( "advisor",
+        match v.advisor with None -> Json.Null | Some a -> advisor_to_json a );
+      ( "screen_rules",
+        Json.List
+          (List.map
+             (fun (rule, n) ->
+               Json.Obj [ ("rule", Json.Str rule); ("dropped", Json.Int n) ])
+             v.screen_rules) );
+      ("screened_kept", Json.Int v.screened_kept);
+      ("screened_out", Json.Int v.screened_out);
+      ("rows_evaluated", Json.Int v.rows_evaluated);
+      ("delta_inserts", Json.Int v.delta_inserts);
+      ("delta_deletes", Json.Int v.delta_deletes);
+      ("screen_ns", Json.Int v.screen_ns);
+      ("eval_ns", Json.Int v.eval_ns);
+      ("apply_ns", Json.Int v.apply_ns);
+      ("total_ns", Json.Int v.total_ns);
+    ]
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("phase", Json.Str e.phase);
+      ("kind", Json.Str e.kind);
+      ("detail", Json.Str e.detail);
+    ]
+
+let commit_to_json c =
+  Json.Obj
+    [
+      ("seq", Json.Int c.seq);
+      ("kind", Json.Str c.kind);
+      ("outcome", Json.Str c.outcome);
+      ("failing_phase", opt_str c.failing_phase);
+      ("domains", Json.Int c.domains);
+      ( "net",
+        Json.List
+          (List.map
+             (fun (relation, (inserts, deletes)) ->
+               Json.Obj
+                 [
+                   ("relation", Json.Str relation);
+                   ("inserts", Json.Int inserts);
+                   ("deletes", Json.Int deletes);
+                 ])
+             c.net) );
+      ("views", Json.List (List.map view_to_json c.views));
+      ("events", Json.List (List.map event_to_json c.events));
+      ("journal_bytes", opt_int c.journal_bytes);
+      ("total_ns", Json.Int c.total_ns);
+    ]
+
+(* The parser is written in an error-monad style over a field path, so a
+   malformed dump names exactly the field that broke. *)
+let ( let* ) r f = Result.bind r f
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S is not an integer" name)
+
+let as_str name = function
+  | Json.Str s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S is not a string" name)
+
+(* Integral floats print as JSON integers; accept both on the way in. *)
+let as_float name = function
+  | Json.Float x -> Ok x
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "field %S is not a number" name)
+
+let as_list name = function
+  | Json.List items -> Ok items
+  | _ -> Error (Printf.sprintf "field %S is not an array" name)
+
+let opt_of parse name = function
+  | Json.Null -> Ok None
+  | v -> Result.map Option.some (parse name v)
+
+let int_field name json = Result.bind (field name json) (as_int name)
+let str_field name json = Result.bind (field name json) (as_str name)
+
+let map_m f items =
+  List.fold_right
+    (fun item acc ->
+      let* acc = acc in
+      let* v = f item in
+      Ok (v :: acc))
+    items (Ok [])
+
+let advisor_of_json json =
+  let* predicted_differential =
+    Result.bind (field "predicted_differential" json)
+      (as_float "predicted_differential")
+  in
+  let* predicted_recompute =
+    Result.bind (field "predicted_recompute" json) (as_float "predicted_recompute")
+  in
+  let* predicted_self_maintain =
+    Result.bind
+      (field "predicted_self_maintain" json)
+      (opt_of as_float "predicted_self_maintain")
+  in
+  let* chosen = str_field "chosen" json in
+  Ok { predicted_differential; predicted_recompute; predicted_self_maintain; chosen }
+
+let view_of_json json =
+  let* view = str_field "view" json in
+  let* strategy = str_field "strategy" json in
+  let* fallback = Result.bind (field "fallback" json) (opt_of as_str "fallback") in
+  let* advisor_json = field "advisor" json in
+  let* advisor =
+    match advisor_json with
+    | Json.Null -> Ok None
+    | v -> Result.map Option.some (advisor_of_json v)
+  in
+  let* rules = Result.bind (field "screen_rules" json) (as_list "screen_rules") in
+  let* screen_rules =
+    map_m
+      (fun entry ->
+        let* rule = str_field "rule" entry in
+        let* dropped = int_field "dropped" entry in
+        Ok (rule, dropped))
+      rules
+  in
+  let* screened_kept = int_field "screened_kept" json in
+  let* screened_out = int_field "screened_out" json in
+  let* rows_evaluated = int_field "rows_evaluated" json in
+  let* delta_inserts = int_field "delta_inserts" json in
+  let* delta_deletes = int_field "delta_deletes" json in
+  let* screen_ns = int_field "screen_ns" json in
+  let* eval_ns = int_field "eval_ns" json in
+  let* apply_ns = int_field "apply_ns" json in
+  let* total_ns = int_field "total_ns" json in
+  Ok
+    {
+      view; strategy; fallback; advisor; screen_rules; screened_kept;
+      screened_out; rows_evaluated; delta_inserts; delta_deletes; screen_ns;
+      eval_ns; apply_ns; total_ns;
+    }
+
+let event_of_json json =
+  let* phase = str_field "phase" json in
+  let* kind = str_field "kind" json in
+  let* detail = str_field "detail" json in
+  Ok { phase; kind; detail }
+
+let commit_of_json json =
+  let* seq = int_field "seq" json in
+  let* kind = str_field "kind" json in
+  let* outcome = str_field "outcome" json in
+  let* failing_phase =
+    Result.bind (field "failing_phase" json) (opt_of as_str "failing_phase")
+  in
+  let* domains = int_field "domains" json in
+  let* net_items = Result.bind (field "net" json) (as_list "net") in
+  let* net =
+    map_m
+      (fun entry ->
+        let* relation = str_field "relation" entry in
+        let* inserts = int_field "inserts" entry in
+        let* deletes = int_field "deletes" entry in
+        Ok (relation, (inserts, deletes)))
+      net_items
+  in
+  let* view_items = Result.bind (field "views" json) (as_list "views") in
+  let* views = map_m view_of_json view_items in
+  let* event_items = Result.bind (field "events" json) (as_list "events") in
+  let* events = map_m event_of_json event_items in
+  let* journal_bytes =
+    Result.bind (field "journal_bytes" json) (opt_of as_int "journal_bytes")
+  in
+  let* total_ns = int_field "total_ns" json in
+  Ok
+    {
+      seq; kind; outcome; failing_phase; domains; net; views; events;
+      journal_bytes; total_ns;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* explain tree                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp_commit ppf c =
+  Format.fprintf ppf "%s #%d (domains %d): %s in %s" c.kind c.seq c.domains
+    (match c.failing_phase with
+    | Some phase -> Printf.sprintf "%s in phase %s" c.outcome phase
+    | None -> c.outcome)
+    (Summary.fmt_ns c.total_ns);
+  if c.net <> [] then begin
+    Format.fprintf ppf "@,  net:";
+    List.iter
+      (fun (relation, (inserts, deletes)) ->
+        Format.fprintf ppf " %s +%d -%d" relation inserts deletes)
+      c.net
+  end;
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@,  view %s: %s" v.view v.strategy;
+      (match v.fallback with
+      | Some reason -> Format.fprintf ppf "@,    fallback: %s" reason
+      | None -> ());
+      (match v.advisor with
+      | Some a ->
+        Format.fprintf ppf
+          "@,    advisor: differential=%.0f recompute=%.0f self_maintain=%s \
+           -> %s; actual %s"
+          a.predicted_differential a.predicted_recompute
+          (match a.predicted_self_maintain with
+          | Some x -> Printf.sprintf "%.0f" x
+          | None -> "n/a")
+          a.chosen (Summary.fmt_ns v.total_ns)
+      | None -> ());
+      if
+        v.screened_kept + v.screened_out > 0
+        || v.screen_ns > 0
+        || v.screen_rules <> []
+      then begin
+        Format.fprintf ppf "@,    screen: kept %d / dropped %d" v.screened_kept
+          v.screened_out;
+        (match v.screen_rules with
+        | [] -> ()
+        | rules ->
+          Format.fprintf ppf " [%s]"
+            (String.concat "; "
+               (List.map
+                  (fun (rule, n) -> Printf.sprintf "%s x%d" rule n)
+                  rules)));
+        Format.fprintf ppf "; %s" (Summary.fmt_ns v.screen_ns)
+      end;
+      if v.rows_evaluated > 0 || v.eval_ns > 0 then
+        Format.fprintf ppf "@,    eval: %d rows; %s" v.rows_evaluated
+          (Summary.fmt_ns v.eval_ns);
+      Format.fprintf ppf "@,    apply: +%d -%d view tuples; %s" v.delta_inserts
+        v.delta_deletes
+        (Summary.fmt_ns v.apply_ns))
+    c.views;
+  List.iter
+    (fun e -> Format.fprintf ppf "@,  [%s] %s: %s" e.phase e.kind e.detail)
+    c.events;
+  match c.journal_bytes with
+  | Some bytes -> Format.fprintf ppf "@,  journal: %d bytes" bytes
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* flight-recorder ring                                                *)
+(* ------------------------------------------------------------------ *)
+
+let recorder_capacity = 128
+
+(* A preallocated circular array: append is an index bump and a store, so
+   the always-on recorder costs a mutex round-trip and two writes per
+   commit regardless of history length. *)
+let ring : commit option array = Array.make recorder_capacity None
+let next = ref 0
+let total = ref 0
+let mutex = Mutex.create ()
+let recording_flag = Atomic.make true
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let set_recording b = Atomic.set recording_flag b
+let recording () = Atomic.get recording_flag
+
+let record c =
+  if Atomic.get recording_flag then
+    locked (fun () ->
+        ring.(!next) <- Some c;
+        next := (!next + 1) mod recorder_capacity;
+        incr total)
+
+let recent () =
+  locked (fun () ->
+      let n = min !total recorder_capacity in
+      let start = (!next - n + recorder_capacity) mod recorder_capacity in
+      List.init n (fun i ->
+          Option.get ring.((start + i) mod recorder_capacity)))
+
+let recorded () = locked (fun () -> !total)
+
+let reset () =
+  locked (fun () ->
+      Array.fill ring 0 recorder_capacity None;
+      next := 0;
+      total := 0)
+
+let dump_json ~reason =
+  Json.Obj
+    [
+      ("flight_recorder", Json.Bool true);
+      ("reason", Json.Str reason);
+      ("capacity", Json.Int recorder_capacity);
+      ("recorded_total", Json.Int (recorded ()));
+      ("records", Json.List (List.map commit_to_json (recent ())));
+    ]

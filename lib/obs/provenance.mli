@@ -1,0 +1,106 @@
+(** Commit provenance: why the engine did what it did.
+
+    Telemetry ({!Span}, {!Metrics}) records how long each maintenance
+    phase took; this module records the {e decisions} — which Theorem 4.1
+    rule screened each update set, what the advisor predicted for all
+    three arms and which one actually ran, why a forced self-maintain
+    certificate fell back to differential, and what the journal did when
+    a commit failed.  One {!commit} record is assembled per
+    [Manager.commit]/[refresh] and rendered by [ivm_cli explain].
+
+    The record types are plain strings and integers on purpose: [obs]
+    sits below the core library, so strategy, arm and rule names arrive
+    as the names the core prints anyway, and the whole record round-trips
+    through {!Json} losslessly (property-tested).
+
+    {2 Flight recorder}
+
+    The last {!recorder_capacity} records are additionally kept in an
+    always-on bounded ring buffer — independent of {!Control.enabled},
+    mutex-protected, O(1) append — so that when a commit fails, a view is
+    quarantined, or a retry ladder exhausts, [lib/resilience] can dump
+    the recent decision history to a JSON file for post-mortem reading.
+    The ring stores at most [recorder_capacity] records no matter how
+    many commits run ({!recorded} keeps the lifetime count). *)
+
+type advisor = {
+  predicted_differential : float;  (** model cost units, all three arms *)
+  predicted_recompute : float;
+  predicted_self_maintain : float option;
+      (** [None]: no certificate, or it does not cover this commit *)
+  chosen : string;  (** arm the cost model picked *)
+}
+
+type view_record = {
+  view : string;
+  strategy : string;  (** concrete strategy that ran *)
+  fallback : string option;
+      (** why a forced self-maintain degraded to differential *)
+  advisor : advisor option;
+  screen_rules : (string * int) list;
+      (** screening rule id -> update tuples it proved irrelevant *)
+  screened_kept : int;
+  screened_out : int;
+  rows_evaluated : int;
+  delta_inserts : int;
+  delta_deletes : int;
+  screen_ns : int;
+  eval_ns : int;
+  apply_ns : int;
+  total_ns : int;  (** actual cost the advisor prediction is judged by *)
+}
+
+type event = {
+  phase : string;  (** pipeline phase the event belongs to *)
+  kind : string;  (** e.g. [fault], [rollback], [quarantine], [journal] *)
+  detail : string;
+}
+
+type commit = {
+  seq : int;  (** manager commit sequence number *)
+  kind : string;  (** [commit] or [refresh] *)
+  outcome : string;  (** [committed], [aborted] or [degraded] *)
+  failing_phase : string option;  (** set when [outcome = "aborted"] *)
+  domains : int;
+  net : (string * (int * int)) list;
+      (** relation -> net (inserts, deletes) sizes *)
+  views : view_record list;
+  events : event list;  (** journal/rollback/quarantine/fault events *)
+  journal_bytes : int option;  (** undo-log size, protected commits only *)
+  total_ns : int;
+}
+
+val commit_to_json : commit -> Json.t
+
+(** Inverse of {!commit_to_json}; [Error] names the offending field. *)
+val commit_of_json : Json.t -> (commit, string) result
+
+(** Human-readable explain tree, the `ivm_cli explain` rendering. *)
+val pp_commit : Format.formatter -> commit -> unit
+
+(** {2 Recorder} *)
+
+val recorder_capacity : int
+
+(** The recorder is on by default and independent of {!Control.enabled}
+    (post-mortems must exist even when telemetry is off); benches switch
+    it off to measure its overhead. *)
+val set_recording : bool -> unit
+
+val recording : unit -> bool
+
+(** Append one record (O(1); evicts the oldest past capacity). *)
+val record : commit -> unit
+
+(** Buffered records, oldest first; at most {!recorder_capacity}. *)
+val recent : unit -> commit list
+
+(** Lifetime record count since the last {!reset} (not capped). *)
+val recorded : unit -> int
+
+val reset : unit -> unit
+
+(** The flight-recorder dump document: reason, capacity, lifetime count
+    and the buffered records oldest-first.  Written to disk by
+    [Resilience.Flight]. *)
+val dump_json : reason:string -> Json.t

@@ -1,0 +1,39 @@
+(** Field-by-field comparison of two [BENCH_IVM.json] snapshots — the
+    regression gate behind [tools/bench_diff.exe].
+
+    Fields split into two classes:
+    - {e deterministic} fields (commit counts, screening ratios, advisor
+      sample presence, self-maintenance coverage, schema version) are
+      identical across machines for the canonical workload and compare
+      under [tolerance];
+    - {e timing} fields (per-view latency percentiles, speedup curve,
+      journaling overhead, eval reduction) depend on the hardware and
+      compare under the looser [timing_tolerance] — and only count as
+      regressions when [check_timing] is set, otherwise they surface as
+      notes.  CI compares against a committed baseline from unknown
+      hardware, so it runs with [check_timing = false]; a developer
+      comparing two runs of the same machine turns it on. *)
+
+type options = {
+  tolerance : float;  (** relative slack on deterministic fields *)
+  timing_tolerance : float;
+      (** allowed degradation factor on timing fields (e.g. 3.0 = 3x) *)
+  check_timing : bool;  (** count timing degradations as regressions *)
+}
+
+(** [{tolerance = 0.30; timing_tolerance = 3.0; check_timing = false}]. *)
+val default : options
+
+type outcome = {
+  regressions : string list;  (** violations that should fail the gate *)
+  notes : string list;  (** informational drift (timing while unchecked) *)
+  compared : int;  (** fields actually compared *)
+}
+
+val compare_snapshots : options -> baseline:Json.t -> current:Json.t -> outcome
+
+(** A synthetically degraded copy of a snapshot (halved commit counts,
+    dead screening, missing calibration, slower percentiles, broken
+    self-maintenance coverage) — [bench_diff --self-test] proves the gate
+    rejects it and accepts the identity comparison. *)
+val degrade : Json.t -> Json.t

@@ -40,12 +40,21 @@ let with_span ?(cat = "ivm") ?args name f =
       in
       let span = { name; cat; start_ns = start; dur_ns = dur; depth; domain; args } in
       decr depth_ref;
-      locked (fun () ->
-          if !buffered >= capacity then incr dropped_count
-          else begin
-            sink := span :: !sink;
-            incr buffered
-          end)
+      let was_dropped =
+        locked (fun () ->
+            if !buffered >= capacity then begin
+              incr dropped_count;
+              true
+            end
+            else begin
+              sink := span :: !sink;
+              incr buffered;
+              false
+            end)
+      in
+      (* The counter makes the loss visible on a metrics scrape; it is
+         bumped outside the span mutex (Metrics has its own lock). *)
+      if was_dropped then Metrics.add "ivm_obs_spans_dropped_total" 1
     in
     match f () with
     | v ->

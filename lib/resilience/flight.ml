@@ -1,0 +1,58 @@
+let default_limit = 8
+
+let mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let initial_dir () =
+  match Sys.getenv_opt "IVM_FLIGHT_DIR" with
+  | Some "" -> None
+  | Some dir -> Some dir
+  | None -> Some "."
+
+let state_dir = ref (initial_dir ())
+let remaining = ref default_limit
+let written = ref 0
+let last = ref None
+
+let dir () = locked (fun () -> !state_dir)
+let set_dir d = locked (fun () -> state_dir := d)
+let set_limit n = locked (fun () -> remaining := n)
+let dumps_written () = locked (fun () -> !written)
+let last_dump () = locked (fun () -> !last)
+
+(* One file per reason keeps crash loops bounded: the newest dump for a
+   given failure mode overwrites the previous one. *)
+let sanitize_reason reason =
+  let mapped =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '-')
+      reason
+  in
+  if mapped = "" then "unknown" else mapped
+
+let dump ~reason =
+  let target =
+    locked (fun () ->
+        match !state_dir with
+        | Some dir when !remaining > 0 ->
+          decr remaining;
+          Some (Filename.concat dir
+                  ("ivm-flight-" ^ sanitize_reason reason ^ ".json"))
+        | _ -> None)
+  in
+  match target with
+  | None -> None
+  | Some path -> (
+    match Obs.Json.to_file path (Obs.Provenance.dump_json ~reason) with
+    | () ->
+      locked (fun () ->
+          incr written;
+          last := Some path);
+      Some path
+    | exception Sys_error _ -> None)

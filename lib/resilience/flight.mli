@@ -1,0 +1,40 @@
+(** Flight-recorder dumps: persisting {!Obs.Provenance} post-mortems.
+
+    When a commit fails, a view is quarantined, or a retry ladder
+    exhausts its attempts, the maintenance pipeline calls {!dump} and the
+    recent provenance ring is written to
+    [<dir>/ivm-flight-<reason>.json] — one file per reason, newest dump
+    wins, so crash loops do not fill the disk.
+
+    The directory defaults to the [IVM_FLIGHT_DIR] environment variable,
+    then the current directory; setting the variable to the empty string
+    (or calling [set_dir None]) disables dumping, which the fuzz harness
+    does — fault-injected fuzzing aborts thousands of commits on
+    purpose, and each abort would otherwise rewrite the dump.
+
+    Dumps are additionally throttled to {!default_limit} per process (the
+    first failures are the interesting ones in a crash loop); tests and
+    long-lived servers can raise it with {!set_limit}. *)
+
+val default_limit : int
+
+(** Current dump directory; [None] when dumping is disabled. *)
+val dir : unit -> string option
+
+val set_dir : string option -> unit
+
+(** Remaining dumps this process may write (counts down from the
+    limit). *)
+val set_limit : int -> unit
+
+(** Dumps actually written since process start. *)
+val dumps_written : unit -> int
+
+(** Path of the most recent dump, if any. *)
+val last_dump : unit -> string option
+
+(** [dump ~reason] writes the flight-recorder ring to disk and returns
+    the path, or [None] when dumping is disabled, throttled, or the
+    write failed (a post-mortem must never take down the pipeline that
+    is trying to fail cleanly). *)
+val dump : reason:string -> string option

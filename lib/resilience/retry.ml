@@ -21,7 +21,12 @@ let run ?(label = "op") ?(on_retry = fun ~attempt:_ _ -> ()) policy f =
     | v -> Ok v
     | exception e ->
       let bt = Printexc.get_raw_backtrace () in
-      if attempt >= attempts then Error (e, bt)
+      if attempt >= attempts then begin
+        (* Ladder exhausted: leave a post-mortem of the decisions that
+           led here before reporting the failure upwards. *)
+        ignore (Flight.dump ~reason:("retry-exhausted-" ^ label));
+        Error (e, bt)
+      end
       else begin
         Obs.Metrics.add "ivm_resilience_retries_total"
           ~labels:[ ("op", label) ] 1;

@@ -25,4 +25,6 @@ val run :
 (** [run policy f] calls [f] up to [policy.attempts] times, sleeping
     between tries, and returns the first success or the {e last}
     failure.  Each retry increments [ivm_resilience_retries_total]
-    (labelled with [label]) and calls [on_retry]. *)
+    (labelled with [label]) and calls [on_retry].  When the whole ladder
+    exhausts, a flight-recorder dump ([retry-exhausted-<label>]) is
+    written via {!Flight.dump} before the error is returned. *)

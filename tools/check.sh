@@ -27,6 +27,14 @@ for d in 1 4; do
   # quarantine views that self-heal before the stream ends.
   dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 50 \
     --transactions 40 --domains "$d" --fault-rate 0.05 --quiet
+  # Provenance smoke: the explain pipeline must replay the paper demo
+  # (screening rules, keyed drain, certificate fallback) and emit
+  # parseable JSON, and the OpenMetrics exposition must end in # EOF.
+  dune exec bin/ivm_cli.exe -- explain --domains "$d" > /dev/null
+  dune exec bin/ivm_cli.exe -- explain --domains "$d" --json \
+    | grep -q '"IVM051:keyed-drain"'
+  dune exec bin/ivm_cli.exe -- metrics --transactions 10 --domains "$d" \
+    | tail -1 | grep -q '^# EOF'
 done
 dune exec bin/ivm_cli.exe -- lint --all-scenarios
 
@@ -40,6 +48,15 @@ dune exec tools/validate_snapshot.exe -- lint lint.json
 # (including the E21 self-maintenance comparison the validator gates).
 dune exec bench/main.exe -- tables > /dev/null
 dune exec tools/validate_snapshot.exe -- bench BENCH_IVM.json
+
+# Regression gate: the fresh snapshot against the committed baseline.
+# Deterministic fields (commit counts, screening ratios, advisor and
+# self-maintenance coverage) gate; timing fields are noted only, since
+# the baseline was recorded on different hardware.  The self-test first
+# proves the gate still catches a synthetically degraded snapshot.
+dune exec tools/bench_diff.exe -- --self-test BENCH_IVM.json > /dev/null
+dune exec tools/bench_diff.exe -- bench/BENCH_IVM.baseline.json \
+  BENCH_IVM.json --ignore-timing
 
 # Trace smoke: run a built-in scenario and validate the Chrome trace.
 dune exec bin/ivm_cli.exe -- trace --scenario orders --transactions 20 \
