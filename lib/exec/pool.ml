@@ -20,13 +20,24 @@ type 'a state =
 type t = {
   size : int;
   mutex : Mutex.t;
-  wake : Condition.t; (* signalled on both new tasks and completions *)
+  wake : Condition.t; (* signalled on new tasks and shutdown only *)
   queue : (unit -> unit) Queue.t;
   mutable workers : unit Domain.t list;
   mutable stopped : bool;
 }
 
-type 'a future = { pool : t; mutable cell : 'a state }
+(* Each future carries its own mutex + condition so a completion wakes
+   exactly the domains parked on *that* future.  The previous design
+   broadcast the pool-wide condition on every completion, waking every
+   idle worker and every helper just to have most of them re-check an
+   empty queue and go back to sleep — a thundering herd that grew with
+   the domain count and showed up as negative scaling in E18. *)
+type 'a future = {
+  pool : t;
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable cell : 'a state;
+}
 
 let run_now f =
   match f () with
@@ -73,18 +84,23 @@ let create ?domains () =
       List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
   pool
 
+let make_future pool cell =
+  { pool; fmutex = Mutex.create (); fcond = Condition.create (); cell }
+
 let submit pool f =
-  if pool.size <= 1 then { pool; cell = run_now f }
+  if pool.size <= 1 then make_future pool (run_now f)
   else begin
-    let fut = { pool; cell = Pending } in
+    let fut = make_future pool Pending in
     let task () =
       let result = run_now f in
-      Mutex.lock pool.mutex;
+      (* Resolve under the future's own lock: the lock edge publishes the
+         task's side effects to awaiters, and the signal reaches only the
+         domains parked on this future — workers and helpers chasing
+         other futures stay asleep. *)
+      Mutex.lock fut.fmutex;
       fut.cell <- result;
-      (* Broadcast: completions must reach helpers waiting on *other*
-         futures as well as this one's awaiter. *)
-      Condition.broadcast pool.wake;
-      Mutex.unlock pool.mutex
+      Condition.broadcast fut.fcond;
+      Mutex.unlock fut.fmutex
     in
     Mutex.lock pool.mutex;
     if pool.stopped then begin
@@ -99,28 +115,48 @@ let submit pool f =
     fut
   end
 
+(* Read the cell through the future's mutex: the lock edge is what
+   publishes the completing task's side effects (e.g. view-state
+   mutations) to this domain. *)
+let resolved fut =
+  Mutex.lock fut.fmutex;
+  let r = match fut.cell with Pending -> false | Done _ | Failed _ -> true in
+  Mutex.unlock fut.fmutex;
+  r
+
 let help_until_resolved fut =
   let pool = fut.pool in
   if pool.size > 1 then begin
-    (* Always synchronise through the pool mutex, even when the cell
-       already reads as resolved: the lock edge is what publishes the
-       task's side effects (e.g. view-state mutations) to this domain. *)
-    Mutex.lock pool.mutex;
     let rec help () =
-      match fut.cell with
-      | Done _ | Failed _ -> Mutex.unlock pool.mutex
-      | Pending ->
+      if not (resolved fut) then begin
+        Mutex.lock pool.mutex;
         if not (Queue.is_empty pool.queue) then begin
           let task = Queue.pop pool.queue in
           Mutex.unlock pool.mutex;
           task ();
-          Mutex.lock pool.mutex;
           help ()
         end
         else begin
-          Condition.wait pool.wake pool.mutex;
-          help ()
+          (* Queue empty and future unresolved: its task is running on
+             some other domain (a task observed queued is only removed by
+             a domain about to run it), so park on the future's own
+             condition until that domain resolves it.  Nested submit/
+             await stays deadlock-free: the domain running our task helps
+             its own sub-futures along, so the dependency chain always
+             has a domain executing its head. *)
+          Mutex.unlock pool.mutex;
+          Mutex.lock fut.fmutex;
+          let rec wait () =
+            match fut.cell with
+            | Pending ->
+              Condition.wait fut.fcond fut.fmutex;
+              wait ()
+            | Done _ | Failed _ -> ()
+          in
+          wait ();
+          Mutex.unlock fut.fmutex
         end
+      end
     in
     help ()
   end
