@@ -1,11 +1,18 @@
-(** Fixed-size domain pool with futures.
+(** Fixed-size domain pool with per-worker queues, work stealing and
+    futures.
 
-    The pool owns [domains - 1] worker domains plus the caller: [await]
-    is a {e helping} wait — while its future is pending, the awaiting
-    domain pops and runs other queued tasks instead of blocking.  This
-    makes nested submission safe (a task may submit sub-tasks to the
-    same pool and await them without deadlock) and gives an effective
-    parallel degree equal to the pool size.
+    Submissions are distributed round-robin over [domains - 1] worker
+    queues, each behind its own lock; a worker drains its own queue
+    first and steals from the others when it runs dry.  Completions
+    signal per-future conditions (never a pool-wide one), and workers
+    are woken only when a push finds them asleep, so neither the hot
+    submit path nor task completion serializes on a global lock.
+
+    [await] is a {e helping} wait — while its future is pending, the
+    awaiting domain pops and runs other queued tasks instead of
+    blocking.  This makes nested submission safe (a task may submit
+    sub-tasks to the same pool and await them without deadlock) and
+    gives an effective parallel degree equal to the pool size.
 
     A pool of size 1 spawns no domains and runs every submission inline
     in the caller, so sequential behaviour is the graceful fallback on
@@ -27,10 +34,22 @@ val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task.  On a size-1 or shut-down pool the task runs inline
     in the caller before [submit] returns. *)
 
+val submit_batch : t -> (unit -> 'a) list -> 'a future list
+(** Enqueue many tasks at once: one metrics bump and at most one lock
+    acquisition per worker queue for the whole batch, instead of per
+    task — use this when fanning out sub-millisecond tasks whose
+    individual submission overhead would dominate.  Order of the
+    returned futures matches the input.  Inline on size-1 pools. *)
+
 val await : 'a future -> 'a
 (** Wait for a future, helping run other queued tasks meanwhile.  If the
     task raised, the exception is re-raised here with its original
     backtrace. *)
+
+val await_result : 'a future -> ('a, exn * Printexc.raw_backtrace) result
+(** Like {!await}, but returns the task's failure instead of re-raising
+    it — for callers awaiting a whole batch that must not abandon
+    sibling futures mid-flight. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map: submits one task per element, then
@@ -46,6 +65,22 @@ val map_list_results :
 val chunks : size:int -> 'a list -> 'a list list
 (** Split a list into consecutive chunks of at most [size] elements
     (order preserved; [size] clamped to at least 1). *)
+
+val map_chunked : ?chunk_size:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over {e chunks}: the list is split
+    into [chunk_size] pieces (default: about two chunks per domain),
+    each chunk becomes one task submitted via {!submit_batch}, and the
+    per-chunk results are concatenated in order.  Equivalent to
+    [List.map f] on a size-1 pool. *)
+
+val coalesce : cost:('a -> int) -> threshold:int -> 'a list -> 'a list list
+(** Greedy in-order grouping by predicted cost: consecutive elements
+    are packed into one group until the summed [cost] would exceed
+    [threshold], so sub-threshold tasks are submitted together instead
+    of individually.  An element whose own cost meets the threshold
+    gets a singleton group.  Concatenating the groups yields the input;
+    [threshold] is clamped to at least 1 and negative costs count as
+    0. *)
 
 val shutdown : t -> unit
 (** Drain the queue, join the workers.  Idempotent; safe to call

@@ -119,6 +119,172 @@ let test_map_list_results_inline () =
         ignore (Printexc.raw_backtrace_to_string bt)
       | _ -> Alcotest.fail "inline path must mirror the pooled result shape")
 
+let test_submit_batch () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check (list int))
+        "empty batch" []
+        (List.map Pool.await (Pool.submit_batch pool []));
+      let futures =
+        Pool.submit_batch pool (List.init 100 (fun i () -> i * 3))
+      in
+      Alcotest.(check (list int))
+        "futures come back in submission order"
+        (List.init 100 (fun i -> i * 3))
+        (List.map Pool.await futures))
+
+let test_map_chunked () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let xs = List.init 101 Fun.id in
+      let expect = List.map (fun x -> x * x) xs in
+      Alcotest.(check (list int))
+        "default chunking preserves order" expect
+        (Pool.map_chunked pool (fun x -> x * x) xs);
+      Alcotest.(check (list int))
+        "explicit chunk size preserves order" expect
+        (Pool.map_chunked ~chunk_size:7 pool (fun x -> x * x) xs);
+      Alcotest.(check (list int))
+        "chunk size larger than the list" expect
+        (Pool.map_chunked ~chunk_size:1000 pool (fun x -> x * x) xs));
+  let inline = Pool.create ~domains:1 () in
+  Alcotest.(check (list int))
+    "size-1 pool maps inline" [ 2; 4; 6 ]
+    (Pool.map_chunked inline (fun x -> x * 2) [ 1; 2; 3 ]);
+  Pool.shutdown inline
+
+let test_coalesce () =
+  Alcotest.(check (list (list int)))
+    "packs up to the threshold"
+    [ [ 5; 5 ]; [ 5; 5 ] ]
+    (Pool.coalesce ~cost:Fun.id ~threshold:10 [ 5; 5; 5; 5 ]);
+  Alcotest.(check (list (list int)))
+    "an over-threshold element stands alone"
+    [ [ 3 ]; [ 100 ]; [ 2 ] ]
+    (Pool.coalesce ~cost:Fun.id ~threshold:10 [ 3; 100; 2 ]);
+  Alcotest.(check (list (list int)))
+    "empty input" []
+    (Pool.coalesce ~cost:Fun.id ~threshold:10 []);
+  let xs = List.init 57 (fun i -> i mod 9) in
+  Alcotest.(check (list int))
+    "concatenating the groups yields the input" xs
+    (List.concat (Pool.coalesce ~cost:Fun.id ~threshold:13 xs))
+
+(* Several external domains hammer the same pool with submit_batch
+   concurrently; every batch must come back complete, ordered and
+   uncorrupted. *)
+let test_concurrent_submit_batch () =
+  let pool = Pool.create ~domains:4 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let submitters =
+        List.init 3 (fun d ->
+            Domain.spawn (fun () ->
+                List.concat_map
+                  (fun round ->
+                    let thunks =
+                      List.init 40 (fun i () -> (d * 1000) + (round * 100) + i)
+                    in
+                    List.map Pool.await (Pool.submit_batch pool thunks))
+                  [ 0; 1; 2; 3; 4 ]))
+      in
+      List.iteri
+        (fun d results ->
+          let expect =
+            List.concat_map
+              (fun round ->
+                List.init 40 (fun i -> (d * 1000) + (round * 100) + i))
+              [ 0; 1; 2; 3; 4 ]
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "submitter %d got its own batches back" d)
+            expect results)
+        (List.map Domain.join submitters))
+
+(* Steal correctness: block whichever worker picks up a gated task, and
+   check the other worker crosses queues to finish the round-robin-
+   distributed quick tasks — the steal counter must move, and every
+   result must still be right.  The main domain spins without awaiting
+   so its helping pops (which are not steals) cannot mask the check. *)
+let test_work_stealing () =
+  Obs.Control.with_enabled (fun () ->
+      let pool = Pool.create ~domains:3 () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let before = Obs.Metrics.counter_value "ivm_exec_steal_total" in
+          let gate = Mutex.create () in
+          let gate_open = Stdlib.Condition.create () in
+          let opened = ref false in
+          let blocker =
+            Pool.submit pool (fun () ->
+                Mutex.lock gate;
+                while not !opened do
+                  Stdlib.Condition.wait gate_open gate
+                done;
+                Mutex.unlock gate;
+                "unblocked")
+          in
+          let completed = Atomic.make 0 in
+          let quick =
+            Pool.submit_batch pool
+              (List.init 20 (fun i () ->
+                   Atomic.incr completed;
+                   i * 7))
+          in
+          let budget = ref 2_000_000_000 in
+          while Atomic.get completed < 20 && !budget > 0 do
+            decr budget;
+            Domain.cpu_relax ()
+          done;
+          Alcotest.(check bool)
+            "quick tasks completed while one worker was blocked" true
+            (Atomic.get completed = 20);
+          Alcotest.(check bool)
+            "the free worker stole across queues" true
+            (Obs.Metrics.counter_value "ivm_exec_steal_total" > before);
+          Mutex.lock gate;
+          opened := true;
+          Stdlib.Condition.broadcast gate_open;
+          Mutex.unlock gate;
+          Alcotest.(check string) "blocker resolves" "unblocked"
+            (Pool.await blocker);
+          Alcotest.(check (list int))
+            "stolen tasks returned the right values"
+            (List.init 20 (fun i -> i * 7))
+            (List.map Pool.await quick)))
+
+(* Deep nesting under load: every task of an outer batch fans out its
+   own inner chunked map on the same pool and awaits it.  A pool whose
+   await could park while its sub-tasks sit unclaimed would deadlock
+   here. *)
+let test_nested_batch_deadlock_free () =
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let totals =
+            Pool.map_list pool
+              (fun outer ->
+                List.fold_left ( + ) 0
+                  (Pool.map_chunked ~chunk_size:5 pool
+                     (fun x -> x + outer)
+                     (List.init 30 Fun.id)))
+              (List.init 8 Fun.id)
+          in
+          let expect = List.init 8 (fun outer -> 435 + (30 * outer)) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "nested fan-out at %d domains" domains)
+            expect totals))
+    [ 2; 4 ]
+
 let test_chunks () =
   Alcotest.(check (list (list int)))
     "splits in order"
@@ -149,5 +315,14 @@ let () =
             test_map_list_results_inline;
           quick "shared registry returns one pool per size" test_shared_registry;
           quick "chunks splits lists in order" test_chunks;
+          quick "submit_batch returns ordered futures" test_submit_batch;
+          quick "map_chunked equals the sequential map" test_map_chunked;
+          quick "coalesce groups by summed cost" test_coalesce;
+          quick "concurrent submit_batch from several domains"
+            test_concurrent_submit_batch;
+          quick "a free worker steals a blocked worker's queue"
+            test_work_stealing;
+          quick "nested batch fan-out cannot deadlock"
+            test_nested_batch_deadlock_free;
         ] );
     ]
