@@ -16,6 +16,7 @@ type options = {
   reuse : bool;
   order : Query.Planner.join_order;
   join_impl : Query.Planner.join_impl;
+  shard_min : int;
 }
 
 let default_options =
@@ -25,6 +26,7 @@ let default_options =
     reuse = false;
     order = `Greedy;
     join_impl = `Hash;
+    shard_min = Delta_eval.default_shard_min;
   }
 
 type report = {
@@ -238,7 +240,8 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
       (fun () ->
         Resilience.Fault.point "eval";
         Delta_eval.eval ~order:options.order ~join_impl:options.join_impl
-          ~reuse:options.reuse ~spj ~inputs ())
+          ~reuse:options.reuse ?pool ~shard_min:options.shard_min ~spj ~inputs
+          ())
   in
   let eval_ns = Obs.Clock.now_ns () - t_eval in
   let delta = result.Delta_eval.delta in

@@ -37,10 +37,15 @@ type options = {
   reuse : bool;  (** share partial joins across truth-table rows *)
   order : Query.Planner.join_order;
   join_impl : Query.Planner.join_impl;
+  shard_min : int;
+      (** hash-shard a truth-table row's largest operand across the
+          pool when it has at least this many distinct tuples (see
+          {!Delta_eval.eval}); only takes effect when maintenance runs
+          with a pool of size > 1 *)
 }
 
 (** Differential, with screening, greedy join order, hash joins, no row
-    reuse. *)
+    reuse, sharding past {!Delta_eval.default_shard_min} tuples. *)
 val default_options : options
 
 (** [resolve_strategy options view ~db ~net] resolves [Adaptive] and

@@ -562,13 +562,43 @@ let commit mgr txn =
          — and journal merging, stats and health transitions stay on the
          committing domain, in definition order, after the barrier,
          which keeps commit fully deterministic. *)
+      (* Task-granularity threshold, in the advisor's tuple-touch cost
+         units (~10-50 ns each after calibration): consecutive view
+         tasks predicted cheaper than this are coalesced into one pool
+         submission, so a transaction touching many tiny views pays
+         submission overhead once per bundle instead of once per view —
+         the per-task overhead E18 showed dominating.  A task with no
+         decision or a big predicted cost still travels alone. *)
+      let coalesce_threshold = 20_000 in
+      let task_cost (_, decision, _, kind, _) =
+        match decision with
+        | None -> coalesce_threshold
+        | Some (d : Advisor.decision) ->
+          let cost =
+            match kind with
+            | `Recompute -> d.Advisor.recompute_cost
+            | `Self_maintain ->
+              Option.value ~default:d.Advisor.differential_cost
+                d.Advisor.self_maintain_cost
+            | `Differential -> d.Advisor.differential_cost
+          in
+          int_of_float (Float.max 0.0 (Float.min cost 1e15))
+      in
       let run_tasks ~phase tasks maintain =
+        let wrap task =
+          match
+            Resilience.Fault.point "task";
+            maintain task
+          with
+          | report -> Ok report
+          | exception err -> Error (err, Printexc.get_raw_backtrace ())
+        in
         let results =
-          Exec.Pool.map_list_results mgr.pool
-            (fun task ->
-              Resilience.Fault.point "task";
-              maintain task)
-            tasks
+          List.concat
+            (Exec.Pool.map_list mgr.pool
+               (fun group -> List.map wrap group)
+               (Exec.Pool.coalesce ~cost:task_cost
+                  ~threshold:coalesce_threshold tasks))
         in
         let oks = ref [] and failed = ref [] and quarantined = ref [] in
         List.iter2

@@ -94,6 +94,8 @@ let random_options rng =
     reuse = Rng.chance rng 0.5;
     order = (if Rng.chance rng 0.5 then `Greedy else `Declaration);
     join_impl = (if Rng.chance rng 0.8 then `Hash else `Nested_loop);
+    shard_min =
+      (if Rng.chance rng 0.5 then 1 else Ivm.Delta_eval.default_shard_min);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -504,12 +506,16 @@ let stats_key (s : Manager.stats) =
    random choice comes from the reseeded [rng], and the database evolves
    identically commit by commit, so both runs see the same scenario, view
    set and transaction stream. *)
-let run_parallel_workload ~domains seed =
+let run_parallel_workload ?(shard_min = Delta_eval.default_shard_min) ~domains
+    seed =
   let rng = Rng.make seed in
   let scenario = random_scenario rng in
   let mgr = Manager.create ~domains scenario.db in
   let strategies =
-    [| Maintenance.Differential; Maintenance.Adaptive; Maintenance.Recompute |]
+    [|
+      Maintenance.Differential; Maintenance.Adaptive; Maintenance.Recompute;
+      Maintenance.Self_maintain;
+    |]
   in
   let exprs =
     [
@@ -527,6 +533,7 @@ let run_parallel_workload ~domains seed =
           Maintenance.default_options with
           strategy = strategies.(k mod Array.length strategies);
           screen = Rng.chance rng 0.8;
+          shard_min;
         }
       in
       ignore
@@ -560,6 +567,81 @@ let run_parallel_workload ~domains seed =
 
 let parallel_equals_sequential seed =
   run_parallel_workload ~domains:1 seed = run_parallel_workload ~domains:4 seed
+
+(* Forcing every truth-table row to shard (threshold 1) must not change
+   a single materialization, report or counter at any domain count —
+   the acceptance bar for intra-view sharding is bit-identical commits
+   across all strategies. *)
+let sharded_commits_equal_unsharded seed =
+  let unsharded = run_parallel_workload ~domains:1 seed in
+  List.for_all
+    (fun domains ->
+      run_parallel_workload ~shard_min:1 ~domains seed = unsharded)
+    [ 1; 2; 4 ]
+
+(* The same invariant at the Delta_eval layer, directly: shard-then-
+   eval-then-merge of one view delta equals the sequential evaluation
+   tuple-for-tuple and count-for-count. *)
+let sharded_view_delta_equals_sequential seed =
+  let rng = Rng.make seed in
+  let scenario = random_scenario rng in
+  let exprs =
+    [|
+      Expr.(select (v "A" <% i 200) (base "R"));
+      Expr.(
+        project [ "A"; "C" ] (select (v "C" >% i 2) (join (base "R") (base "S"))));
+      Expr.(join_all [ base "R"; base "S"; base "T" ]);
+    |]
+  in
+  let view =
+    View.define ~name:"v" ~db:scenario.db
+      exprs.(Rng.int rng (Array.length exprs))
+  in
+  let txn = Generate.mixed_transaction rng scenario.db scenario.update_specs in
+  let net = Transaction.net_effect scenario.db txn in
+  Maintenance.apply_deletes scenario.db net;
+  let options =
+    {
+      Maintenance.default_options with
+      screen = Rng.chance rng 0.5;
+      shard_min = 1;
+    }
+  in
+  let seq_delta, seq_report =
+    Maintenance.view_delta ~options view ~db:scenario.db ~net
+  in
+  List.for_all
+    (fun domains ->
+      let pool = Exec.Pool.shared ~domains in
+      let delta, report =
+        Maintenance.view_delta ~options ~pool view ~db:scenario.db ~net
+      in
+      Relation.equal seq_delta.Delta.inserts delta.Delta.inserts
+      && Relation.equal seq_delta.Delta.deletes delta.Delta.deletes
+      && report_key report = report_key seq_report)
+    [ 1; 2; 4 ]
+
+(* Relation.shard is an exact partition: counts preserved, every tuple
+   in exactly one shard, placement independent of insertion history. *)
+let shard_partitions_relation seed =
+  let rng = Rng.make seed in
+  let r = random_counted rng [ "A"; "B" ] 12 in
+  let n = 1 + Rng.int rng 6 in
+  let shards = Relation.shard ~n r in
+  let reunion = Relation.create (Relation.schema r) in
+  Array.iter (fun s -> Relation.union_into ~into:reunion s) shards;
+  let disjoint =
+    Array.to_list shards
+    |> List.for_all (fun s ->
+           Relation.fold
+             (fun t _ acc ->
+               acc
+               && Array.for_all
+                    (fun other -> other == s || not (Relation.mem other t))
+                    shards)
+             s true)
+  in
+  Array.length shards = n && Relation.equal reunion r && disjoint
 
 (* The chunked screening path needs update sets past its 2*512-tuple
    threshold, larger than any commit the other properties make — drive
@@ -606,6 +688,12 @@ let () =
         [
           property "commit on 4 domains = commit on 1 domain" ~count:100
             parallel_equals_sequential;
+          property "sharded commits = unsharded commits (domains 1, 2, 4)"
+            ~count:50 sharded_commits_equal_unsharded;
+          property "sharded view delta = sequential view delta" ~count:50
+            sharded_view_delta_equals_sequential;
+          property "shard partitions a relation exactly" ~count:200
+            shard_partitions_relation;
           property "chunked parallel screening = sequential screening"
             ~count:25 chunked_screening_equals_sequential;
         ] );
