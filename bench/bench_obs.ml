@@ -63,25 +63,13 @@ let run_canonical_workload ?policy () =
    and cancels in the ratio, which a min-of-N over separate phases does
    not survive (the snapshot gate holds this to 5%, so the measurement
    must be robust, not just fast). *)
-let measure_resilience ?(pairs = 5) () =
-  let once policy =
-    Bench_util.time_once (fun () ->
-        ignore (run_canonical_workload ~policy ()))
-  in
-  (* Warm-up pair settles the allocator before anything is timed. *)
-  ignore (once Resilience.Policy.Unprotected);
-  ignore (once Resilience.Policy.Abort);
-  let samples =
-    List.init pairs (fun _ ->
-        let unprotected = once Resilience.Policy.Unprotected in
-        let protected_ = once Resilience.Policy.Abort in
-        (protected_, unprotected, protected_ /. unprotected))
-  in
-  let sorted =
-    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) samples
-  in
-  let protected_, unprotected, ratio = List.nth sorted (pairs / 2) in
-  (protected_, unprotected, (ratio -. 1.0) *. 100.0)
+let measure_resilience ?(pairs = 7) () =
+  Bench_util.overhead_pairs ~pairs
+    ~off:(fun () ->
+      ignore (run_canonical_workload ~policy:Resilience.Policy.Unprotected ()))
+    ~on:(fun () ->
+      ignore (run_canonical_workload ~policy:Resilience.Policy.Abort ()))
+    ()
 
 let resilience_json () =
   let protected_, unprotected, overhead_pct = measure_resilience () in
@@ -97,27 +85,14 @@ let resilience_json () =
    its cost must be demonstrably negligible; same interleaved-pairs
    median methodology as E20 — recorder-off and recorder-on runs
    alternate, so load drift cancels in the per-pair ratio. *)
-let measure_recorder ?(pairs = 5) () =
-  let once recording =
+let measure_recorder ?(pairs = 7) () =
+  let once recording () =
     Obs.Provenance.set_recording recording;
     Fun.protect
       ~finally:(fun () -> Obs.Provenance.set_recording true)
-      (fun () ->
-        Bench_util.time_once (fun () -> ignore (run_canonical_workload ())))
+      (fun () -> ignore (run_canonical_workload ()))
   in
-  ignore (once false);
-  ignore (once true);
-  let samples =
-    List.init pairs (fun _ ->
-        let off = once false in
-        let on = once true in
-        (on, off, on /. off))
-  in
-  let sorted =
-    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) samples
-  in
-  let on, off, ratio = List.nth sorted (pairs / 2) in
-  (on, off, (ratio -. 1.0) *. 100.0)
+  Bench_util.overhead_pairs ~pairs ~off:(once false) ~on:(once true) ()
 
 let provenance_json () =
   let on, off, overhead_pct = measure_recorder () in
@@ -175,8 +150,12 @@ let snapshot_json mgr =
              in calibration/pairs;
          v5: adds the E22 "provenance" recorder-overhead section and
              switches advisor pairs to a fixed-size deterministic
-             reservoir sample. *)
-      ("schema_version", Obs.Json.Int 5);
+             reservoir sample;
+         v6: splits the E18 "parallel" section into "per_view" (commit
+             fan-out over independent views) and "sharded" (E23:
+             intra-view hash-sharded evaluation) sub-sections, each
+             with its own curve and speedup fields. *)
+      ("schema_version", Obs.Json.Int 6);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List

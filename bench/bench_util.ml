@@ -24,6 +24,30 @@ let time_once f =
   f ();
   now () -. t0
 
+(* On/off overhead measured as the MEDIAN of per-pair ratios over
+   [pairs] interleaved runs: the two arms of a pair execute back to
+   back, so machine-load drift hits both alike and cancels in the
+   ratio — which separate disabled-phase/enabled-phase timing does not
+   survive (a GC pause or a noisy neighbour in one phase shows up as a
+   phantom overhead, or as a phantom speedup).  One untimed warm-up
+   pair settles the allocator first.  Returns
+   [(on_seconds, off_seconds, overhead_pct)] of the median-ratio pair,
+   so the gated number is the median, never a lucky minimum. *)
+let overhead_pairs ?(pairs = 5) ~off ~on () =
+  ignore (time_once off);
+  ignore (time_once on);
+  let samples =
+    List.init pairs (fun _ ->
+        let off_t = time_once off in
+        let on_t = time_once on in
+        (on_t, off_t, on_t /. off_t))
+  in
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) samples
+  in
+  let on_t, off_t, ratio = List.nth sorted (pairs / 2) in
+  (on_t, off_t, (ratio -. 1.0) *. 100.0)
+
 let fmt_time seconds =
   if seconds < 1e-6 then Printf.sprintf "%.0f ns" (seconds *. 1e9)
   else if seconds < 1e-3 then Printf.sprintf "%.1f us" (seconds *. 1e6)
