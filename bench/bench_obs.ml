@@ -154,8 +154,11 @@ let snapshot_json mgr =
          v6: splits the E18 "parallel" section into "per_view" (commit
              fan-out over independent views) and "sharded" (E23:
              intra-view hash-sharded evaluation) sub-sections, each
-             with its own curve and speedup fields. *)
-      ("schema_version", Obs.Json.Int 6);
+             with its own curve and speedup fields;
+         v7: adds the E24 "aggregate" section (incremental grouped
+             aggregate maintenance vs full recompute, with the groups
+             touched and MIN/MAX rescan counts). *)
+      ("schema_version", Obs.Json.Int 7);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List
@@ -171,6 +174,7 @@ let snapshot_json mgr =
       ("parallel", Bench_parallel.scaling_json ());
       ("resilience", resilience_json ());
       ("self_maintenance", Bench_selfmaint.e21_json ());
+      ("aggregate", Bench_aggregate.e24_json ());
       ("provenance", provenance_json ());
     ]
 

@@ -4,7 +4,7 @@
    Run everything:        dune exec bench/main.exe
    Run a single section:  dune exec bench/main.exe -- tables screening
    Sections: tables screening views sat ablation crossover snapshot obs
-   parallel selfmaint *)
+   parallel selfmaint aggregate *)
 
 let sections =
   [
@@ -18,6 +18,7 @@ let sections =
     ("obs", Bench_obs.run);
     ("parallel", Bench_parallel.run);
     ("selfmaint", Bench_selfmaint.run);
+    ("aggregate", Bench_aggregate.run);
   ]
 
 let () =

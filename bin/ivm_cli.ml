@@ -439,7 +439,7 @@ let run_lint all_scenarios dir file keys quiet json code statements =
 (* ivm-cli fuzz                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed streams transactions domains fault_rate quiet =
+let run_fuzz seed streams transactions domains fault_rate aggregates quiet =
   (* Fault-injected fuzzing aborts thousands of commits on purpose; each
      abort would rewrite the same post-mortem dump over and over. *)
   Resilience.Flight.set_dir None;
@@ -455,8 +455,8 @@ let run_fuzz seed streams transactions domains fault_rate quiet =
     end
   in
   let outcome =
-    Oracle.Fuzz.run ~progress ~fault_rate ~seed ~streams ~transactions ~domains
-      ()
+    Oracle.Fuzz.run ~progress ~fault_rate ~aggregates ~seed ~streams
+      ~transactions ~domains ()
   in
   let print_fault_summary () =
     if fault_rate > 0.0 then begin
@@ -487,11 +487,12 @@ let run_fuzz seed streams transactions domains fault_rate quiet =
     print_fault_summary ();
     Printf.printf
       "\nreplay: ivm-cli fuzz --seed %d --streams 1 --transactions %d \
-       --domains %d%s\n"
+       --domains %d%s%s\n"
       (seed + outcome.Oracle.Fuzz.streams_run - 1)
       transactions domains
       (if fault_rate > 0.0 then Printf.sprintf " --fault-rate %g" fault_rate
-       else "");
+       else "")
+      (if aggregates then " --aggregates" else "");
     1
 
 (* ------------------------------------------------------------------ *)
@@ -1009,6 +1010,16 @@ let fuzz_cmd =
              to the oracle's pre-commit copy), or quarantine views that \
              self-heal by end of stream.")
   in
+  let aggregates =
+    Arg.(
+      value & flag
+      & info [ "aggregates" ]
+          ~doc:
+            "Also draw GROUP BY views (COUNT/SUM/AVG/MIN/MAX, grouped and \
+             keyless) and 1-2 dependent views stacked on random parents, so \
+             every stream lockstep-checks ring-valued aggregate maintenance \
+             and views over views against the oracle.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
   in
@@ -1029,7 +1040,7 @@ let fuzz_cmd =
           divergence, making it usable as a CI gate and for soak runs.")
     Term.(
       const run_fuzz $ seed_arg $ streams $ transactions $ domains_arg
-      $ fault_rate $ quiet)
+      $ fault_rate $ aggregates $ quiet)
 
 let scenario_arg =
   Arg.(

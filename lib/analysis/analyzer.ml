@@ -25,15 +25,36 @@ let run ?(keys = []) ~lookup spj =
             Check_self_maintain.check ~keys ~lookup spj;
           ]))
 
-let run_expr ?keys ?(minimize = true) ~lookup expr =
-  match Query.Spj.compile lookup expr with
-  | spj ->
-    let spj = if minimize then Query.Tableau.minimize spj else spj in
-    run ?keys ~lookup spj
-  | exception Query.Spj.Compile_error message ->
-    [
-      Diagnostic.make ~code:"IVM000" ~severity:Diagnostic.Error
-        (Printf.sprintf "the definition does not compile: %s" message);
-    ]
+let run_expr ?view_name ?keys ?(minimize = true) ~lookup expr =
+  (* The cycle check runs before compilation: a self-referencing
+     definition cannot be compiled (its own name resolves to nothing),
+     and IVM062 beats an unhandled lookup exception. *)
+  match
+    match view_name with
+    | Some view_name -> Check_aggregate.cycle ~view_name expr
+    | None -> []
+  with
+  | _ :: _ as cycle -> cycle
+  | [] -> (
+    let aggregate, inner_expr =
+      match Query.Expr.aggregate expr with
+      | Some (agg, inner) -> (Some agg, inner)
+      | None -> (None, expr)
+    in
+    match Query.Spj.compile lookup inner_expr with
+    | spj -> (
+      let spj = if minimize then Query.Tableau.minimize spj else spj in
+      let base = run ?keys ~lookup spj in
+      match aggregate with
+      | None -> base
+      | Some agg ->
+        dedupe
+          (List.stable_sort Diagnostic.compare
+             (base @ Check_aggregate.check ~lookup ~inner:spj agg)))
+    | exception Query.Spj.Compile_error message ->
+      [
+        Diagnostic.make ~code:"IVM000" ~severity:Diagnostic.Error
+          (Printf.sprintf "the definition does not compile: %s" message);
+      ])
 
 let ok diagnostics = not (Diagnostic.has_errors diagnostics)

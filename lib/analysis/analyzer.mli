@@ -27,6 +27,13 @@
       unrecovered key attributes, a missing key declaration, a disjunction
       blocking the key analysis ({!Check_self_maintain}; only emitted when
       keys are declared);
+    - [IVM060]/[IVM061] Error — non-aggregatable target / unsafe group
+      key in a GROUP BY definition ({!Check_aggregate});
+    - [IVM062] Error — self-referencing (cyclic) view definition
+      ({!Check_aggregate.cycle}; only from {!run_expr} with
+      [view_name]);
+    - [IVM063] Hint — MIN/MAX targets rescan a group when the
+      extremum's support drains ({!Check_aggregate});
     - [IVM000] Error — the definition does not compile at all (only from
       {!run_expr}).
 
@@ -53,8 +60,13 @@ val run :
 (** [run_expr ~lookup e] compiles (and, by default, tableau-minimizes —
     matching what {!Ivm.View.define} maintains) before analyzing; a
     {!Query.Spj.Compile_error} becomes a single [IVM000] error
-    diagnostic instead of an exception. *)
+    diagnostic instead of an exception.  A {!Query.Expr.Group_by}
+    definition is split: the SPJ checks run over the inner expression
+    and {!Check_aggregate} adds the IVM06x band.  [view_name] arms the
+    IVM062 self-reference check (and short-circuits compilation when it
+    fires — the name resolves to nothing yet). *)
 val run_expr :
+  ?view_name:string ->
   ?keys:Query.Keys.t ->
   ?minimize:bool ->
   lookup:(string -> Schema.t) ->

@@ -1,0 +1,117 @@
+open Relalg
+
+(* Keys and aggregate outputs share one output namespace; a collision
+   would make the grouped schema ambiguous before any maintenance runs. *)
+let duplicates names =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun n ->
+      if Hashtbl.mem seen n then true
+      else begin
+        Hashtbl.add seen n ();
+        false
+      end)
+    names
+
+let check ~lookup ~(inner : Query.Spj.t) (agg : Query.Aggregate.t) =
+  let schema = Query.Spj.output_schema lookup inner in
+  let ty_of a =
+    Option.map (Schema.ty_at schema) (Schema.position_opt schema a)
+  in
+  let key_diags =
+    List.filter_map
+      (fun key ->
+        match ty_of key with
+        | Some _ -> None
+        | None ->
+          Some
+            (Diagnostic.make ~code:"IVM061" ~severity:Diagnostic.Error
+               ~context:key ~paper:"Section 7 (further work: aggregates)"
+               (Printf.sprintf
+                  "group key %S is not produced by the inner expression — \
+                   grouping on it is undefined"
+                  key)))
+      agg.Query.Aggregate.keys
+  in
+  let dup_diags =
+    List.map
+      (fun n ->
+        Diagnostic.make ~code:"IVM061" ~severity:Diagnostic.Error ~context:n
+          ~paper:"Section 7 (further work: aggregates)"
+          (Printf.sprintf
+             "output column %S appears more than once across the group keys \
+              and aggregate targets"
+             n))
+      (List.sort_uniq String.compare
+         (duplicates
+            (agg.Query.Aggregate.keys
+            @ List.map
+                (fun (t : Query.Aggregate.target) -> t.Query.Aggregate.output)
+                agg.Query.Aggregate.targets)))
+  in
+  let target_diags =
+    List.concat_map
+      (fun (t : Query.Aggregate.target) ->
+        let func = t.Query.Aggregate.func in
+        let name = Query.Aggregate.func_name func in
+        let source_diags =
+          match Query.Aggregate.source func with
+          | None -> []
+          | Some a -> (
+            match ty_of a with
+            | None ->
+              [
+                Diagnostic.make ~code:"IVM060" ~severity:Diagnostic.Error
+                  ~context:a ~paper:"Section 7 (further work: aggregates)"
+                  (Printf.sprintf
+                     "%s(%s) reads an attribute the inner expression does \
+                      not produce"
+                     name a);
+              ]
+            | Some Value.Str_ty
+              when not
+                     (match func with
+                     | Query.Aggregate.Min _ | Query.Aggregate.Max _ -> true
+                     | _ -> false) ->
+              [
+                Diagnostic.make ~code:"IVM060" ~severity:Diagnostic.Error
+                  ~context:a ~paper:"Section 7 (further work: aggregates)"
+                  (Printf.sprintf
+                     "%s(%s) folds in the %s ring, which cannot aggregate a \
+                      STRING attribute"
+                     name a
+                     (Query.Aggregate.ring_name func));
+              ]
+            | Some _ -> [])
+        in
+        let rescan_diags =
+          if Query.Aggregate.invertible func then []
+          else
+            [
+              Diagnostic.make ~code:"IVM063" ~severity:Diagnostic.Hint
+                ~context:t.Query.Aggregate.output
+                ~paper:"Section 7 (further work: aggregates)"
+                (Printf.sprintf
+                   "%s has no additive inverse: a deletion that drains the \
+                    extremum's support forces a per-group rescan of the \
+                    inner materialization"
+                   name);
+            ]
+        in
+        source_diags @ rescan_diags)
+      agg.Query.Aggregate.targets
+  in
+  key_diags @ dup_diags @ target_diags
+
+let cycle ~view_name expr =
+  if List.mem view_name (Query.Expr.base_names expr) then
+    [
+      Diagnostic.make ~code:"IVM062" ~severity:Diagnostic.Error
+        ~context:view_name ~paper:"Section 6 (multiple views)"
+        (Printf.sprintf
+           "view %S reads itself — cyclic view dependencies cannot be \
+            maintained (dependents must form a DAG, which definition order \
+            enforces for every other shape)"
+           view_name);
+    ]
+  else []

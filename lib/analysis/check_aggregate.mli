@@ -1,0 +1,25 @@
+(** IVM060–IVM063 — GROUP BY aggregates and view towers.
+
+    - [IVM060] (Error): an aggregate target is not computable — its source
+      attribute is missing from the inner expression, or a SUM/AVG folds a
+      STRING attribute into the int ring.
+    - [IVM061] (Error): a group key is unsafe — missing from the inner
+      expression, or the grouped output schema has duplicate column names.
+    - [IVM062] (Error): a view definition references its own name; see
+      {!cycle}.
+    - [IVM063] (Hint): a MIN/MAX target has no additive inverse, so a
+      deletion draining the extremum's support rescans that group. *)
+
+open Relalg
+
+val check :
+  lookup:(string -> Schema.t) ->
+  inner:Query.Spj.t ->
+  Query.Aggregate.t ->
+  Diagnostic.t list
+
+(** [cycle ~view_name expr] is the IVM062 self-reference check: nonempty
+    exactly when [expr] reads a source named [view_name].  Deeper cycles
+    cannot be registered (a definition may only reference names that
+    already exist), so self-reference is the one representable cycle. *)
+val cycle : view_name:string -> Query.Expr.t -> Diagnostic.t list

@@ -41,6 +41,20 @@ let normalize d =
     d.deletes;
   out
 
+let between ~before ~after =
+  let out = empty (Relation.schema after) in
+  Relation.iter
+    (fun t c ->
+      let old = Relation.count before t in
+      if c > old then Relation.update out.inserts t (c - old))
+    after;
+  Relation.iter
+    (fun t c ->
+      let now = Relation.count after t in
+      if c > now then Relation.update out.deletes t (c - now))
+    before;
+  out
+
 let apply d r =
   Relation.iter (fun t c -> Relation.update r t c) d.inserts;
   Relation.iter (fun t c -> Relation.update r t (-c)) d.deletes

@@ -33,6 +33,12 @@ val merge_into : into:t -> t -> unit
     applying the result to a view has the same effect. *)
 val normalize : t -> t
 
+(** [between ~before ~after] is the counted delta that takes [before] to
+    [after]: applying it to [before] yields [after].  Used to extract
+    the view delta out of a recomputation so dependent views can be
+    maintained differentially from it. *)
+val between : before:Relation.t -> after:Relation.t -> t
+
 (** [apply d r] applies the delta to a counted relation: insert counts are
     added, delete counts subtracted.
     @raise Relation.Negative_count when deleting more than present — an

@@ -161,8 +161,12 @@ let eval ?(order = `Greedy) ?(join_impl = `Hash) ?(reuse = false) ?pool
          sufficiently big row across [pool_size] hash shards, fan the
          shard evaluations out on the pool, and union the shard results
          — SPJ evaluation is linear in any single operand over multiset
-         union, so the merged delta is exactly the unsharded one (counts
-         add commutatively, so merge order cannot matter either).
+         union, so the merged delta is exactly the unsharded one.  The
+         merge-order independence is a payload-ring property, not an int
+         one: [Relation.union_into] combines counters with the
+         commutative, associative [Ring.Count.add], never by comparing
+         payload magnitudes, so the bit-identity check against the
+         sequential path holds for any payload ring with those laws.
          Sub-[shard_min] rows run inline on the caller while the workers
          chew, which keeps every domain busy without paying submission
          overhead for tiny rows. *)

@@ -1,0 +1,48 @@
+(** Runtime state of a GROUP BY view.
+
+    A grouped view is maintained in two stages: the inner SPJ expression
+    is materialized and maintained by the ordinary counted machinery,
+    and this module folds the inner delta into per-(group, target)
+    accumulators, emitting the delta of the rendered grouped contents.
+    The delta of a group is the ring-add of its members' deltas
+    ([Relalg.Ring]); the non-invertible MIN/MAX monoids fall back to a
+    per-group rescan of the inner materialization, but only when a
+    deletion drains the current extremum's support to zero. *)
+
+open Relalg
+
+type t
+
+(** [create spec ~inner] builds group state by scanning [inner].  The
+    relation is held by reference: {!step} applies inner deltas to it.
+    @raise Invalid_argument when a key or aggregate source is missing
+    from [inner]'s schema. *)
+val create : Query.Aggregate.t -> inner:Relation.t -> t
+
+val spec : t -> Query.Aggregate.t
+
+(** The inner SPJ materialization (live, not a copy). *)
+val inner : t -> Relation.t
+
+(** Schema of the rendered grouped contents. *)
+val schema : t -> Schema.t
+
+(** Drop and rebuild all group state from the inner materialization.
+    Used after a rollback restored the inner relation, and by
+    recompute. *)
+val rebuild : t -> unit
+
+(** Render the full grouped contents (one multiplicity-1 tuple per
+    non-empty group) as a fresh relation. *)
+val render : t -> Relation.t
+
+(** [step t delta] applies the inner delta to the inner materialization
+    (through [on_inner] when given, so the caller can journal each
+    counter update), folds it into the group accumulators, rescans the
+    groups whose MIN/MAX support drained, and returns
+    [(outer_delta, groups_touched, rescans)] — the delta to apply to the
+    rendered contents plus provenance counts.
+    @raise Invalid_argument when the delta would make a group's member
+    count negative. *)
+val step :
+  ?on_inner:(Tuple.t -> int -> unit) -> t -> Delta.t -> Delta.t * int * int

@@ -38,12 +38,17 @@ type report = {
   rows_evaluated : int;
   delta_inserts : int;
   delta_deletes : int;
+  groups_touched : int;
+  rescans : int;
   screen_ns : int;
   eval_ns : int;
   apply_ns : int;
   total_ns : int;
   advisor : Advisor.decision option;
   fallback : string option;
+  delta : Delta.t option;
+      (* the applied view delta, when the maintenance path produced one;
+         dependent views consume it as their input transaction *)
 }
 
 let empty_report ~view_name ~strategy_used =
@@ -56,12 +61,15 @@ let empty_report ~view_name ~strategy_used =
     rows_evaluated = 0;
     delta_inserts = 0;
     delta_deletes = 0;
+    groups_touched = 0;
+    rescans = 0;
     screen_ns = 0;
     eval_ns = 0;
     apply_ns = 0;
     total_ns = 0;
     advisor = None;
     fallback = None;
+    delta = None;
   }
 
 (* Self-maintenance screens deletions through the key, not Theorem 4.1;
@@ -131,6 +139,9 @@ let pp_report ppf r =
     (r.screened_out + r.screened_kept)
     r.rows_evaluated r.delta_inserts r.delta_deletes
     (Obs.Summary.fmt_ns r.total_ns);
+  if r.groups_touched > 0 || r.rescans > 0 then
+    Format.fprintf ppf " [groups: %d touched, %d rescanned]" r.groups_touched
+      r.rescans;
   List.iter
     (fun (rule, n) -> Format.fprintf ppf " [%s x%d]" rule n)
     r.screen_rules;
@@ -254,8 +265,7 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
         (!screened_out + !screened_kept));
   ( delta,
     {
-      view_name = View.name view;
-      strategy_used = Differential;
+      (empty_report ~view_name:(View.name view) ~strategy_used:Differential) with
       screened_out = !screened_out;
       screened_kept = !screened_kept;
       screen_rules = !screen_rules;
@@ -264,10 +274,7 @@ let view_delta ?(options = default_options) ?pool view ~db ~net =
       delta_deletes = Relation.total delta.Delta.deletes;
       screen_ns = !screen_ns;
       eval_ns;
-      apply_ns = 0;
       total_ns = Obs.Clock.now_ns () - t_start;
-      advisor = None;
-      fallback = None;
     } )
 
 (* Every base or view mutation optionally goes through the undo
@@ -317,6 +324,24 @@ let apply_view_delta ?journal view (delta : Delta.t) =
       (fun t c -> Resilience.Journal.update j state t (-c))
       delta.Delta.deletes
 
+(* For an aggregate view, the evaluated delta is the {e inner} SPJ
+   delta; fold it through the group accumulators and apply the resulting
+   outer delta.  Journal ordering matters: the group-rebuild closure is
+   recorded first so rollback runs it {e after} the per-tuple inner
+   inverses, i.e. against the restored inner materialization. *)
+let apply_grouped_delta ?journal g view (delta : Delta.t) =
+  (match journal with
+  | None -> ()
+  | Some j -> Resilience.Journal.record_restore_fn j (fun () -> Grouped.rebuild g));
+  let on_inner =
+    Option.map
+      (fun j t c -> Resilience.Journal.update j (Grouped.inner g) t c)
+      journal
+  in
+  let outer, groups_touched, rescans = Grouped.step ?on_inner g delta in
+  apply_view_delta ?journal view outer;
+  (outer, groups_touched, rescans)
+
 (* Differential maintenance of one view against a netted update set whose
    deletions are already installed: evaluate, then apply the view delta,
    completing the report's timing fields. *)
@@ -325,23 +350,34 @@ let maintain_differential ~options ?pool ?journal ?fallback ~decision view ~db
   let t0 = Obs.Clock.now_ns () in
   let delta, report = view_delta ~options ?pool view ~db ~net in
   let t_apply = Obs.Clock.now_ns () in
-  Obs.Span.with_span "apply"
-    ~args:(fun () ->
-      [
-        ("target", Obs.Json.Str "view");
-        ("view", Obs.Json.Str (View.name view));
-      ])
-    (fun () ->
-      Resilience.Fault.point "apply";
-      apply_view_delta ?journal view delta);
+  let applied, groups_touched, rescans =
+    Obs.Span.with_span "apply"
+      ~args:(fun () ->
+        [
+          ("target", Obs.Json.Str "view");
+          ("view", Obs.Json.Str (View.name view));
+        ])
+      (fun () ->
+        Resilience.Fault.point "apply";
+        match View.grouped view with
+        | None ->
+          apply_view_delta ?journal view delta;
+          (delta, 0, 0)
+        | Some g -> apply_grouped_delta ?journal g view delta)
+  in
   let now = Obs.Clock.now_ns () in
   let report =
     {
       report with
+      delta_inserts = Relation.total applied.Delta.inserts;
+      delta_deletes = Relation.total applied.Delta.deletes;
+      groups_touched;
+      rescans;
       apply_ns = now - t_apply;
       total_ns = now - t0;
       advisor = decision;
       fallback;
+      delta = Some applied;
     }
   in
   record_report report;
@@ -406,21 +442,17 @@ let maintain_self_maintain ?journal ~decision view ~net =
   let now = Obs.Clock.now_ns () in
   let report =
     {
-      view_name = View.name view;
-      strategy_used = Self_maintain;
-      screened_out = 0;
-      screened_kept = 0;
+      (empty_report ~view_name:(View.name view) ~strategy_used:Self_maintain) with
       screen_rules =
         (if drained > 0 then [ (keyed_drain_rule_id, drained) ] else []);
       rows_evaluated = rows;
       delta_inserts = Relation.total delta.Delta.inserts;
       delta_deletes = Relation.total delta.Delta.deletes;
-      screen_ns = 0;
       eval_ns;
       apply_ns = now - t_apply;
       total_ns = now - t0;
       advisor = decision;
-      fallback = None;
+      delta = Some delta;
     }
   in
   record_report report;
@@ -431,17 +463,20 @@ let maintain_self_maintain ?journal ~decision view ~net =
   | None -> ());
   report
 
-let maintain_recompute ?journal ~decision view ~db =
+let maintain_recompute ?journal ?(want_delta = false) ~decision view ~db =
   let t0 = Obs.Clock.now_ns () in
+  (* Dependent views consume the recompute as a differential input, so
+     the pre-state is copied only when someone will read the delta. *)
+  let before =
+    if want_delta then Some (Relation.copy (View.contents view)) else None
+  in
   Obs.Span.with_span "recompute"
     ~args:(fun () -> [ ("view", Obs.Json.Str (View.name view)) ])
     (fun () ->
       Resilience.Fault.point "recompute";
       (match journal with
       | None -> ()
-      | Some j ->
-        Resilience.Journal.record_restore j ~install:(View.restore view)
-          ~saved:(View.contents view));
+      | Some j -> Resilience.Journal.record_restore_fn j (View.checkpoint view));
       View.recompute view db);
   let total_ns = Obs.Clock.now_ns () - t0 in
   let report =
@@ -449,6 +484,10 @@ let maintain_recompute ?journal ~decision view ~db =
       (empty_report ~view_name:(View.name view) ~strategy_used:Recompute) with
       total_ns;
       advisor = decision;
+      delta =
+        Option.map
+          (fun b -> Delta.between ~before:b ~after:(View.contents view))
+          before;
     }
   in
   record_report report;

@@ -97,6 +97,11 @@ type report = {
   rows_evaluated : int;
   delta_inserts : int;  (** counted tuples inserted into the view *)
   delta_deletes : int;
+  groups_touched : int;
+      (** aggregate views: distinct groups whose accumulators moved *)
+  rescans : int;
+      (** aggregate views: groups rescanned because a MIN/MAX extremum's
+          support drained to zero *)
   screen_ns : int;  (** wall time in Theorem 4.1 screening *)
   eval_ns : int;  (** wall time evaluating truth-table rows *)
   apply_ns : int;  (** wall time installing the view delta *)
@@ -106,6 +111,11 @@ type report = {
   fallback : string option;
       (** set when a requested [Self_maintain] degraded to the strategy
           actually used ({!self_maintain_fallback}) *)
+  delta : Delta.t option;
+      (** the view delta actually applied to the materialization (outer
+          delta for aggregate views; present for recomputes only when
+          requested with [want_delta]).  The manager feeds it to
+          dependent views as their input transaction. *)
 }
 
 (** A zeroed report (timing fields included). *)
@@ -151,10 +161,13 @@ val maintain_self_maintain :
   report
 
 (** Recompute counterpart of {!maintain_differential}; [db] must be in the
-    final (insertions-applied) state.  With [journal], the replaced
-    materialization is recorded for rollback. *)
+    final (insertions-applied) state.  With [journal], a checkpoint of
+    the materialization is recorded for rollback.  With [want_delta],
+    the pre-state is copied and the report carries the
+    {!Delta.between} of the recompute, for dependent views. *)
 val maintain_recompute :
   ?journal:Resilience.Journal.t ->
+  ?want_delta:bool ->
   decision:Advisor.decision option ->
   View.t ->
   db:Database.t ->

@@ -111,6 +111,9 @@ type entry = {
   view : View.t;
   mode : mode;
   options : Maintenance.options;
+  parents : string list;
+      (* names of earlier-defined views this one reads; [] for a view
+         over base relations only *)
   mutable pending : (string * Delta.t) list; (* relation -> composed delta *)
   mutable stats : stats;
   mutable health : view_health;
@@ -118,6 +121,10 @@ type entry = {
 
 type t = {
   db : Database.t;
+  catalog : Database.t;
+      (* the user's base relations (by reference) plus every view's
+         materialization under the view's name: the scope dependent
+         views are defined and evaluated in *)
   domains : int;
   pool : Exec.Pool.t;
   policy : Resilience.Policy.t;
@@ -135,6 +142,16 @@ let max_heal_rounds = 3
    sequential default.  Pools come from the process-wide shared registry:
    managers are cheap and numerous (tests create hundreds), so they must
    not own worker domains. *)
+(* Base relations join the catalog by reference, so base updates are
+   visible through both databases; relations registered into the user's
+   database after the manager was created are picked up lazily. *)
+let sync_catalog mgr =
+  List.iter
+    (fun name ->
+      if not (Database.mem mgr.catalog name) then
+        Database.register mgr.catalog name (Database.find mgr.db name))
+    (Database.names mgr.db)
+
 let create ?domains ?(policy = Resilience.Policy.Abort)
     ?(retry = Resilience.Retry.default) db =
   let domains =
@@ -142,15 +159,20 @@ let create ?domains ?(policy = Resilience.Policy.Abort)
     | Some d -> max 1 d
     | None -> Option.value ~default:1 (Exec.Pool.env_domains ())
   in
-  {
-    db;
-    domains;
-    pool = Exec.Pool.shared ~domains;
-    policy;
-    retry;
-    commit_seq = 0;
-    entries = [];
-  }
+  let mgr =
+    {
+      db;
+      catalog = Database.create ();
+      domains;
+      pool = Exec.Pool.shared ~domains;
+      policy;
+      retry;
+      commit_seq = 0;
+      entries = [];
+    }
+  in
+  sync_catalog mgr;
+  mgr
 
 let policy mgr = mgr.policy
 
@@ -167,14 +189,45 @@ let define_view mgr ~name ?(mode = Immediate)
     =
   if Option.is_some (entry_opt mgr name) then
     invalid_arg (Printf.sprintf "Manager.define_view: %S already exists" name);
+  sync_catalog mgr;
+  (* Views resolve their sources in the catalog, so a source name may be
+     an earlier-defined view: that makes this definition a dependent
+     (child) view, maintained from its parents' committed deltas. *)
+  let parents =
+    List.sort_uniq String.compare
+      (List.filter
+         (fun n -> Option.is_some (entry_opt mgr n))
+         (Query.Expr.base_names expr))
+  in
+  if mode = Deferred && parents <> [] then
+    invalid_arg
+      (Printf.sprintf
+         "Manager.define_view: %S reads views (%s) and cannot be Deferred — \
+          parent deltas flow only through immediate commits"
+         name
+         (String.concat ", " parents));
+  List.iter
+    (fun p ->
+      if (Option.get (entry_opt mgr p)).mode = Deferred then
+        invalid_arg
+          (Printf.sprintf
+             "Manager.define_view: %S reads deferred view %S — only \
+              immediate views can feed dependents"
+             name p))
+    parents;
   (* Lint before materializing: a rejected definition should not pay for a
      full evaluation.  The analyzer sees the same tableau-minimized form
-     that View.define maintains. *)
-  let lookup relation = Relation.schema (Database.find mgr.db relation) in
-  let diagnostics = Analysis.Analyzer.run_expr ~keys ~lookup expr in
+     that View.define maintains.  [view_name] arms the IVM062 cycle check:
+     a definition can only reference already-registered names, so the one
+     representable cycle is a self-reference. *)
+  let lookup relation = Relation.schema (Database.find mgr.catalog relation) in
+  let diagnostics =
+    Analysis.Analyzer.run_expr ~view_name:name ~keys ~lookup expr
+  in
   if (not force) && Analysis.Diagnostic.has_errors diagnostics then
     raise (Rejected diagnostics);
-  let view = View.define ~keys ~name ~db:mgr.db expr in
+  let view = View.define ~keys ~name ~db:mgr.catalog expr in
+  Database.register mgr.catalog name (View.contents view);
   mgr.entries <-
     mgr.entries
     @ [
@@ -182,6 +235,7 @@ let define_view mgr ~name ?(mode = Immediate)
           view;
           mode;
           options;
+          parents;
           pending = [];
           stats = empty_stats;
           health = Healthy;
@@ -241,7 +295,7 @@ let accumulate mgr e net =
   List.iter
     (fun (relation, (inserts, deletes)) ->
       if List.mem relation relations_of_view then begin
-        let schema = Relation.schema (Database.find mgr.db relation) in
+        let schema = Relation.schema (Database.find mgr.catalog relation) in
         let incoming = Delta.of_lists schema (inserts, deletes) in
         let composed =
           match List.assoc_opt relation e.pending with
@@ -278,6 +332,8 @@ let provenance_view (r : Maintenance.report) =
     rows_evaluated = r.Maintenance.rows_evaluated;
     delta_inserts = r.Maintenance.delta_inserts;
     delta_deletes = r.Maintenance.delta_deletes;
+    groups_touched = r.Maintenance.groups_touched;
+    rescans = r.Maintenance.rescans;
     screen_ns = r.Maintenance.screen_ns;
     eval_ns = r.Maintenance.eval_ns;
     apply_ns = r.Maintenance.apply_ns;
@@ -304,26 +360,37 @@ let provenance_net net =
    a protected manager the view-side delta apply is journaled, so a
    mid-apply failure rolls the materialization back instead of leaving
    a half-applied delta. *)
-let drain_pending mgr e =
+(* [drain_deltas mgr e pending] also serves the dependents phase of
+   {!commit}, where [pending] holds the parents' committed view deltas:
+   those are counted relations, so the net expansion repeats a tuple
+   once per count (a unit-count [List.map fst] would silently drop
+   multiplicity and desynchronize the child). *)
+let drain_deltas mgr e ?journal pending =
+  let expand r =
+    List.concat_map
+      (fun (t, c) -> List.init c (fun _ -> t))
+      (Relation.elements r)
+  in
   let net =
     Transaction.of_sets
       (List.map
          (fun (relation, (d : Delta.t)) ->
-           ( relation,
-             ( List.map fst (Relation.elements d.Delta.inserts),
-               List.map fst (Relation.elements d.Delta.deletes) ) ))
-         e.pending)
+           (relation, (expand d.Delta.inserts, expand d.Delta.deletes)))
+         pending)
   in
   (* The drain always runs differentially, but the decision is still
      recorded for calibration. *)
-  let decision = Advisor.decide e.view ~db:mgr.db ~net in
+  let decision = Advisor.decide e.view ~db:mgr.catalog ~net in
   let journal =
-    if protected_ mgr then Some (Resilience.Journal.create ()) else None
+    match journal with
+    | Some _ as j -> j
+    | None ->
+      if protected_ mgr then Some (Resilience.Journal.create ()) else None
   in
   let totals =
     List.map
       (fun (relation, _) ->
-        (relation, Relation.total (Database.find mgr.db relation)))
+        (relation, Relation.total (Database.find mgr.catalog relation)))
       net
   in
   let removed = ref [] in
@@ -335,12 +402,12 @@ let drain_pending mgr e =
       assert (
         List.for_all
           (fun (relation, total) ->
-            Relation.total (Database.find mgr.db relation) = total)
+            Relation.total (Database.find mgr.catalog relation) = total)
           totals))
     (fun () ->
       List.iter
         (fun (relation, (inserts, _)) ->
-          let r = Database.find mgr.db relation in
+          let r = Database.find mgr.catalog relation in
           List.iter
             (fun t ->
               Relation.remove r t;
@@ -349,13 +416,39 @@ let drain_pending mgr e =
         net;
       match
         Maintenance.maintain_differential ~options:e.options ~pool:mgr.pool
-          ?journal ~decision:(Some decision) e.view ~db:mgr.db ~net
+          ?journal ~decision:(Some decision) e.view ~db:mgr.catalog ~net
       with
       | report -> report
       | exception exn ->
         let bt = Printexc.get_raw_backtrace () in
         Option.iter Resilience.Journal.rollback journal;
         Printexc.raise_with_backtrace exn bt)
+
+let drain_pending mgr e = drain_deltas mgr e e.pending
+
+(* After a quarantined view heals (or is repaired) by jumping straight
+   to a fresh state, its dependents never saw the jump as a delta; the
+   always-correct fallback brings the whole subtree back in one pass,
+   in definition order (parents recompute before their children read
+   them).  A quarantined or disabled dependent is fixed by the same
+   recompute, so it comes back healthy too. *)
+let refresh_dependents mgr name =
+  let affected = ref [ name ] in
+  List.iter
+    (fun e ->
+      if List.exists (fun p -> List.mem p !affected) e.parents then begin
+        affected := View.name e.view :: !affected;
+        View.recompute e.view mgr.catalog;
+        e.pending <- [];
+        match e.health with
+        | Healthy -> ()
+        | Quarantined _ | Disabled _ ->
+          e.health <- Healthy;
+          Obs.Metrics.add "ivm_resilience_repairs_total"
+            ~labels:[ ("kind", "cascade") ]
+            1
+      end)
+    mgr.entries
 
 (* One self-heal round for a quarantined view: a retry budget of
    differential drains of the pending deltas (transient faults clear on
@@ -368,6 +461,17 @@ let heal_entry mgr e =
   match e.health with
   | Healthy -> true
   | Disabled _ -> false
+  | Quarantined _
+    when List.exists
+           (fun pe ->
+             List.mem (View.name pe.view) e.parents && pe.health <> Healthy)
+           mgr.entries ->
+    (* Draining this child's banked inputs would read a stale parent
+       (and the inputs may be missing the parent deltas that were never
+       produced).  Stay quarantined without consuming heal budget: the
+       parent's own heal recomputes the whole subtree
+       ([refresh_dependents]) and marks this view healthy. *)
+    false
   | Quarantined q ->
     Obs.Span.with_span "heal"
       ~args:(fun () -> [ ("view", Obs.Json.Str (View.name e.view)) ])
@@ -379,6 +483,9 @@ let heal_entry mgr e =
           Obs.Metrics.add "ivm_resilience_repairs_total"
             ~labels:[ ("kind", "self_heal") ]
             1;
+          (* The heal moved this view without emitting a delta; dependents
+             must follow. *)
+          refresh_dependents mgr (View.name e.view);
           true
         in
         let differential =
@@ -395,7 +502,8 @@ let heal_entry mgr e =
         | Error _ -> (
           match
             Resilience.Retry.run ~label:"heal-recompute" mgr.retry (fun () ->
-                Maintenance.maintain_recompute ~decision:None e.view ~db:mgr.db)
+                Maintenance.maintain_recompute ~decision:None e.view
+                  ~db:mgr.catalog)
           with
           | Ok report -> finish report
           | Error (err, bt) ->
@@ -455,16 +563,20 @@ let commit mgr txn =
          net accumulates for the self-heal instead.  The advisor runs
          for every participant — also under forced strategies — so the
          cost model gathers calibration data on every commit. *)
+      (* Dependent (child) views never join the base phases: their input
+         is their parents' committed deltas, which only exist after the
+         parents have been maintained — the dependents phase below. *)
       let resolved =
         List.filter_map
           (fun e ->
             match (e.mode, e.health) with
             | Deferred, _ | _, (Quarantined _ | Disabled _) -> None
+            | Immediate, Healthy when e.parents <> [] -> None
             | Immediate, Healthy ->
               if net_touches e.view net then
                 let strategy, decision =
-                  Maintenance.resolve_with_decision e.options e.view ~db:mgr.db
-                    ~net
+                  Maintenance.resolve_with_decision e.options e.view
+                    ~db:mgr.catalog ~net
                 in
                 (* Provenance wants to know when a requested
                    self-maintenance could not run on this commit. *)
@@ -675,7 +787,7 @@ let commit mgr txn =
             | `Differential ->
               Maintenance.maintain_differential ~options:e.options
                 ~pool:mgr.pool ?journal:task_journal ?fallback ~decision e.view
-                ~db:mgr.db ~net)
+                ~db:mgr.catalog ~net)
       in
       base_phase ~phase:"apply-inserts" (fun () ->
           Maintenance.apply_inserts ?journal mgr.db net);
@@ -690,18 +802,173 @@ let commit mgr txn =
               None)
           resolved
       in
+      (* A recompute yields no delta unless asked; parents of dependent
+         views ask, so the dependents phase has something to consume. *)
+      let dependent_parents =
+        List.sort_uniq String.compare
+          (List.concat_map (fun e -> e.parents) mgr.entries)
+      in
+      let has_dependents e = List.mem (View.name e.view) dependent_parents in
       let rec_ok, rec_quarantined =
         run_tasks ~phase:"recompute" recompute_tasks
           (fun (e, decision, task_journal, _, _) ->
-            Maintenance.maintain_recompute ?journal:task_journal ~decision
-              e.view ~db:mgr.db)
+            Maintenance.maintain_recompute ?journal:task_journal
+              ~want_delta:(has_dependents e) ~decision e.view ~db:mgr.catalog)
       in
+      (* Dependents phase: each view over views consumes its parents'
+         committed deltas of this commit (and the base net, for mixed
+         definitions), exactly once, in definition order — a parent is
+         always defined (hence maintained) before its children, so a
+         grandchild sees its parent's delta from this same pass.  The
+         drain rewinds the already-applied insertions, so the truth
+         table evaluates against the parents' pre-commit state.
+         Sequential on the committing domain: the rewind mutates shared
+         catalog relations, and the chain through a tower is inherently
+         ordered. *)
+      let applied : (string, Delta.t) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun ((e : entry), (r : Maintenance.report)) ->
+          match r.Maintenance.delta with
+          | Some d when not (Delta.is_empty d) ->
+            Hashtbl.replace applied (View.name e.view) d
+          | Some _ | None -> ())
+        (diff_ok @ rec_ok);
+      let child_inputs e =
+        let sources =
+          List.sort_uniq String.compare
+            (List.map
+               (fun (s : Query.Spj.source) -> s.Query.Spj.relation)
+               (View.spj e.view).Query.Spj.sources)
+        in
+        List.filter_map
+          (fun relation ->
+            match Hashtbl.find_opt applied relation with
+            | Some d -> Some (relation, d)
+            | None ->
+              if List.mem relation e.parents then None
+              else (
+                match List.assoc_opt relation net with
+                | Some (inserts, deletes)
+                  when inserts <> [] || deletes <> [] ->
+                  let schema =
+                    Relation.schema (Database.find mgr.catalog relation)
+                  in
+                  Some (relation, Delta.of_lists schema (inserts, deletes))
+                | Some _ | None -> None))
+          sources
+      in
+      let bank_inputs e inputs =
+        List.iter
+          (fun (relation, (d : Delta.t)) ->
+            let composed =
+              match List.assoc_opt relation e.pending with
+              | None -> Delta.copy d
+              | Some existing ->
+                Delta.merge_into ~into:existing d;
+                Delta.normalize existing
+            in
+            e.pending <-
+              (relation, composed) :: List.remove_assoc relation e.pending)
+          inputs
+      in
+      let dep_ok = ref [] and dep_quarantined = ref [] in
+      (* Views that missed this commit: unhealthy before it, or faulted
+         (and were quarantined) during it.  A healthy child of such a
+         view cannot be maintained — the parent delta it needs was never
+         produced — and whatever it holds is stale the moment the parent
+         is, so staleness cascades down the tower: the child quarantines
+         too and the parent's heal recomputes the subtree. *)
+      let stale = ref [] in
+      List.iter
+        (fun e -> if e.health <> Healthy then stale := View.name e.view :: !stale)
+        mgr.entries;
+      List.iter
+        (fun ((e : entry), _, _) -> stale := View.name e.view :: !stale)
+        (diff_quarantined @ rec_quarantined);
+      List.iter
+        (fun e ->
+          if e.parents <> [] then begin
+            let inputs = child_inputs e in
+            let stale_parents =
+              List.filter (fun p -> List.mem p !stale) e.parents
+            in
+            if stale_parents <> [] then begin
+              if inputs <> [] then bank_inputs e inputs;
+              stale := View.name e.view :: !stale;
+              match e.health with
+              | Quarantined _ | Disabled _ -> ()
+              | Healthy ->
+                let detail =
+                  Printf.sprintf "%s: stale parent %s" (View.name e.view)
+                    (String.concat ", " stale_parents)
+                in
+                event ~phase:"dependents" ~kind:"quarantine" detail;
+                dep_quarantined :=
+                  (e, Failure detail, Printexc.get_callstack 0)
+                  :: !dep_quarantined
+            end
+            else if inputs <> [] then begin
+              match e.health with
+              | Quarantined _ | Disabled _ ->
+                (* Already stale: bank this commit's inputs for the
+                   self-heal drain instead of maintaining on top of a
+                   rolled-back state. *)
+                bank_inputs e inputs
+              | Healthy -> (
+                let sub = task_journal () in
+                match
+                  Resilience.Fault.point "task";
+                  drain_deltas mgr e ?journal:sub inputs
+                with
+                | report ->
+                  (match (journal, sub) with
+                  | Some main, Some s ->
+                    Resilience.Journal.append ~into:main s
+                  | _ -> ());
+                  (match report.Maintenance.delta with
+                  | Some d when not (Delta.is_empty d) ->
+                    Hashtbl.replace applied (View.name e.view) d
+                  | Some _ | None -> ());
+                  succeeded := !succeeded @ [ e ];
+                  completed := !completed @ [ report ];
+                  dep_ok := (e, report) :: !dep_ok
+                | exception err -> (
+                  let bt = Printexc.get_raw_backtrace () in
+                  (* [drain_deltas] rolled the sub-journal back before
+                     re-raising, so the child holds its pre-commit
+                     state. *)
+                  match mgr.policy with
+                  | Resilience.Policy.Unprotected ->
+                    Printexc.raise_with_backtrace err bt
+                  | Resilience.Policy.Abort ->
+                    abort ~phase:"dependents" ~error:err ~bt
+                      (outcomes ~failures:[]
+                      @ [
+                          ( View.name e.view,
+                            Faulted
+                              {
+                                error = Printexc.to_string err;
+                                backtrace =
+                                  Printexc.raw_backtrace_to_string bt;
+                              } );
+                        ])
+                  | Resilience.Policy.Quarantine ->
+                    event ~phase:"dependents" ~kind:"quarantine"
+                      (View.name e.view ^ ": " ^ Printexc.to_string err);
+                    bank_inputs e inputs;
+                    stale := View.name e.view :: !stale;
+                    dep_quarantined := (e, err, bt) :: !dep_quarantined))
+            end
+          end)
+        mgr.entries;
+      let dep_ok = List.rev !dep_ok
+      and dep_quarantined = List.rev !dep_quarantined in
       (* The whole pipeline succeeded (or degraded to per-view
          quarantines): only now do stats and health transitions land, so
          an aborted commit leaves them untouched. *)
       List.iter
         (fun (e, report) -> e.stats <- add_report e.stats report)
-        (diff_ok @ rec_ok);
+        (diff_ok @ rec_ok @ dep_ok);
       List.iter
         (fun (e, err, bt) ->
           e.health <-
@@ -715,22 +982,26 @@ let commit mgr txn =
           Obs.Metrics.add "ivm_resilience_quarantines_total"
             ~labels:[ ("view", View.name e.view) ]
             1)
-        (diff_quarantined @ rec_quarantined);
+        (diff_quarantined @ rec_quarantined @ dep_quarantined);
       (* Deferred views bank the net for their next refresh; quarantined
          views (old and new) bank it for the self-heal's differential
-         drain. *)
+         drain.  Dependent views banked their inputs (parent deltas
+         included) in the dependents phase already. *)
       List.iter
         (fun e ->
-          match (e.mode, e.health) with
-          | Deferred, _ | Immediate, Quarantined _ -> accumulate mgr e net
-          | Immediate, (Healthy | Disabled _) -> ())
+          if e.parents = [] then
+            match (e.mode, e.health) with
+            | Deferred, _ | Immediate, Quarantined _ -> accumulate mgr e net
+            | Immediate, (Healthy | Disabled _) -> ())
         mgr.entries;
       Option.iter
         (fun j ->
           Obs.Metrics.observe "ivm_resilience_journal_bytes"
             (Resilience.Journal.bytes j))
         journal;
-      let quarantined_now = diff_quarantined @ rec_quarantined in
+      let quarantined_now =
+        diff_quarantined @ rec_quarantined @ dep_quarantined
+      in
       Obs.Provenance.record
         {
           Obs.Provenance.seq = mgr.commit_seq;
@@ -746,7 +1017,7 @@ let commit mgr txn =
         };
       if quarantined_now <> [] then
         ignore (Resilience.Flight.dump ~reason:"quarantine");
-      List.map snd diff_ok @ List.map snd rec_ok)
+      List.map snd diff_ok @ List.map snd rec_ok @ List.map snd dep_ok)
 
 let refresh mgr name =
   let e = entry mgr name in
@@ -803,11 +1074,12 @@ let repair mgr name =
   | Quarantined _ | Disabled _ ->
     (* The guaranteed escape hatch: a direct recompute, bypassing the
        instrumented (fault-injectable) maintenance path. *)
-    View.recompute e.view mgr.db;
+    View.recompute e.view mgr.catalog;
     e.pending <- [];
     e.health <- Healthy;
     Obs.Metrics.add "ivm_resilience_repairs_total" ~labels:[ ("kind", "repair") ]
       1;
+    refresh_dependents mgr name;
     true
 
 let consistent mgr name =
@@ -819,12 +1091,12 @@ let consistent mgr name =
   | Quarantined _ | Disabled _ -> false
   | Healthy -> (
     match e.mode with
-    | Immediate -> View.consistent e.view mgr.db
+    | Immediate -> View.consistent e.view mgr.catalog
     | Deferred ->
       (* A deferred view is consistent with the state its pending deltas
          rewind to; refreshing first makes it comparable. *)
       ignore (refresh mgr name);
-      View.consistent e.view mgr.db)
+      View.consistent e.view mgr.catalog)
 
 let all_consistent mgr =
   List.for_all (fun e -> consistent mgr (View.name e.view)) mgr.entries

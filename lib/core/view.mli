@@ -25,11 +25,25 @@ val define :
   t
 
 val name : t -> string
+
+(** The original definition, aggregation included. *)
+val expr : t -> Query.Expr.t
+
+(** The compiled SPJ form — of the {e inner} expression for aggregate
+    views (what the delta machinery maintains). *)
 val spj : t -> Query.Spj.t
+
+(** Output schema: the grouped schema for aggregate views. *)
 val schema : t -> Schema.t
 
 (** Live contents — treat as read-only. *)
 val contents : t -> Relation.t
+
+(** The grouped runtime state when the definition is a {!Query.Expr.Group_by}. *)
+val grouped : t -> Grouped.t option
+
+(** The aggregate spec when the definition is grouped. *)
+val aggregate : t -> Query.Aggregate.t option
 
 (** [true] when the key-preservation analysis proved every multiplicity
     counter is 1 (Section 5.2, alternative 2): key-based maintenance
@@ -58,12 +72,23 @@ val lint : ?keys:Query.Keys.t -> t -> Analysis.Diagnostic.t list
     @raise Relation.Negative_count on an inconsistent delta. *)
 val apply_delta : t -> Delta.t -> unit
 
-(** Replace the contents by complete re-evaluation against [db]. *)
+(** Overwrite the contents by complete re-evaluation against [db] — in
+    place, so aliases of the contents relation (e.g. a manager catalog
+    feeding dependent views) stay valid.  Aggregate views re-evaluate
+    the inner SPJ form and rebuild their group state. *)
 val recompute : t -> Database.t -> unit
 
+(** [checkpoint v] captures the full materialization state (contents
+    plus, for aggregate views, the inner materialization) and returns
+    the closure that restores it.  Record it in an undo journal before a
+    destructive operation such as {!recompute}. *)
+val checkpoint : t -> unit -> unit
+
 (** [restore v saved] installs a previously captured materialization
-    (a {!contents} value taken before a mutation).  Used by the
-    resilience layer to roll a failed commit back. *)
+    (a {!contents} value taken before a mutation), in place.  For
+    aggregate views this rebuilds group state from the current inner
+    materialization — use {!checkpoint} when the inner state moved
+    too. *)
 val restore : t -> Relation.t -> unit
 
 (** [consistent v db] re-evaluates from scratch and compares with the

@@ -16,6 +16,8 @@ type view_record = {
   rows_evaluated : int;
   delta_inserts : int;
   delta_deletes : int;
+  groups_touched : int;
+  rescans : int;
   screen_ns : int;
   eval_ns : int;
   apply_ns : int;
@@ -77,6 +79,8 @@ let view_to_json v =
       ("rows_evaluated", Json.Int v.rows_evaluated);
       ("delta_inserts", Json.Int v.delta_inserts);
       ("delta_deletes", Json.Int v.delta_deletes);
+      ("groups_touched", Json.Int v.groups_touched);
+      ("rescans", Json.Int v.rescans);
       ("screen_ns", Json.Int v.screen_ns);
       ("eval_ns", Json.Int v.eval_ns);
       ("apply_ns", Json.Int v.apply_ns);
@@ -198,6 +202,8 @@ let view_of_json json =
   let* rows_evaluated = int_field "rows_evaluated" json in
   let* delta_inserts = int_field "delta_inserts" json in
   let* delta_deletes = int_field "delta_deletes" json in
+  let* groups_touched = int_field "groups_touched" json in
+  let* rescans = int_field "rescans" json in
   let* screen_ns = int_field "screen_ns" json in
   let* eval_ns = int_field "eval_ns" json in
   let* apply_ns = int_field "apply_ns" json in
@@ -205,8 +211,8 @@ let view_of_json json =
   Ok
     {
       view; strategy; fallback; advisor; screen_rules; screened_kept;
-      screened_out; rows_evaluated; delta_inserts; delta_deletes; screen_ns;
-      eval_ns; apply_ns; total_ns;
+      screened_out; rows_evaluated; delta_inserts; delta_deletes;
+      groups_touched; rescans; screen_ns; eval_ns; apply_ns; total_ns;
     }
 
 let event_of_json json =
@@ -303,7 +309,10 @@ let pp_commit ppf c =
           (Summary.fmt_ns v.eval_ns);
       Format.fprintf ppf "@,    apply: +%d -%d view tuples; %s" v.delta_inserts
         v.delta_deletes
-        (Summary.fmt_ns v.apply_ns))
+        (Summary.fmt_ns v.apply_ns);
+      if v.groups_touched > 0 || v.rescans > 0 then
+        Format.fprintf ppf "@,    groups: %d touched, %d rescanned"
+          v.groups_touched v.rescans)
     c.views;
   List.iter
     (fun e -> Format.fprintf ppf "@,  [%s] %s: %s" e.phase e.kind e.detail)

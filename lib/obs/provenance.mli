@@ -44,6 +44,11 @@ type view_record = {
   rows_evaluated : int;
   delta_inserts : int;
   delta_deletes : int;
+  groups_touched : int;
+      (** aggregate views: distinct groups whose accumulators moved *)
+  rescans : int;
+      (** aggregate views: groups rescanned after a MIN/MAX extremum's
+          support drained to zero *)
   screen_ns : int;
   eval_ns : int;
   apply_ns : int;

@@ -218,6 +218,23 @@ let compare_snapshots opts ~baseline ~current =
         cur
     else timing ~what:"self_maintenance.eval_reduction" ~worse_when:`Lower base cur
   | _ -> ());
+  (* E24: the groups a fixed-seed stream touches are deterministic; the
+     incremental-vs-recompute speedup is timing, but must stay > 1x *)
+  (match both "aggregate.groups_touched" with
+  | Some base, Some cur ->
+    deterministic ~what:"aggregate.groups_touched" ~worse_when:`Either base cur
+  | _ -> ());
+  (match both "aggregate.speedup" with
+  | Some base, Some cur ->
+    incr compared;
+    if cur <= 1.0 then
+      regress
+        "aggregate.speedup %.2fx: incremental grouped maintenance no longer \
+         beats full recompute"
+        cur
+    else timing ~what:"aggregate.speedup" ~worse_when:`Lower base cur
+  | Some _, None -> regress "aggregate section missing from the snapshot"
+  | _ -> ());
   {
     regressions = List.rev !regressions;
     notes = List.rev !notes;
@@ -260,3 +277,7 @@ let degrade json =
          sm
          |> map_member "self_maintained_commits" (fun _ -> Json.Int 0)
          |> map_member "eval_reduction" (fun _ -> Json.Float 0.5))
+  |> map_member "aggregate" (fun agg ->
+         agg
+         |> map_member "groups_touched" (fun _ -> Json.Int 0)
+         |> map_member "speedup" (fun _ -> Json.Float 0.5))

@@ -46,15 +46,15 @@ let policy_for ~fault_rate k =
   else if k mod 2 = 0 then Resilience.Policy.Abort
   else Resilience.Policy.Quarantine
 
-let run ?(progress = fun _ -> ()) ?(fault_rate = 0.0) ~seed ~streams
-    ~transactions ~domains () =
+let run ?(progress = fun _ -> ()) ?(fault_rate = 0.0) ?(aggregates = false)
+    ~seed ~streams ~transactions ~domains () =
   let stats = Harness.fresh_stats () in
   let rec loop k transactions_run =
     if k >= streams then
       { streams_run = streams; transactions_run; stats; failure = None }
     else begin
       let stream =
-        Stream.generate ~domains ~seed:(seed + k) ~transactions ()
+        Stream.generate ~domains ~aggregates ~seed:(seed + k) ~transactions ()
       in
       let policy = policy_for ~fault_rate k in
       match Harness.run ~fault_rate ~policy ~stats stream with

@@ -26,10 +26,15 @@ type outcome = {
     injection ({!Harness.run}'s fault-tolerance contract) and streams
     alternate between the [Abort] (even) and [Quarantine] (odd) failure
     policies; shrinking replays candidates under the failing stream's
-    settings. *)
+    settings.
+
+    With [~aggregates:true] every stream also draws GROUP BY views and a
+    view tower ({!Stream.generate}), so the lockstep check covers
+    ring-valued aggregates and views over views. *)
 val run :
   ?progress:(int -> unit) ->
   ?fault_rate:float ->
+  ?aggregates:bool ->
   seed:int ->
   streams:int ->
   transactions:int ->

@@ -14,11 +14,22 @@ type t = {
 let create db = { db = Database.copy db; views = [] }
 let database t = t.db
 
+(* Evaluation scope: the base relations plus every already-registered
+   view's materialization under its name, so a view over views resolves
+   its parents naively — whatever their last full recompute produced. *)
+let scope t =
+  let scope = Database.create () in
+  List.iter
+    (fun n -> Database.register scope n (Database.find t.db n))
+    (Database.names t.db);
+  List.iter (fun e -> Database.register scope e.name e.materialization) t.views;
+  scope
+
 let define t ~name expr =
   if List.exists (fun e -> String.equal e.name name) t.views then
     invalid_arg (Printf.sprintf "Reference.define: %S already exists" name);
   t.views <-
-    t.views @ [ { name; expr; materialization = Query.Eval.eval t.db expr } ]
+    t.views @ [ { name; expr; materialization = Query.Eval.eval (scope t) expr } ]
 
 let view_names t = List.map (fun e -> e.name) t.views
 
@@ -49,15 +60,47 @@ let apply t txn =
         Relation.remove r tuple)
     txn
 
+(* Full recompute, in definition order: parents refresh before the
+   children that read them, so one pass settles an arbitrarily tall
+   tower (a child can only reference earlier definitions). *)
 let refresh t =
-  List.iter (fun e -> e.materialization <- Query.Eval.eval t.db e.expr) t.views
+  let scope = Database.create () in
+  List.iter
+    (fun n -> Database.register scope n (Database.find t.db n))
+    (Database.names t.db);
+  List.iter
+    (fun e ->
+      let m = Query.Eval.eval scope e.expr in
+      e.materialization <- m;
+      Database.register scope e.name m)
+    t.views
 
 let step t txn =
   apply t txn;
   refresh t
 
+(* Evaluate one view from scratch in the current base state, rebuilding
+   every ancestor on the way (without touching any stored
+   materialization). *)
+let eval_view t name =
+  let scope = Database.create () in
+  List.iter
+    (fun n -> Database.register scope n (Database.find t.db n))
+    (Database.names t.db);
+  let rec go = function
+    | [] -> raise Not_found
+    | e :: rest ->
+      let m = Query.Eval.eval scope e.expr in
+      if String.equal e.name name then m
+      else begin
+        Database.register scope e.name m;
+        go rest
+      end
+  in
+  go t.views
+
 let tuple_affects t ~view ~relation ~insert tuple =
-  let e = entry t view in
+  ignore (entry t view);
   let r = Database.find t.db relation in
   let toggle () =
     if insert then Relation.add r tuple else Relation.remove r tuple
@@ -65,10 +108,10 @@ let tuple_affects t ~view ~relation ~insert tuple =
   let untoggle () =
     if insert then Relation.remove r tuple else Relation.add r tuple
   in
-  let before = Query.Eval.eval t.db e.expr in
+  let before = eval_view t view in
   toggle ();
   let after =
-    match Query.Eval.eval t.db e.expr with
+    match eval_view t view with
     | after -> after
     | exception exn ->
       untoggle ();

@@ -55,9 +55,17 @@ let drop_operations fails (s : Stream.t) =
     s.Stream.transactions;
   { s with Stream.transactions = !transactions }
 
+(* Candidates that drop a parent out from under a tower child are not
+   replayable streams; reject them before they reach [fails] so the
+   shrinker never adopts an orphaning step (it can still remove a whole
+   parent+child chain in one larger chunk). *)
 let drop_views fails (s : Stream.t) =
   let views =
-    shrink_list (fun views -> fails { s with Stream.views }) s.Stream.views
+    shrink_list
+      (fun views ->
+        let candidate = { s with Stream.views } in
+        Stream.well_formed candidate && fails candidate)
+      s.Stream.views
   in
   { s with Stream.views }
 

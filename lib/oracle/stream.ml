@@ -129,6 +129,92 @@ let view_templates =
 let stream_keys =
   [ ("R", [ "A"; "B" ]); ("S", [ "B"; "C" ]); ("T", [ "C"; "D" ]) ]
 
+let agg func output = { Query.Aggregate.func; output }
+
+(* Grouped views over the same family: every ring instance appears, MIN
+   and MAX both grouped and global (the keyless forms exercise the
+   group-disappears-at-zero rule hardest), AVG for the product ring. *)
+let aggregate_templates =
+  let open Condition.Formula.Dsl in
+  [|
+    Query.Expr.(
+      group_by ~keys:[ "B" ]
+        [ agg Query.Aggregate.Count "cnt"; agg (Query.Aggregate.Sum "A") "sum_a" ]
+        (base "R"));
+    Query.Expr.(
+      group_by ~keys:[]
+        [ agg Query.Aggregate.Count "cnt"; agg (Query.Aggregate.Min "A") "min_a" ]
+        (base "R"));
+    Query.Expr.(
+      group_by ~keys:[ "B" ]
+        [
+          agg (Query.Aggregate.Min "A") "min_a";
+          agg (Query.Aggregate.Max "A") "max_a";
+        ]
+        (select (v "A" <% i 300) (base "R")));
+    Query.Expr.(
+      group_by ~keys:[ "C" ]
+        [ agg Query.Aggregate.Count "cnt"; agg (Query.Aggregate.Sum "A") "sum_a" ]
+        (join (base "R") (base "S")));
+    Query.Expr.(
+      group_by ~keys:[ "B" ] [ agg (Query.Aggregate.Avg "C") "avg_c" ] (base "S"));
+  |]
+
+(* A dependent view over [parent], shaped from the parent's output
+   schema so it compiles whatever template the parent drew: plain
+   select/project children keep counted multiplicities flowing through
+   the tower, aggregate children stack GROUP BY on GROUP BY. *)
+let tower_child rng ~parent ~schema =
+  let ints =
+    List.filter_map
+      (fun (a, ty) -> if ty = Value.Int_ty then Some a else None)
+      (Schema.attrs schema)
+  in
+  let open Condition.Formula.Dsl in
+  match ints with
+  | [] ->
+    Query.Expr.(group_by ~keys:[] [ agg Query.Aggregate.Count "cnt" ] (base parent))
+  | a :: rest -> (
+    match Rng.int rng 4 with
+    | 0 -> Query.Expr.(select (v a >% i 0) (base parent))
+    | 1 -> Query.Expr.(project [ a ] (base parent))
+    | 2 ->
+      Query.Expr.(
+        group_by ~keys:[]
+          [
+            agg Query.Aggregate.Count "cnt";
+            agg (Query.Aggregate.Sum a) ("sum_" ^ a);
+          ]
+          (base parent))
+    | _ -> (
+      match rest with
+      | key :: _ ->
+        Query.Expr.(
+          group_by ~keys:[ key ]
+            [ agg (Query.Aggregate.Min a) ("min_" ^ a) ]
+            (base parent))
+      | [] ->
+        Query.Expr.(
+          group_by ~keys:[]
+            [ agg (Query.Aggregate.Max a) ("max_" ^ a) ]
+            (base parent))))
+
+(* Shrinking can drop a parent out from under its children; candidates
+   that orphan (or self-reference, or redefine) a view are not
+   replayable and must be rejected before they reach the engine. *)
+let well_formed (s : t) =
+  let base = List.map (fun (name, _, _, _) -> name) s.relations in
+  let rec go defined = function
+    | [] -> true
+    | v :: rest ->
+      (not (List.mem v.view_name defined))
+      && List.for_all
+           (fun n -> List.mem n base || List.mem n defined)
+           (Query.Expr.base_names v.expr)
+      && go (v.view_name :: defined) rest
+  in
+  go [] s.views
+
 let random_options rng =
   let strategy =
     match Rng.int rng 5 with
@@ -167,7 +253,7 @@ let irrelevant_pred views relation tuple =
         (Query.Spj.sources_of_relation (View.spj view) relation))
     views
 
-let generate ?(domains = 1) ~seed ~transactions () =
+let generate ?(domains = 1) ?(aggregates = false) ~seed ~transactions () =
   let rng = Rng.make seed in
   let relations =
     List.map
@@ -210,6 +296,69 @@ let generate ?(domains = 1) ~seed ~transactions () =
   in
   let compiled =
     List.map (fun v -> View.define ~name:v.view_name ~db:scratch v.expr) views
+  in
+  (* The aggregate arm appends grouped views and a small tower on top of
+     whatever was already drawn.  Each compiled view's contents are
+     registered into the scratch database under the view's name, so a
+     child's [View.define] resolves its parent exactly the way the
+     manager's catalog will at replay; transactions only ever touch the
+     base family, so the registered view contents going stale under
+     churn is harmless. *)
+  let views, compiled =
+    if not aggregates then (views, compiled)
+    else begin
+      let agg_specs =
+        List.init
+          (1 + Rng.int rng 2)
+          (fun k ->
+            {
+              view_name = Printf.sprintf "a%d" k;
+              expr =
+                aggregate_templates.(Rng.int rng
+                                       (Array.length aggregate_templates));
+              options = random_options rng;
+              keys = stream_keys;
+            })
+      in
+      let define_spec v = View.define ~name:v.view_name ~db:scratch v.expr in
+      let register v c =
+        Database.register scratch v.view_name (View.contents c)
+      in
+      List.iter2 register views compiled;
+      let agg_compiled =
+        List.map
+          (fun v ->
+            let c = define_spec v in
+            register v c;
+            c)
+          agg_specs
+      in
+      let tower = ref [] in
+      for k = 0 to Rng.int rng 2 do
+        let parents =
+          List.map2
+            (fun v c -> (v.view_name, View.schema c))
+            (views @ agg_specs @ List.rev_map fst !tower)
+            (compiled @ agg_compiled @ List.rev_map snd !tower)
+        in
+        let pname, pschema =
+          List.nth parents (Rng.int rng (List.length parents))
+        in
+        let spec =
+          {
+            view_name = Printf.sprintf "w%d" k;
+            expr = tower_child rng ~parent:pname ~schema:pschema;
+            options = random_options rng;
+            keys = stream_keys;
+          }
+        in
+        let c = define_spec spec in
+        register spec c;
+        tower := (spec, c) :: !tower
+      done;
+      ( views @ agg_specs @ List.rev_map fst !tower,
+        compiled @ agg_compiled @ List.rev_map snd !tower )
+    end
   in
   let relation_names = List.map (fun (name, _, _, _) -> name) relations in
   let random_relation () =

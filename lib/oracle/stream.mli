@@ -42,8 +42,21 @@ val size : t -> int
     strategies with screening on and off, and a transaction stream mixing
     plain insert/delete batches, overlapping multi-relation updates,
     correlated deletes, update-as-delete+insert pairs, no-op transactions
-    and inserts provably irrelevant by Theorem 4.1. *)
-val generate : ?domains:int -> seed:int -> transactions:int -> unit -> t
+    and inserts provably irrelevant by Theorem 4.1.
+
+    With [~aggregates:true] the scenario additionally draws 1–2 GROUP BY
+    views (COUNT/SUM/AVG/MIN/MAX over the same family, grouped and
+    keyless) and a 1–2 view tower of dependents stacked on randomly
+    chosen parents — selects, projects and aggregates over view names —
+    so the lockstep check covers ring-valued payloads and views over
+    views. *)
+val generate :
+  ?domains:int -> ?aggregates:bool -> seed:int -> transactions:int -> unit -> t
+
+(** Views reference only base relations or earlier views, each name
+    defined once.  Generated streams always satisfy this; the shrinker
+    uses it to reject candidates that would orphan a tower child. *)
+val well_formed : t -> bool
 
 (** Fresh database holding the initial contents. *)
 val build_db : t -> Database.t

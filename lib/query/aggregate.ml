@@ -1,0 +1,168 @@
+open Relalg
+
+type func =
+  | Count
+  | Sum of Attr.t
+  | Avg of Attr.t
+  | Min of Attr.t
+  | Max of Attr.t
+
+type target = {
+  func : func;
+  output : Attr.t;
+}
+
+type t = {
+  keys : Attr.t list;
+  targets : target list;
+}
+
+let source = function
+  | Count -> None
+  | Sum a | Avg a | Min a | Max a -> Some a
+
+let func_name = function
+  | Count -> "COUNT"
+  | Sum _ -> "SUM"
+  | Avg _ -> "AVG"
+  | Min _ -> "MIN"
+  | Max _ -> "MAX"
+
+let ring_name = function
+  | Count -> Ring.Count.name
+  | Sum _ -> Ring.Sum.name
+  | Avg _ -> Ring.Avg.name
+  | Min _ -> Ring.Min.name
+  | Max _ -> Ring.Max.name
+
+(* MIN/MAX live in idempotent monoids without additive inverses, so
+   deletions of the current extremum cannot be maintained purely from
+   the delta — the maintenance layer rescans the group. *)
+let invertible = function
+  | Count | Sum _ | Avg _ -> true
+  | Min _ | Max _ -> false
+
+let output_ty ~inner target =
+  match target.func with
+  | Count -> Value.Int_ty
+  | Sum a | Avg a -> (
+    match Schema.position_opt inner a with
+    | Some i -> Schema.ty_at inner i
+    | None -> Value.Int_ty)
+  | Min a | Max a -> (
+    match Schema.position_opt inner a with
+    | Some i -> Schema.ty_at inner i
+    | None -> Value.Int_ty)
+
+let output_schema agg ~inner =
+  let key_attrs =
+    List.map
+      (fun k ->
+        match Schema.position_opt inner k with
+        | Some i -> (k, Schema.ty_at inner i)
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Aggregate.output_schema: unknown group key %S" k))
+      agg.keys
+  in
+  Schema.make
+    (key_attrs
+    @ List.map (fun tgt -> (tgt.output, output_ty ~inner tgt)) agg.targets)
+
+(* Naive reference fold over a counted inner relation: a tuple with
+   multiplicity c contributes c members to its group.  No group for
+   empty input — even with [keys = []] the aggregate of nothing is no
+   rows, which keeps the incremental engine's "group disappears when its
+   member count drains to zero" rule and this fold in agreement. *)
+let eval agg inner =
+  let inner_schema = Relation.schema inner in
+  let key_positions =
+    List.map
+      (fun k ->
+        match Schema.position_opt inner_schema k with
+        | Some i -> i
+        | None ->
+          invalid_arg (Printf.sprintf "Aggregate.eval: unknown group key %S" k))
+      agg.keys
+  in
+  let source_position tgt =
+    match source tgt.func with
+    | None -> -1
+    | Some a -> (
+      match Schema.position_opt inner_schema a with
+      | Some i -> i
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Aggregate.eval: unknown aggregate source %S" a))
+  in
+  let positions = List.map source_position agg.targets in
+  (* Per-group accumulators: count, per-target sum, per-target extremum. *)
+  let groups : (Value.t list, int * int array * Value.t option array) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let n = List.length agg.targets in
+  Relation.iter
+    (fun tuple c ->
+      let key = List.map (fun i -> Tuple.get tuple i) key_positions in
+      let members, sums, exts =
+        match Hashtbl.find_opt groups key with
+        | Some acc -> acc
+        | None ->
+          let acc = (0, Array.make n 0, Array.make n None) in
+          Hashtbl.replace groups key acc;
+          acc
+      in
+      List.iteri
+        (fun j (tgt, pos) ->
+          match tgt.func with
+          | Count -> ()
+          | Sum _ | Avg _ ->
+            sums.(j) <- sums.(j) + (c * Value.int (Tuple.get tuple pos))
+          | Min _ ->
+            let v = Tuple.get tuple pos in
+            exts.(j) <-
+              (match exts.(j) with
+              | None -> Some v
+              | Some e -> Some (if Value.compare v e < 0 then v else e))
+          | Max _ ->
+            let v = Tuple.get tuple pos in
+            exts.(j) <-
+              (match exts.(j) with
+              | None -> Some v
+              | Some e -> Some (if Value.compare v e > 0 then v else e)))
+        (List.combine agg.targets positions);
+      Hashtbl.replace groups key (members + c, sums, exts))
+    inner;
+  let out = Relation.create (output_schema agg ~inner:inner_schema) in
+  Hashtbl.iter
+    (fun key (members, sums, exts) ->
+      let rendered =
+        List.mapi
+          (fun j tgt ->
+            match tgt.func with
+            | Count -> Value.Int members
+            | Sum _ -> Value.Int sums.(j)
+            | Avg _ -> Value.Int (sums.(j) / members)
+            | Min _ | Max _ -> Option.get exts.(j))
+          agg.targets
+      in
+      Relation.add out (Array.of_list (key @ rendered)))
+    groups;
+  out
+
+let pp_target ppf tgt =
+  (match source tgt.func with
+  | None -> Format.fprintf ppf "%s(*)" (func_name tgt.func)
+  | Some a -> Format.fprintf ppf "%s(%a)" (func_name tgt.func) Attr.pp a);
+  Format.fprintf ppf " AS %a" Attr.pp tgt.output
+
+let pp ppf agg =
+  Format.fprintf ppf "@[gamma[%a; %a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Attr.pp)
+    agg.keys
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_target)
+    agg.targets

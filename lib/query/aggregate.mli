@@ -1,0 +1,58 @@
+(** GROUP BY aggregate specifications.
+
+    An aggregate query groups the rows of an inner SPJ expression by a
+    list of key attributes and folds each group through ring-valued
+    aggregate functions ([Relalg.Ring]): COUNT and SUM are the int ring,
+    AVG is the product ring (sum, count) rendered as integer division at
+    the edge, MIN/MAX are idempotent monoids without inverses (their
+    incremental maintenance rescans a group when the extremum's support
+    drains).  Groups with no members produce no row — even with an empty
+    key list — so the incremental "group disappears at zero members"
+    rule and the naive {!eval} fold agree. *)
+
+open Relalg
+
+type func =
+  | Count
+  | Sum of Attr.t
+  | Avg of Attr.t
+  | Min of Attr.t
+  | Max of Attr.t
+
+type target = {
+  func : func;
+  output : Attr.t;  (** name of the aggregate column in the output *)
+}
+
+type t = {
+  keys : Attr.t list;  (** group-by keys, in output order *)
+  targets : target list;
+}
+
+(** Source attribute the function reads, [None] for COUNT. *)
+val source : func -> Attr.t option
+
+(** Surface syntax name: COUNT, SUM, AVG, MIN, MAX. *)
+val func_name : func -> string
+
+(** Name of the payload ring the function folds in. *)
+val ring_name : func -> string
+
+(** Whether the function's ring has additive inverses; [false] exactly
+    for MIN/MAX, whose deletions may force a per-group rescan. *)
+val invertible : func -> bool
+
+(** Output schema: keys (with their inner types) followed by one column
+    per target.
+    @raise Invalid_argument when a key is missing from [inner]. *)
+val output_schema : t -> inner:Schema.t -> Schema.t
+
+(** Naive reference fold: groups the counted inner relation (a tuple
+    with multiplicity [c] contributes [c] members) and renders one
+    output tuple per non-empty group, every output multiplicity 1.
+    Shared by [Query.Eval] and the oracle reference engine; the
+    incremental engine in [lib/core] never calls it outside rescans. *)
+val eval : t -> Relation.t -> Relation.t
+
+val pp_target : Format.formatter -> target -> unit
+val pp : Format.formatter -> t -> unit

@@ -33,3 +33,4 @@ let rec eval db = function
     Ops.rename renamed (eval db e)
   | Expr.Natural_join (a, b) -> Ops.natural_join (eval db a) (eval db b)
   | Expr.Product (a, b) -> Ops.product (eval db a) (eval db b)
+  | Expr.Group_by (agg, e) -> Aggregate.eval agg (eval db e)

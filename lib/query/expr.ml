@@ -7,6 +7,7 @@ type t =
   | Rename of (Attr.t * Attr.t) list * t
   | Natural_join of t * t
   | Product of t * t
+  | Group_by of Aggregate.t * t
 
 let base name = Base name
 let select f e = Select (f, e)
@@ -14,6 +15,7 @@ let project attrs e = Project (attrs, e)
 let rename mapping e = Rename (mapping, e)
 let join a b = Natural_join (a, b)
 let product a b = Product (a, b)
+let group_by ~keys targets e = Group_by ({ Aggregate.keys; targets }, e)
 
 let join_all = function
   | [] -> invalid_arg "Expr.join_all: empty list"
@@ -22,10 +24,20 @@ let join_all = function
 let base_names e =
   let rec collect acc = function
     | Base name -> name :: acc
-    | Select (_, e) | Project (_, e) | Rename (_, e) -> collect acc e
+    | Select (_, e) | Project (_, e) | Rename (_, e) | Group_by (_, e) ->
+      collect acc e
     | Natural_join (a, b) | Product (a, b) -> collect (collect acc a) b
   in
   List.rev (collect [] e)
+
+(* Aggregation is only legal as the outermost operator; [Spj.flatten]
+   rejects nested occurrences.  This split is what the engine consumes:
+   the inner SPJ expression is materialized and maintained by the
+   existing machinery, the spec is folded on top. *)
+let aggregate = function
+  | Group_by (agg, inner) -> Some (agg, inner)
+  | Base _ | Select _ | Project _ | Rename _ | Natural_join _ | Product _ ->
+    None
 
 let rec schema_of lookup = function
   | Base name -> lookup name
@@ -47,6 +59,7 @@ let rec schema_of lookup = function
     in
     Schema.make (Schema.attrs sa @ extra)
   | Product (a, b) -> Schema.concat (schema_of lookup a) (schema_of lookup b)
+  | Group_by (agg, e) -> Aggregate.output_schema agg ~inner:(schema_of lookup e)
 
 let rec pp ppf = function
   | Base name -> Format.pp_print_string ppf name
@@ -67,3 +80,4 @@ let rec pp ppf = function
       mapping pp e
   | Natural_join (a, b) -> Format.fprintf ppf "(%a |X| %a)" pp a pp b
   | Product (a, b) -> Format.fprintf ppf "(%a X %a)" pp a pp b
+  | Group_by (agg, e) -> Format.fprintf ppf "@[%a@,(%a)@]" Aggregate.pp agg pp e

@@ -18,6 +18,10 @@ type t =
           different roles. *)
   | Natural_join of t * t
   | Product of t * t
+  | Group_by of Aggregate.t * t
+      (** GROUP BY aggregation over an inner SPJ expression.  Only legal
+          as the outermost operator ({!module:Spj} rejects nested
+          occurrences); split off with {!aggregate}. *)
 
 (** {1 Constructors} *)
 
@@ -31,12 +35,19 @@ val rename : (Attr.t * Attr.t) list -> t -> t
 val join : t -> t -> t
 val product : t -> t -> t
 
+(** [group_by ~keys targets e] is [Group_by ({keys; targets}, e)]. *)
+val group_by : keys:Attr.t list -> Aggregate.target list -> t -> t
+
 (** N-ary natural join, left-associated.
     @raise Invalid_argument on the empty list. *)
 val join_all : t list -> t
 
 (** Names of the base relations, in occurrence order with duplicates. *)
 val base_names : t -> string list
+
+(** [aggregate e] is [Some (spec, inner)] when [e] is a top-level
+    {!Group_by}, [None] otherwise. *)
+val aggregate : t -> (Aggregate.t * t) option
 
 (** [schema_of lookup e] infers the output schema, where [lookup] gives the
     schema of each base relation.

@@ -13,11 +13,12 @@ type token =
   | T_ident of string
   | T_int of int
   | T_string of string
-  | T_keyword of string (* SELECT FROM WHERE AND OR NOT AS JOIN *)
+  | T_keyword of string (* SELECT FROM WHERE AND OR NOT AS JOIN GROUP BY *)
   | T_symbol of string (* , ( ) * + - = <> < <= > >= *)
   | T_end
 
-let keyword_list = [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "AS"; "JOIN" ]
+let keyword_list =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "AS"; "JOIN"; "GROUP"; "BY" ]
 
 let pp_token = function
   | T_ident s -> Printf.sprintf "identifier %S" s
@@ -114,6 +115,11 @@ let peek stream =
   match stream.tokens with
   | (t, _) :: _ -> t
   | [] -> T_end
+
+let peek2 stream =
+  match stream.tokens with
+  | _ :: (t, _) :: _ -> t
+  | _ -> T_end
 
 let position stream =
   match stream.tokens with
@@ -276,16 +282,68 @@ let parse_from_list stream =
   in
   more [ first ]
 
+(* Aggregate function names are contextual, not keywords: an identifier
+   only starts an aggregate when it is directly followed by '('. *)
+let func_of_name name =
+  match String.uppercase_ascii name with
+  | "COUNT" -> Some `Count
+  | "SUM" -> Some `Sum
+  | "AVG" -> Some `Avg
+  | "MIN" -> Some `Min
+  | "MAX" -> Some `Max
+  | _ -> None
+
+type select_item =
+  | S_column of string
+  | S_aggregate of Aggregate.target
+
+let default_output func =
+  match Aggregate.source func with
+  | None -> String.lowercase_ascii (Aggregate.func_name func)
+  | Some a -> String.lowercase_ascii (Aggregate.func_name func) ^ "_" ^ a
+
+let parse_aggregate stream kind =
+  advance stream;
+  expect stream (T_symbol "(");
+  let func =
+    match kind with
+    | `Count ->
+      (* COUNT( * ) and COUNT(attr) agree here: there are no nulls. *)
+      if accept stream (T_symbol "*") then Aggregate.Count
+      else begin
+        ignore (parse_ident stream "an attribute or *");
+        Aggregate.Count
+      end
+    | `Sum -> Aggregate.Sum (parse_ident stream "an attribute")
+    | `Avg -> Aggregate.Avg (parse_ident stream "an attribute")
+    | `Min -> Aggregate.Min (parse_ident stream "an attribute")
+    | `Max -> Aggregate.Max (parse_ident stream "an attribute")
+  in
+  expect stream (T_symbol ")");
+  let output =
+    if accept stream (T_keyword "AS") then parse_ident stream "an output name"
+    else default_output func
+  in
+  S_aggregate { Aggregate.func; output }
+
+let parse_select_item stream =
+  match peek stream, peek2 stream with
+  | T_ident name, T_symbol "(" -> (
+    match func_of_name name with
+    | Some kind -> parse_aggregate stream kind
+    | None -> S_column (parse_ident stream "an attribute"))
+  | _ -> S_column (parse_ident stream "an attribute")
+
 let parse_select_list stream =
   if accept stream (T_symbol "*") then `Star
   else begin
-    let first = parse_ident stream "an attribute" in
+    let first = parse_select_item stream in
     let rec more acc =
       if accept stream (T_symbol ",") then
-        more (parse_ident stream "an attribute" :: acc)
+        more (parse_select_item stream :: acc)
       else List.rev acc
     in
-    `Columns (more [ first ])
+    `Items (more [ first ])
   end
 
 let view ~lookup text =
@@ -296,6 +354,19 @@ let view ~lookup text =
   let from = parse_from_list stream in
   let where =
     if accept stream (T_keyword "WHERE") then Some (parse_disjunction stream)
+    else None
+  in
+  let group =
+    if accept stream (T_keyword "GROUP") then begin
+      expect stream (T_keyword "BY");
+      let first = parse_ident stream "a group-by key" in
+      let rec more acc =
+        if accept stream (T_symbol ",") then
+          more (parse_ident stream "a group-by key" :: acc)
+        else List.rev acc
+      in
+      Some (more [ first ])
+    end
     else None
   in
   expect stream T_end;
@@ -324,6 +395,41 @@ let view ~lookup text =
     | None -> joined
     | Some f -> Expr.select f joined
   in
-  match select with
-  | `Star -> selected
-  | `Columns columns -> Expr.project columns selected
+  let items =
+    match select with
+    | `Star -> None
+    | `Items items -> Some items
+  in
+  let has_aggregate =
+    match items with
+    | None -> false
+    | Some items ->
+      List.exists (function S_aggregate _ -> true | S_column _ -> false) items
+  in
+  match items, group, has_aggregate with
+  | None, None, _ -> selected
+  | None, Some _, _ -> parse_error "SELECT * cannot be combined with GROUP BY"
+  | Some items, None, false ->
+    Expr.project
+      (List.map
+         (function S_column c -> c | S_aggregate _ -> assert false)
+         items)
+      selected
+  | Some items, group, true | Some items, (Some _ as group), false ->
+    let keys = Option.value group ~default:[] in
+    let columns =
+      List.filter_map
+        (function S_column c -> Some c | S_aggregate _ -> None)
+        items
+    in
+    (* Plain select columns must be exactly the group keys, in order —
+       any other column has no single value per group. *)
+    if not (List.equal String.equal columns keys) then
+      parse_error
+        "non-aggregate SELECT columns must match the GROUP BY keys in order";
+    let targets =
+      List.filter_map
+        (function S_aggregate t -> Some t | S_column _ -> None)
+        items
+    in
+    Expr.group_by ~keys targets selected

@@ -13,7 +13,13 @@
       [=, <>, <, <=, >, >=], integer and ['single-quoted'] string
       literals, and the paper's shifted form [A < B + 3] / [A >= B - 2];
     - [FROM R AS x] renames every attribute of [R] to [x_<attr>], giving
-      self-joins distinct roles.
+      self-joins distinct roles;
+    - [SELECT B, COUNT( * ) AS n, SUM(A) AS total ... GROUP BY B] builds
+      a {!Expr.Group_by} over the joined/filtered input.  Aggregate
+      functions are [COUNT( * )] (or [COUNT(attr)] — no nulls, so they
+      agree), [SUM], [AVG], [MIN], [MAX]; [AS] is optional (default
+      output names [count], [sum_<attr>], ...); plain select columns
+      must be exactly the [GROUP BY] keys, in order.
 
     The grammar compiles to {!Expr.t}; everything downstream (compilation
     to canonical SPJ form, maintenance, screening) is unchanged. *)

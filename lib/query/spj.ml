@@ -140,6 +140,11 @@ let rec flatten lookup used = function
       conds = p1.conds @ p2.conds;
       binding = p1.binding @ p2.binding;
     }
+  | Expr.Group_by _ ->
+    (* The canonical form pi(sigma(x)) has no aggregation; callers that
+       support GROUP BY split it off with [Expr.aggregate] and compile
+       the inner expression. *)
+    compile_error "GROUP BY must be the outermost operator"
 
 let compile lookup e =
   let used = Hashtbl.create 8 in

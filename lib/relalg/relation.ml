@@ -5,6 +5,15 @@ module Tuple_table = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
+(* The multiplicity counter is the COUNT instance of the payload-ring
+   family ([Ring.Count]); routing the arithmetic through it keeps the
+   counted relation a special case of the ring-valued map rather than a
+   parallel code path.  The only operation outside the ring signature is
+   the positivity check in [update]: counted relations additionally
+   maintain the paper's invariant that stored multiplicities are
+   strictly positive. *)
+module R = Ring.Count
+
 type t = {
   schema : Schema.t;
   table : int Tuple_table.t;
@@ -38,17 +47,17 @@ let schema r = r.schema
 let cardinal r = Tuple_table.length r.table
 let total r = r.total
 let is_empty r = cardinal r = 0
-let count r t = Option.value ~default:0 (Tuple_table.find_opt r.table t)
+let count r t = Option.value ~default:R.zero (Tuple_table.find_opt r.table t)
 let mem r t = Tuple_table.mem r.table t
 
 let update r t delta =
-  if delta <> 0 then begin
+  if not (R.is_zero delta) then begin
     let current = count r t in
-    let updated = current + delta in
+    let updated = R.add current delta in
     if updated < 0 then raise (Negative_count t)
-    else if updated = 0 then Tuple_table.remove r.table t
+    else if R.is_zero updated then Tuple_table.remove r.table t
     else Tuple_table.replace r.table t updated;
-    r.total <- r.total + delta;
+    r.total <- R.add r.total delta;
     match !(r.observers) with
     | [] -> ()
     | observers -> List.iter (fun observe -> observe t delta) observers
@@ -114,6 +123,19 @@ let shard ~n r =
 let union_into ~into r = iter (fun t c -> update into t c) r
 let diff_into ~into r = iter (fun t c -> update into t (-c)) r
 
+(* In-place overwrite via counter updates, so subscribed observers (and
+   anything else aliasing the store, e.g. a manager catalog entry) see a
+   coherent sequence of deltas rather than a swapped object. *)
+let assign ~into ~src =
+  if Schema.arity into.schema <> Schema.arity src.schema then
+    invalid_arg "Relation.assign: arity mismatch";
+  List.iter
+    (fun (t, c) ->
+      let target = count src t in
+      if not (R.equal target c) then update into t (R.add target (-c)))
+    (elements into);
+  iter (fun t c -> if not (mem into t) then update into t c) src
+
 let union a b =
   let r = copy a in
   union_into ~into:r b;
@@ -128,7 +150,7 @@ let equal a b =
   Schema.equal a.schema b.schema
   && cardinal a = cardinal b
   && (try
-        iter (fun t c -> if count b t <> c then raise Exit) a;
+        iter (fun t c -> if not (R.equal (count b t) c) then raise Exit) a;
         true
       with Exit -> false)
 

@@ -89,6 +89,14 @@ val shard : n:int -> t -> t array
 (** [union_into ~into r] adds every counted tuple of [r] into [into]. *)
 val union_into : into:t -> t -> unit
 
+(** [assign ~into src] overwrites [into]'s contents with those of [src],
+    in place, expressed as counter updates so observers stay in sync and
+    aliases of [into]'s store remain valid.  Schemas must agree in
+    arity.  Used by in-place view recompute/restore, where the
+    materialization object is registered in a catalog and must not be
+    replaced wholesale. *)
+val assign : into:t -> src:t -> unit
+
 (** [diff_into ~into r] subtracts every counted tuple of [r] from [into].
     @raise Negative_count if some counter would go negative. *)
 val diff_into : into:t -> t -> unit

@@ -1,0 +1,129 @@
+(* Payload rings.
+
+   The paper's multiplicity counter (Section 5.2, alternative 1) is the
+   COUNT instance of a more general construction: a relation is a map
+   from tuples to elements of a commutative ring, with zero-valued
+   entries absent.  Maintenance then works for any payload whose deltas
+   combine by ring addition — SUM over an attribute, AVG as the product
+   ring SUM x COUNT, and (losing invertibility) MIN/MAX as idempotent
+   monoids.  See Olteanu's survey in PAPERS.md ("Recent Increments in
+   Incremental View Maintenance") for the F-IVM generalization this
+   follows. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+
+  (** [Some neg] when the structure is a genuine ring (every element has
+      an additive inverse, so deletions are insertions of the negation);
+      [None] for the idempotent monoids MIN/MAX, whose maintenance must
+      fall back to a rescan when support drains. *)
+  val neg : (t -> t) option
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Count = struct
+  type t = int
+
+  let name = "count"
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let neg = Some Int.neg
+  let is_zero c = c = 0
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Sum = struct
+  type t = int
+
+  let name = "sum"
+  let zero = 0
+  let one = 1
+  let add = ( + )
+  let mul = ( * )
+  let neg = Some Int.neg
+  let is_zero s = s = 0
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+(* AVG is not ring-valued on its own (averages of averages lose the
+   weights), but the pair (sum, count) is: the product ring of Sum and
+   Count, projected to sum/count only at rendering time. *)
+module Avg = struct
+  type t = int * int
+
+  let name = "avg"
+  let zero = (Sum.zero, Count.zero)
+  let one = (Sum.one, Count.one)
+  let add (s1, c1) (s2, c2) = (Sum.add s1 s2, Count.add c1 c2)
+  let mul (s1, c1) (s2, c2) = (Sum.mul s1 s2, Count.mul c1 c2)
+  let neg =
+    match Sum.neg, Count.neg with
+    | Some ns, Some nc -> Some (fun (s, c) -> (ns s, nc c))
+    | _ -> None
+
+  let is_zero (s, c) = Sum.is_zero s && Count.is_zero c
+  let equal (s1, c1) (s2, c2) = Sum.equal s1 s2 && Count.equal c1 c2
+  let pp ppf (s, c) = Format.fprintf ppf "(%d, %d)" s c
+end
+
+(* MIN and MAX are commutative idempotent monoids over [Value.t option]
+   ([None] = no support yet): [add] keeps the extremum, there is no
+   additive inverse ([neg = None] — deleting the extremum needs a
+   rescan), and [mul = add] so both distributive laws hold trivially
+   (idempotence: a+(a*b) = a+a+b = a+b). *)
+module Min = struct
+  type t = Value.t option
+
+  let name = "min"
+  let zero = None
+  let one = None
+
+  let add a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if Value.compare x y <= 0 then x else y)
+
+  let mul = add
+  let neg = None
+  let is_zero = Option.is_none
+  let equal = Option.equal Value.equal
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some v -> Value.pp ppf v
+end
+
+module Max = struct
+  type t = Value.t option
+
+  let name = "max"
+  let zero = None
+  let one = None
+
+  let add a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some x, Some y -> Some (if Value.compare x y >= 0 then x else y)
+
+  let mul = add
+  let neg = None
+  let is_zero = Option.is_none
+  let equal = Option.equal Value.equal
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "-"
+    | Some v -> Value.pp ppf v
+end

@@ -1,0 +1,46 @@
+(** Payload rings: the algebraic structures view payloads live in.
+
+    The paper's multiplicity counter (Section 5.2, alternative 1) is the
+    COUNT instance; the other instances generalize maintenance to
+    SUM/AVG (genuine rings, deletions are additions of negations) and
+    MIN/MAX (idempotent monoids without inverses, so deletions of the
+    extremum force a per-group rescan).  [Relation]'s counter arithmetic
+    is routed through {!Count} so the counted-relation semantics are a
+    special case, not a parallel code path. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+
+  (** [Some neg] when every element has an additive inverse (true
+      rings: deletions maintain incrementally); [None] for the
+      idempotent monoids MIN/MAX ("inverse where claimed" — the QCheck
+      law suite only tests inverses for instances that claim one). *)
+  val neg : (t -> t) option
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** The paper's multiplicity counter: (ℤ, +, ×). *)
+module Count : S with type t = int
+
+(** SUM over an int attribute: (ℤ, +, ×). *)
+module Sum : S with type t = int
+
+(** AVG as the product ring SUM × COUNT; rendered as sum/count only at
+    the edge. *)
+module Avg : S with type t = int * int
+
+(** MIN as an idempotent commutative monoid over [Value.t option];
+    [mul = add], [neg = None]. *)
+module Min : S with type t = Value.t option
+
+(** MAX, dually. *)
+module Max : S with type t = Value.t option

@@ -3,6 +3,7 @@ open Relalg
 type entry =
   | Update of { relation : Relation.t; tuple : Tuple.t; delta : int }
   | Restore of { install : Relation.t -> unit; saved : Relation.t }
+  | Restore_fn of { undo : unit -> unit }
 
 (* [entries] is newest-first, so rollback is a plain left-to-right
    iteration. *)
@@ -23,6 +24,8 @@ let update j r t delta =
 let record_restore j ~install ~saved =
   push j (Restore { install; saved }) (24 + (16 * Relation.cardinal saved))
 
+let record_restore_fn j undo = push j (Restore_fn { undo }) 24
+
 let append ~into sub =
   into.entries <- sub.entries @ into.entries;
   into.count <- into.count + sub.count;
@@ -39,7 +42,8 @@ let rollback j =
   List.iter
     (function
       | Update { relation; tuple; delta } -> Relation.update relation tuple (-delta)
-      | Restore { install; saved } -> install saved)
+      | Restore { install; saved } -> install saved
+      | Restore_fn { undo } -> undo ())
     es
 
 let entries j = j.count

@@ -34,6 +34,13 @@ val record_restore :
     performing the replacement being protected (e.g. a view
     recompute), with [saved] the relation being replaced. *)
 
+val record_restore_fn : t -> (unit -> unit) -> unit
+(** [record_restore_fn j undo] records an opaque undo action.  Because
+    rollback runs newest-first, record it {e before} the mutations it
+    repairs: their per-tuple inverses run first, then [undo] sees the
+    restored state.  Used by aggregate views to rebuild derived
+    per-group state from the rolled-back inner materialization. *)
+
 val append : into:t -> t -> unit
 (** [append ~into sub] moves [sub]'s entries into [into] as if they
     had been recorded there after everything [into] already holds.

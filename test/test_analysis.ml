@@ -520,6 +520,175 @@ let self_maintain_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* IVM060-IVM063: aggregates and view towers                           *)
+(* ------------------------------------------------------------------ *)
+
+let agg func output = { Query.Aggregate.func; output }
+
+let mixed_db () =
+  db_of [ ("R", rel [ "A"; "B" ] [ [ 1; 2 ] ]) ]
+
+let string_db () =
+  let schema =
+    Schema.make [ ("A", Value.Int_ty); ("NAME", Value.Str_ty) ]
+  in
+  let db = Database.create () in
+  Database.register db "P" (Relation.of_tuples schema []);
+  db
+
+let severity_of_code' c ds =
+  List.filter_map
+    (fun d ->
+      if String.equal d.Diagnostic.code c then Some d.Diagnostic.severity
+      else None)
+    ds
+
+let aggregate_tests =
+  [
+    quick "a clean grouped view lints clean" (fun () ->
+        let ds =
+          diags (mixed_db ())
+            Expr.(
+              group_by ~keys:[ "B" ]
+                [ agg Query.Aggregate.Count "cnt";
+                  agg (Query.Aggregate.Sum "A") "sum_a" ]
+                (base "R"))
+        in
+        Alcotest.(check (list string)) "no IVM06x errors" []
+          (codes (List.filter (fun d -> d.Diagnostic.severity = Diagnostic.Error) ds)));
+    quick "IVM060: aggregate over a missing attribute is an error" (fun () ->
+        let ds =
+          diags (mixed_db ())
+            Expr.(
+              group_by ~keys:[ "B" ]
+                [ agg (Query.Aggregate.Sum "Z") "sum_z" ]
+                (base "R"))
+        in
+        Alcotest.(check bool) "IVM060" true (has_code "IVM060" ds);
+        Alcotest.(check (list string)) "names the attribute" [ "Z" ]
+          (contexts_of_code "IVM060" ds);
+        Alcotest.(check bool) "error severity" true
+          (severity_of_code' "IVM060" ds = [ Diagnostic.Error ]));
+    quick "IVM060: SUM over a string attribute is an error, MIN is not"
+      (fun () ->
+        let bad =
+          diags (string_db ())
+            Expr.(
+              group_by ~keys:[]
+                [ agg (Query.Aggregate.Sum "NAME") "sum_name" ]
+                (base "P"))
+        in
+        Alcotest.(check bool) "SUM(NAME) is IVM060" true
+          (has_code "IVM060" bad);
+        let fine =
+          diags (string_db ())
+            Expr.(
+              group_by ~keys:[]
+                [ agg (Query.Aggregate.Min "NAME") "min_name" ]
+                (base "P"))
+        in
+        Alcotest.(check bool) "MIN(NAME) folds in an order monoid" false
+          (has_code "IVM060" fine));
+    quick "IVM061: a group key the inner expression drops is an error"
+      (fun () ->
+        let ds =
+          diags (mixed_db ())
+            Expr.(
+              group_by ~keys:[ "B" ]
+                [ agg Query.Aggregate.Count "cnt" ]
+                (project [ "A" ] (base "R")))
+        in
+        Alcotest.(check bool) "IVM061" true (has_code "IVM061" ds);
+        Alcotest.(check (list string)) "names the key" [ "B" ]
+          (contexts_of_code "IVM061" ds));
+    quick "IVM061: colliding output columns are an error" (fun () ->
+        let ds =
+          diags (mixed_db ())
+            Expr.(
+              group_by ~keys:[ "B" ]
+                [ agg Query.Aggregate.Count "B" ]
+                (base "R"))
+        in
+        Alcotest.(check (list string)) "names the collision" [ "B" ]
+          (contexts_of_code "IVM061" ds));
+    quick "IVM062: a self-referencing definition is an error" (fun () ->
+        let db = mixed_db () in
+        let lookup name =
+          if String.equal name "loop" then Helpers.int_schema [ "A" ]
+          else lookup_of db name
+        in
+        let ds =
+          Analyzer.run_expr ~view_name:"loop" ~lookup
+            Expr.(project [ "A" ] (base "loop"))
+        in
+        Alcotest.(check bool) "IVM062" true (has_code "IVM062" ds);
+        Alcotest.(check bool) "error severity" true
+          (severity_of_code' "IVM062" ds = [ Diagnostic.Error ]);
+        (* The cycle short-circuits compilation: no spurious IVM000. *)
+        Alcotest.(check bool) "no IVM000" false (has_code "IVM000" ds));
+    quick "IVM063: MIN/MAX carry the rescan hint, COUNT/SUM do not"
+      (fun () ->
+        let ds =
+          diags (mixed_db ())
+            Expr.(
+              group_by ~keys:[ "B" ]
+                [ agg (Query.Aggregate.Min "A") "min_a";
+                  agg (Query.Aggregate.Sum "A") "sum_a" ]
+                (base "R"))
+        in
+        Alcotest.(check (list string)) "hint names the target" [ "min_a" ]
+          (contexts_of_code "IVM063" ds);
+        Alcotest.(check bool) "hint severity" true
+          (severity_of_code' "IVM063" ds = [ Diagnostic.Hint ]);
+        Alcotest.(check bool) "analyzer still ok" true (Analyzer.ok ds));
+    quick "IVM06* prefix query selects exactly the band" (fun () ->
+        let ds =
+          diags (mixed_db ())
+            Expr.(
+              group_by ~keys:[ "Z" ]
+                [ agg (Query.Aggregate.Max "Q") "Z" ]
+                (base "R"))
+        in
+        let band = Diagnostic.with_code "IVM06*" ds in
+        Alcotest.(check bool) "nonempty" true (band <> []);
+        Alcotest.(check bool) "only IVM06x codes" true
+          (List.for_all
+             (fun d ->
+               String.length d.Diagnostic.code = 6
+               && String.sub d.Diagnostic.code 0 5 = "IVM06")
+             band));
+    quick "manager gate: IVM060 errors reject the definition" (fun () ->
+        let mgr = Manager.create (mixed_db ()) in
+        (match
+           Manager.define_view mgr ~name:"bad"
+             Expr.(
+               group_by ~keys:[ "B" ]
+                 [ agg (Query.Aggregate.Sum "Z") "sum_z" ]
+                 (base "R"))
+         with
+        | _ -> Alcotest.fail "IVM060 definition was accepted"
+        | exception Manager.Rejected ds ->
+          Alcotest.(check bool) "carries IVM060" true (has_code "IVM060" ds));
+        Alcotest.(check (list string)) "nothing registered" []
+          (Manager.view_names mgr));
+    quick "manager gate: the DAG is enforced by definition order" (fun () ->
+        (* A definition can only reference already-registered names and a
+           name registers exactly once, so the single representable cycle
+           is a self-reference (IVM062 at the analyzer); every other
+           shape dies on the name check before any evaluation. *)
+        let mgr = Manager.create (mixed_db ()) in
+        ignore
+          (Manager.define_view mgr ~name:"loop"
+             Expr.(project [ "A" ] (base "R")));
+        Alcotest.check_raises "redefinition is rejected"
+          (Invalid_argument "Manager.define_view: \"loop\" already exists")
+          (fun () ->
+            ignore
+              (Manager.define_view mgr ~name:"loop"
+                 Expr.(project [ "A" ] (base "loop")))));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: Satisfiability never answers Unsat on a conjunction a       *)
 (* brute-force enumerator can satisfy (IVM001 soundness guard)         *)
 (* ------------------------------------------------------------------ *)
@@ -582,6 +751,7 @@ let () =
       ("IVM030/IVM031: projection", projection_tests);
       ("IVM040: typing", ivm040_tests);
       ("IVM050-IVM054: self-maintenance", self_maintain_tests);
+      ("IVM060-IVM063: aggregates and towers", aggregate_tests);
       ("manager gate", manager_tests);
       ("properties", property_tests);
     ]

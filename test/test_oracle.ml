@@ -194,6 +194,59 @@ let corruption_tests =
         Alcotest.(check int) "one transaction left" 1
           (List.length m.Stream.transactions);
         Alcotest.(check int) "one view left" 1 (List.length m.Stream.views));
+    quick "corrupted aggregate payload is caught and shrunk" (fun () ->
+        (* Deliberately corrupt the first GROUP BY view's rendered
+           payload: bump one aggregate column of one group (or smuggle
+           in a spurious group when the view is empty).  The lockstep
+           compare must flag it, and the shrinker must keep an
+           aggregate view while minimizing — drop_views candidates that
+           orphan a tower child are rejected by Stream.well_formed. *)
+        let is_aggregate (spec : Stream.view_spec) =
+          Option.is_some (Query.Expr.aggregate spec.Stream.expr)
+        in
+        let corrupt (s : Stream.t) mgr _index =
+          match List.find_opt is_aggregate s.Stream.views with
+          | None -> ()
+          | Some spec ->
+            let view = Manager.view mgr spec.Stream.view_name in
+            let contents = View.contents view in
+            (match Relation.elements contents with
+            | (t, _) :: _ ->
+              let t' = Array.copy t in
+              let last = Array.length t' - 1 in
+              (t'.(last) <-
+                 (match t'.(last) with
+                 | Value.Int n -> Value.Int (n + 1)
+                 | other -> other));
+              Relation.remove contents t;
+              Relation.add contents t'
+            | [] ->
+              let width = List.length (Schema.attrs (View.schema view)) in
+              Relation.add contents
+                (Tuple.of_ints (List.init width (fun _ -> 999))))
+        in
+        let s =
+          Stream.generate ~aggregates:true ~seed:2027 ~transactions:12 ()
+        in
+        Alcotest.(check bool) "stream draws an aggregate view" true
+          (List.exists is_aggregate s.Stream.views);
+        (match Harness.run ~corrupt:(corrupt s) s with
+        | None -> Alcotest.fail "corrupted aggregate payload went unnoticed"
+        | Some d ->
+          Alcotest.(check int) "caught on the first commit" 0
+            d.Harness.transaction_index);
+        let fails c =
+          Stream.well_formed c && Harness.run ~corrupt:(corrupt c) c <> None
+        in
+        let m = Shrink.minimize fails s in
+        Alcotest.(check bool) "minimized still fails" true (fails m);
+        Alcotest.(check bool) "minimized keeps an aggregate view" true
+          (List.exists is_aggregate m.Stream.views);
+        Alcotest.(check bool)
+          (Printf.sprintf "shrunk from %d to %d" (Stream.size s)
+             (Stream.size m))
+          true
+          (Stream.size m < Stream.size s));
     quick "fuzz loop packages the counterexample" (fun () ->
         (* Fuzz.run generates fresh streams internally, so inject the bug
            via the harness directly and check the packaging layer through
@@ -233,10 +286,38 @@ let survives_faults ~domains ~policy seed =
       (Format.asprintf "%a" Harness.pp_divergence d)
       (Format.asprintf "%a" Stream.pp s)
 
+(* The aggregate arm: streams additionally draw GROUP BY views and a
+   tower of dependents ({!Stream.generate}). *)
+let agrees_aggregates ~domains seed =
+  let s = Stream.generate ~aggregates:true ~domains ~seed ~transactions:12 () in
+  match Harness.run s with
+  | None -> true
+  | Some d ->
+    QCheck.Test.fail_reportf "%s@.%s"
+      (Format.asprintf "%a" Harness.pp_divergence d)
+      (Format.asprintf "%a" Stream.pp s)
+
+let survives_faults_aggregates ~domains ~policy seed =
+  let s = Stream.generate ~aggregates:true ~domains ~seed ~transactions:12 () in
+  match Harness.run ~fault_rate:0.1 ~policy s with
+  | None -> true
+  | Some d ->
+    QCheck.Test.fail_reportf "%s@.%s"
+      (Format.asprintf "%a" Harness.pp_divergence d)
+      (Format.asprintf "%a" Stream.pp s)
+
 let equivalence_tests =
   [
     property "engine = oracle on random streams (domains=1)" (agrees ~domains:1);
     property "engine = oracle on random streams (domains=4)" (agrees ~domains:4);
+    property ~count:60 "engine = oracle with aggregates and towers (domains=1)"
+      (agrees_aggregates ~domains:1);
+    property ~count:60 "engine = oracle with aggregates and towers (domains=4)"
+      (agrees_aggregates ~domains:4);
+    property ~count:30
+      "faulted aggregate streams uphold the quarantine contract"
+      (survives_faults_aggregates ~domains:2
+         ~policy:Resilience.Policy.Quarantine);
     property ~count:40 "faulted streams uphold the abort contract (domains=1)"
       (survives_faults ~domains:1 ~policy:Resilience.Policy.Abort);
     property ~count:40

@@ -524,6 +524,22 @@ let run_parallel_workload ?(shard_min = Delta_eval.default_shard_min) ~domains
       Expr.(project [ "A"; "C" ] (select (v "C" >% i 2) (join (base "R") (base "S"))));
       Expr.(join_all [ base "R"; base "S"; base "T" ]);
       Expr.(select ((v "B" >=% i 2) &&% (v "C" <=% i 15)) (join (base "S") (base "T")));
+      (* Ring-valued payloads must survive sharding bit-identically too:
+         one grouped view over the same family rides in every view set. *)
+      Expr.(
+        group_by ~keys:[ "B" ]
+          [
+            { Query.Aggregate.func = Query.Aggregate.Count; output = "cnt" };
+            {
+              Query.Aggregate.func = Query.Aggregate.Sum "A";
+              output = "sum_a";
+            };
+            {
+              Query.Aggregate.func = Query.Aggregate.Min "A";
+              output = "min_a";
+            };
+          ]
+          (base "R"));
     ]
   in
   List.iteri
@@ -544,6 +560,12 @@ let run_parallel_workload ?(shard_min = Delta_eval.default_shard_min) ~domains
   ignore
     (Manager.define_view mgr ~name:"deferred" ~mode:Manager.Deferred ~force:true
        Expr.(project [ "B" ] (base "R")));
+  (* A dependent view over the grouped view: the dependents phase must
+     also commute with sharding and parallelism. *)
+  ignore
+    (Manager.define_view mgr ~name:"tower" ~force:true
+       ~options:{ Maintenance.default_options with shard_min }
+       Expr.(select (v "cnt" >% i 1) (base "v5")));
   let report_keys = ref [] in
   for _ = 1 to 4 do
     let txn = Generate.mixed_transaction rng scenario.db scenario.update_specs in

@@ -159,6 +159,8 @@ let commit_gen =
     let* rows_evaluated = int_range 0 1000 in
     let* delta_inserts = int_range 0 100 in
     let* delta_deletes = int_range 0 100 in
+    let* groups_touched = int_range 0 100 in
+    let* rescans = int_range 0 20 in
     let* screen_ns = int_range 0 1_000_000 in
     let* eval_ns = int_range 0 1_000_000 in
     let* apply_ns = int_range 0 1_000_000 in
@@ -167,7 +169,8 @@ let commit_gen =
       {
         Obs.Provenance.view; strategy; fallback; advisor; screen_rules;
         screened_kept; screened_out; rows_evaluated; delta_inserts;
-        delta_deletes; screen_ns; eval_ns; apply_ns; total_ns;
+        delta_deletes; groups_touched; rescans; screen_ns; eval_ns; apply_ns;
+        total_ns;
       }
   in
   let event =
@@ -473,6 +476,14 @@ let sample_snapshot () =
             ("self_maintained_commits", Obs.Json.Int 60);
             ("eval_reduction", Obs.Json.Float 8.0);
           ] );
+      ( "aggregate",
+        Obs.Json.Obj
+          [
+            ("commits", Obs.Json.Int 60);
+            ("groups_touched", Obs.Json.Int 700);
+            ("rescans", Obs.Json.Int 17);
+            ("speedup", Obs.Json.Float 25.0);
+          ] );
     ]
 
 let diff_tests =
@@ -504,7 +515,9 @@ let diff_tests =
         caught "screening ratio";
         caught "advisor.pairs";
         caught "coverage broke";
-        caught "eval_reduction");
+        caught "eval_reduction";
+        caught "aggregate.groups_touched";
+        caught "aggregate.speedup");
     quick "timing drift is a note by default, a regression when checked"
       (fun () ->
         let s = sample_snapshot () in

@@ -29,6 +29,13 @@ for d in 1 2 4; do
   # quarantine views that self-heal before the stream ends.
   dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 50 \
     --transactions 40 --domains "$d" --fault-rate 0.05 --quiet
+  # Aggregate arm: the same lockstep gate with GROUP BY views
+  # (COUNT/SUM/AVG/MIN/MAX payload rings) and 2-level view towers drawn
+  # into every stream, plain and under fault injection.
+  dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 25 \
+    --transactions 40 --domains "$d" --aggregates --quiet
+  dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 25 \
+    --transactions 40 --domains "$d" --aggregates --fault-rate 0.05 --quiet
   # Provenance smoke: the explain pipeline must replay the paper demo
   # (screening rules, keyed drain, certificate fallback) and emit
   # parseable JSON, and the OpenMetrics exposition must end in # EOF.
@@ -45,6 +52,20 @@ dune exec bin/ivm_cli.exe -- lint --all-scenarios
 # IVM05x self-maintainability band (proof the analysis still runs).
 dune exec bin/ivm_cli.exe -- lint --all-scenarios --json > lint.json
 dune exec tools/validate_snapshot.exe -- lint lint.json
+
+# IVM06x exit contract: a clean GROUP BY definition lints with the
+# MIN/MAX rescan hint at exit 0; an aggregate over a missing attribute
+# is an IVM060 Error and must exit 1, in --json mode too.
+dune exec bin/ivm_cli.exe -- lint --dir data --json \
+  "SELECT B, COUNT(*) AS CNT, MIN(A) AS MIN_A FROM R GROUP BY B" \
+  | grep -q '"IVM063"'
+if dune exec bin/ivm_cli.exe -- lint --dir data --json \
+  "SELECT B, SUM(Z) AS SUM_Z FROM R GROUP BY B" > lint_bad.json; then
+  echo "check.sh: IVM060 lint was expected to exit 1" >&2
+  exit 1
+fi
+grep -q '"IVM060"' lint_bad.json
+rm -f lint_bad.json
 
 # Bench smoke: one cheap section; every run also writes BENCH_IVM.json
 # (including the E21 self-maintenance comparison the validator gates).

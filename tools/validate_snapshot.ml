@@ -6,7 +6,7 @@
                                       contain spans for every Algorithm
                                       5.1 phase (net, screen, row, apply);
      validate_snapshot bench FILE   — BENCH_IVM.json from bench/main.exe:
-                                      must parse, be schema_version >= 6,
+                                      must parse, be schema_version >= 7,
                                       and carry per-view latency
                                       percentiles, advisor
                                       predicted-vs-actual pairs, the
@@ -29,7 +29,10 @@
                                       the certified path, and the E22
                                       provenance section whose always-on
                                       flight-recorder overhead must stay
-                                      within the same 5% budget;
+                                      within the same 5% budget, and the
+                                      E24 aggregate section whose
+                                      incremental grouped maintenance
+                                      must beat full recompute (> 1x);
      validate_snapshot lint FILE    — report from `ivm_cli lint --json`:
                                       must parse, carry no Error-severity
                                       diagnostics, and prove the
@@ -112,11 +115,11 @@ let validate_bench path =
   ignore (require_member "calibration" advisor);
   ignore (require_member "metrics" json);
   (match require_member "schema_version" json with
-  | Obs.Json.Int v when v >= 6 -> ()
+  | Obs.Json.Int v when v >= 7 -> ()
   | Obs.Json.Int v ->
-    fail "schema_version %d < 6 (split E18 per_view / E23 sharded parallel \
-          curves, E20 resilience, E21 self-maintenance and E22 provenance \
-          sections required)" v
+    fail "schema_version %d < 7 (split E18 per_view / E23 sharded parallel \
+          curves, E20 resilience, E21 self-maintenance, E22 provenance and \
+          E24 aggregate sections required)" v
   | _ -> fail "schema_version is not an integer");
   let parallel = require_member "parallel" json in
   let cores =
@@ -285,6 +288,40 @@ let validate_bench path =
       "provenance.recorder_overhead_pct %.2f exceeds the %.1f%% always-on \
        budget"
       recorder_overhead max_overhead_pct;
+  let aggregate = require_member "aggregate" json in
+  let aggregate_member key =
+    match Obs.Json.member key aggregate with
+    | Some v -> v
+    | None -> fail "aggregate section has no %S field" key
+  in
+  List.iter
+    (fun key ->
+      match aggregate_member key with
+      | Obs.Json.Int n when n > 0 -> ()
+      | _ -> fail "aggregate.%s is not a positive integer" key)
+    [
+      "commits"; "differential_total_ns"; "recompute_total_ns";
+      "groups_touched";
+    ];
+  (* MIN/MAX rescans only fire when an extremum's support drains to zero,
+     so zero is a legitimate count — but the field must be present. *)
+  (match aggregate_member "rescans" with
+  | Obs.Json.Int n when n >= 0 -> ()
+  | _ -> fail "aggregate.rescans is not a non-negative integer");
+  (* Touching only the groups a batch hits must beat re-grouping the
+     whole base relation every commit — the exact factor is
+     hardware-dependent, so the gate is > 1x, not a target. *)
+  let aggregate_speedup =
+    match aggregate_member "speedup" with
+    | Obs.Json.Float s -> s
+    | Obs.Json.Int s -> float_of_int s
+    | _ -> fail "aggregate.speedup is not a number"
+  in
+  if aggregate_speedup <= 1.0 then
+    fail
+      "aggregate.speedup %.2fx: incremental grouped maintenance should beat \
+       full recompute on small mixed batches"
+      aggregate_speedup;
   let sharded_at_4 =
     List.fold_left
       (fun acc (_, domains, value) -> if domains = 4 then value else acc)
@@ -293,10 +330,11 @@ let validate_bench path =
   Printf.printf
     "ok: %s (%d views, %d advisor pairs, per_view + sharded scaling curves, \
      sharded %.2fx at 4 domains%s, journal overhead %+.2f%%, \
-     self-maintenance eval reduction %.2fx, recorder overhead %+.2f%%)\n"
+     self-maintenance eval reduction %.2fx, recorder overhead %+.2f%%, \
+     aggregate speedup %.2fx)\n"
     path (List.length views) (List.length pairs) sharded_at_4
     (if cores < 4 then " (ungated)" else " (gated >= 1.5x)")
-    overhead reduction recorder_overhead
+    overhead reduction recorder_overhead aggregate_speedup
 
 (* `ivm_cli lint --json` over the built-in scenarios: parseable, no
    Error-severity diagnostics, and the IVM05x self-maintenance band must
