@@ -1,0 +1,224 @@
+(* E25: durable commit pipeline — WAL overhead and recovery time.
+
+   Two questions gate this experiment.  First, what does durability cost
+   on the happy path?  The same canonical small-batch workload runs with
+   the WAL off and on (group commit, one fsync per [group_commit]
+   records), the two pipelines advancing in alternating commit slices —
+   the median trial ratio is the overhead, held to 10% by the snapshot
+   gate.  Second, how does recovery scale?  A
+   WAL-only log (no mid-run checkpoints) of N commits is recovered into
+   a fresh manager for N in {50, 200, 800}: replay must touch exactly N
+   records and the wall-clock curve shows the cost a checkpoint cadence
+   amortizes. *)
+
+module Manager = Ivm.Manager
+module Maintenance = Ivm.Maintenance
+module Generate = Workload.Generate
+module Scenario = Workload.Scenario
+module Rng = Workload.Rng
+
+let group_commit = 64
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ivm-bench-%s-%d" name (Unix.getpid ()))
+
+let clean dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* The E25 workload: the orders dashboard under small mixed batches —
+   differential maintenance territory, where per-commit WAL framing is
+   the largest relative cost.  [setup] returns the manager plus a
+   one-commit thunk so callers can put scenario construction outside a
+   timed region. *)
+let setup ?durability () =
+  let rng = Rng.make 925 in
+  let sc = Scenario.orders ~rng ~customers:200 ~orders:4_000 in
+  let db = sc.Scenario.db in
+  let mgr = Manager.create ?durability db in
+  let open Condition.Formula.Dsl in
+  ignore
+    (Manager.define_view mgr ~name:"dashboard"
+       Query.Expr.(
+         project
+           [ "oid"; "cid"; "amount" ]
+           (select
+              ((v "amount" >% i 900) &&% (v "region" =% s "north"))
+              (join (base "orders") (base "customers")))));
+  ignore
+    (Manager.define_view mgr ~name:"hot_orders"
+       Query.Expr.(
+         project [ "oid"; "amount" ] (select (v "amount" >% i 950) (base "orders"))));
+  let columns = Scenario.columns_of sc "orders" in
+  let commit () =
+    let txn =
+      Generate.transaction rng db "orders" ~columns ~inserts:4 ~deletes:4
+    in
+    ignore (Manager.commit mgr txn)
+  in
+  (mgr, commit)
+
+let run_workload ?durability ~transactions () =
+  let mgr, commit = setup ?durability () in
+  for _ = 1 to transactions do
+    commit ()
+  done;
+  mgr
+
+let overhead_transactions = 300
+let chunk = 25
+
+(* The gated number is steady-state commit cost, so the timed region is
+   the commit loop alone: scenario construction is identical on both
+   sides and only adds noise, and the first commit of each side is
+   untimed because on the durable side it writes the baseline
+   checkpoint — a one-shot setup cost amortized over the log's
+   lifetime, not a per-commit price (the recovery curve below accounts
+   for checkpoint cost explicitly).  Within a trial the two pipelines
+   advance in alternating [chunk]-commit slices, so a load spike or GC
+   pause lands on both sides of the ratio instead of inflating one arm;
+   the reported number is the median trial ratio. *)
+let one_trial dir () =
+  (* Every trial writes a fresh log: leftover durable state would
+     demand recovery before the first commit. *)
+  clean dir;
+  let durability =
+    Durability.Config.make
+      ~fsync:(Durability.Config.Every group_commit)
+      ~checkpoint_every:0 dir
+  in
+  let _off_mgr, commit_off = setup () in
+  let _on_mgr, commit_on = setup ~durability () in
+  commit_off ();
+  commit_on ();
+  let off_t = ref 0.0 and on_t = ref 0.0 in
+  for _ = 1 to overhead_transactions / chunk do
+    off_t :=
+      !off_t
+      +. Bench_util.time_once (fun () ->
+             for _ = 1 to chunk do
+               commit_off ()
+             done);
+    on_t :=
+      !on_t
+      +. Bench_util.time_once (fun () ->
+             for _ = 1 to chunk do
+               commit_on ()
+             done)
+  done;
+  (!on_t, !off_t, !on_t /. !off_t)
+
+let measure_overhead ?(trials = 5) () =
+  let dir = tmp "e25-wal" in
+  Fun.protect
+    ~finally:(fun () -> clean dir)
+    (fun () ->
+      ignore (one_trial dir ());
+      let samples = List.init trials (fun _ -> one_trial dir ()) in
+      let sorted =
+        List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) samples
+      in
+      let on_t, off_t, ratio = List.nth sorted (trials / 2) in
+      (on_t, off_t, (ratio -. 1.0) *. 100.0))
+
+let curve_points = [ 50; 200; 800 ]
+
+let measure_recovery () =
+  List.map
+    (fun commits ->
+      let dir = tmp (Printf.sprintf "e25-recovery-%d" commits) in
+      clean dir;
+      Fun.protect
+        ~finally:(fun () -> clean dir)
+        (fun () ->
+          let durability () =
+            (* [Never]: building the log should not pay per-record
+               syncs; recovery cost is what is being measured. *)
+            Durability.Config.make ~fsync:Durability.Config.Never
+              ~checkpoint_every:0 dir
+          in
+          ignore
+            (run_workload ~durability:(durability ()) ~transactions:commits ());
+          (* Build the empty manager outside the timer: scenario
+             construction is not recovery cost. *)
+          let mgr = run_workload ~durability:(durability ()) ~transactions:0 () in
+          let info = ref None in
+          let seconds =
+            Bench_util.time_once (fun () -> info := Some (Manager.recover mgr))
+          in
+          let info = Option.get !info in
+          (commits, seconds, info.Manager.records_replayed)))
+    curve_points
+
+(* Both the table and the snapshot JSON want the same numbers; measure
+   once per process. *)
+let results =
+  lazy
+    (let wal, in_memory, overhead_pct = measure_overhead () in
+     let curve = measure_recovery () in
+     (wal, in_memory, overhead_pct, curve))
+
+let e25_json () =
+  let wal, in_memory, overhead_pct, curve = Lazy.force results in
+  Obs.Json.Obj
+    [
+      ("fsync_every", Obs.Json.Int group_commit);
+      ("in_memory_ns", Obs.Json.Int (int_of_float (in_memory *. 1e9)));
+      ("wal_ns", Obs.Json.Int (int_of_float (wal *. 1e9)));
+      ("wal_overhead_pct", Obs.Json.Float overhead_pct);
+      ( "recovery_curve",
+        Obs.Json.List
+          (List.map
+             (fun (commits, seconds, replayed) ->
+               Obs.Json.Obj
+                 [
+                   ("commits", Obs.Json.Int commits);
+                   ("recovery_ns", Obs.Json.Int (int_of_float (seconds *. 1e9)));
+                   ("records_replayed", Obs.Json.Int replayed);
+                   ( "records_per_sec",
+                     Obs.Json.Float (float_of_int replayed /. seconds) );
+                 ])
+             curve) );
+      ( "records_replayed_total",
+        Obs.Json.Int (List.fold_left (fun acc (_, _, r) -> acc + r) 0 curve) );
+    ]
+
+let run () =
+  Bench_util.section
+    "E25: durable commit pipeline (WAL overhead and recovery time)";
+  let wal, in_memory, overhead_pct, curve = Lazy.force results in
+  Bench_util.banner
+    (Printf.sprintf
+       "write-ahead logging overhead (%d commits, group commit every %d)"
+       overhead_transactions group_commit);
+  Bench_util.print_table
+    ~header:[ "pipeline"; "elapsed"; "overhead" ]
+    [
+      [ "in-memory"; Bench_util.fmt_time in_memory; "-" ];
+      [
+        Printf.sprintf "wal (fsync every %d)" group_commit;
+        Bench_util.fmt_time wal;
+        Printf.sprintf "%+.2f%%" overhead_pct;
+      ];
+    ];
+  Bench_util.banner "recovery time vs log length (no mid-run checkpoints)";
+  Bench_util.print_table
+    ~header:[ "commits"; "recovery"; "records replayed"; "records/s" ]
+    (List.map
+       (fun (commits, seconds, replayed) ->
+         [
+           string_of_int commits;
+           Bench_util.fmt_time seconds;
+           string_of_int replayed;
+           Printf.sprintf "%.0f" (float_of_int replayed /. seconds);
+         ])
+       curve);
+  Printf.printf
+    "\nReplay touches exactly one record per commit; a checkpoint cadence\n\
+     (--checkpoint-every) bounds the tail and turns recovery into a\n\
+     constant-time restore plus the few records since the last snapshot.\n"

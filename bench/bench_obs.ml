@@ -157,8 +157,11 @@ let snapshot_json mgr =
              with its own curve and speedup fields;
          v7: adds the E24 "aggregate" section (incremental grouped
              aggregate maintenance vs full recompute, with the groups
-             touched and MIN/MAX rescan counts). *)
-      ("schema_version", Obs.Json.Int 7);
+             touched and MIN/MAX rescan counts);
+         v8: adds the E25 "durability" section (write-ahead-log
+             overhead vs the in-memory pipeline, and the recovery-time
+             curve over log length). *)
+      ("schema_version", Obs.Json.Int 8);
       ("generator", Obs.Json.Str "bench/main.exe");
       ( "views",
         Obs.Json.List
@@ -175,6 +178,7 @@ let snapshot_json mgr =
       ("resilience", resilience_json ());
       ("self_maintenance", Bench_selfmaint.e21_json ());
       ("aggregate", Bench_aggregate.e24_json ());
+      ("durability", Bench_durability.e25_json ());
       ("provenance", provenance_json ());
     ]
 

@@ -4,7 +4,7 @@
    Run everything:        dune exec bench/main.exe
    Run a single section:  dune exec bench/main.exe -- tables screening
    Sections: tables screening views sat ablation crossover snapshot obs
-   parallel selfmaint aggregate *)
+   parallel selfmaint aggregate durability *)
 
 let sections =
   [
@@ -19,6 +19,7 @@ let sections =
     ("parallel", Bench_parallel.run);
     ("selfmaint", Bench_selfmaint.run);
     ("aggregate", Bench_aggregate.run);
+    ("durability", Bench_durability.run);
   ]
 
 let () =

@@ -118,11 +118,26 @@ let run_check seed rounds transactions verbose =
 (* ivm-cli stream                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_stream seed transactions batch screen domains =
+(* The deterministic durable workload shared by `stream --wal` and
+   `recover`: the same seed rebuilds the same initial database and view,
+   so a recovery in a fresh process starts from the state the logged
+   records expect. *)
+let durability_config ~wal ~fsync_every ~checkpoint_every =
+  Option.map
+    (fun dir ->
+      let fsync =
+        if fsync_every <= 0 then Durability.Config.Never
+        else if fsync_every = 1 then Durability.Config.Always
+        else Durability.Config.Every fsync_every
+      in
+      Durability.Config.make ~fsync ~checkpoint_every dir)
+    wal
+
+let stream_manager ~seed ~screen ~domains ~durability =
   let rng = Rng.make seed in
   let scenario = Scenario.orders ~rng ~customers:200 ~orders:5_000 in
   let db = scenario.Scenario.db in
-  let mgr = Manager.create ?domains db in
+  let mgr = Manager.create ?domains ?durability db in
   let open Condition.Formula.Dsl in
   let options = { Maintenance.default_options with screen } in
   ignore
@@ -133,6 +148,31 @@ let run_stream seed transactions batch screen domains =
            (select
               ((v "amount" >% i 900) &&% (v "region" =% s "north"))
               (join (base "orders") (base "customers")))));
+  (mgr, scenario, rng)
+
+let print_recovery (info : Manager.recovery) =
+  Printf.printf
+    "recovered: checkpoint seq %d (lsn %d), %d records replayed, now at \
+     seq %d (lsn %d)%s\n"
+    info.Manager.checkpoint_seq info.Manager.checkpoint_lsn
+    info.Manager.records_replayed info.Manager.last_seq info.Manager.last_lsn
+    (if info.Manager.torn_bytes > 0 then
+       Printf.sprintf "; %d torn bytes truncated" info.Manager.torn_bytes
+     else "")
+
+let run_stream seed transactions batch screen domains wal fsync_every
+    checkpoint_every =
+  let durability = durability_config ~wal ~fsync_every ~checkpoint_every in
+  match stream_manager ~seed ~screen ~domains ~durability with
+  | exception Durability.Incompatible_wal msg ->
+    Printf.eprintf "incompatible wal: %s\n" msg;
+    1
+  | mgr, scenario, rng ->
+  let db = Manager.database mgr in
+  (* A WAL directory left by an earlier run holds durable state; recover
+     uniformly (a fresh directory recovers trivially) so this run's
+     commits append after it. *)
+  if Option.is_some durability then print_recovery (Manager.recover mgr);
   let total_time = ref 0.0 in
   let screened = ref 0 and kept = ref 0 in
   for _ = 1 to transactions do
@@ -159,6 +199,34 @@ let run_stream seed transactions batch screen domains =
     !screened (!screened + !kept)
     (Manager.all_consistent mgr);
   0
+
+(* ------------------------------------------------------------------ *)
+(* ivm-cli recover                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_recover seed screen domains wal fsync_every checkpoint_every =
+  let durability =
+    durability_config ~wal:(Some wal) ~fsync_every ~checkpoint_every
+  in
+  (* [Manager.create] already opens the log, so a foreign or corrupt
+     file surfaces there, not just in [recover]. *)
+  match
+    let mgr, _scenario, _rng =
+      stream_manager ~seed ~screen ~domains ~durability
+    in
+    let info = Manager.recover mgr in
+    (info, Manager.all_consistent mgr)
+  with
+  | info, ok ->
+    print_recovery info;
+    Printf.printf "consistent: %b\n" ok;
+    if ok then 0 else 1
+  | exception Durability.Incompatible_wal msg ->
+    Printf.eprintf "incompatible wal: %s\n" msg;
+    1
+  | exception Durability.Corrupt msg ->
+    Printf.eprintf "corrupt durable state: %s\n" msg;
+    1
 
 (* ------------------------------------------------------------------ *)
 (* ivm-cli query                                                       *)
@@ -439,7 +507,46 @@ let run_lint all_scenarios dir file keys quiet json code statements =
 (* ivm-cli fuzz                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_fuzz seed streams transactions domains fault_rate aggregates quiet =
+let run_crash_fuzz ~seed ~streams ~transactions ~domains ~fault_rate
+    ~aggregates ~quiet =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ivm-crash-%d" seed)
+  in
+  let progress k =
+    if (not quiet) && k mod 5 = 0 then begin
+      Printf.printf "crash fuzz: %d/%d streams clean\n" k streams;
+      flush stdout
+    end
+  in
+  let outcome =
+    Oracle.Crash.fuzz ~progress ~fault_rate ~aggregates ~dir ~seed ~streams
+      ~transactions ~domains ()
+  in
+  match outcome.Oracle.Crash.failure with
+  | None ->
+    Printf.printf
+      "crash fuzz passed: %d streams x %d transactions at domains=%d, seed \
+       %d; %d kills (%d with torn tails), %d WAL records replayed; every \
+       recovery was bit-identical to the durable frontier and idempotent\n"
+      outcome.Oracle.Crash.streams_run transactions domains seed
+      outcome.Oracle.Crash.crashes outcome.Oracle.Crash.torn
+      outcome.Oracle.Crash.replayed;
+    0
+  | Some (stream, divergence) ->
+    Printf.printf "crash fuzz FAILED on stream %d of %d (seed %d):\n\n"
+      outcome.Oracle.Crash.streams_run streams stream.Oracle.Stream.seed;
+    Format.printf "%a@." Oracle.Harness.pp_divergence divergence;
+    Printf.printf
+      "\nreplay: ivm-cli fuzz --crash --seed %d --streams 1 --transactions \
+       %d --domains %d --fault-rate %g%s\n"
+      stream.Oracle.Stream.seed transactions domains fault_rate
+      (if aggregates then " --aggregates" else "");
+    1
+
+let run_fuzz seed streams transactions domains fault_rate aggregates crash
+    quiet =
   (* Fault-injected fuzzing aborts thousands of commits on purpose; each
      abort would rewrite the same post-mortem dump over and over. *)
   Resilience.Flight.set_dir None;
@@ -448,6 +555,11 @@ let run_fuzz seed streams transactions domains fault_rate aggregates quiet =
     | Some d -> max 1 d
     | None -> Option.value ~default:1 (Exec.Pool.env_domains ())
   in
+  if crash then
+    let fault_rate = if fault_rate > 0.0 then fault_rate else 0.05 in
+    run_crash_fuzz ~seed ~streams ~transactions ~domains ~fault_rate
+      ~aggregates ~quiet
+  else
   let progress k =
     if (not quiet) && k mod 10 = 0 then begin
       Printf.printf "fuzz: %d/%d streams clean\n" k streams;
@@ -855,6 +967,27 @@ let check_cmd =
           re-evaluation.")
     Term.(const run_check $ seed_arg $ rounds $ transactions $ verbose)
 
+let screen_arg =
+  Arg.(
+    value & opt bool true
+    & info [ "screen" ] ~docv:"BOOL" ~doc:"Enable irrelevance screening.")
+
+let fsync_every_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fsync-every" ] ~docv:"N"
+        ~doc:
+          "Group-commit cadence: fsync the WAL every $(docv) appended \
+           records (1 = every commit, 0 = never, leave syncing to the OS).")
+
+let checkpoint_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot the full state and truncate the WAL every $(docv) \
+           records (0 = only the baseline checkpoint and recovery).")
+
 let stream_cmd =
   let transactions =
     Arg.(
@@ -866,17 +999,46 @@ let stream_cmd =
       value & opt int 10
       & info [ "batch" ] ~docv:"N" ~doc:"Updates per transaction.")
   in
-  let screen =
+  let wal =
     Arg.(
-      value & opt bool true
-      & info [ "screen" ] ~docv:"BOOL" ~doc:"Enable irrelevance screening.")
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Arm the durable commit pipeline: append every commit to \
+             $(docv)/wal.bin and checkpoint into $(docv)/checkpoint.bin.  A \
+             directory holding earlier state is recovered (and replayed \
+             into the view) before the stream starts; see the $(b,recover) \
+             subcommand.")
   in
   Cmd.v
     (Cmd.info "stream"
        ~doc:"Maintain a dashboard view over a transaction stream and report \
              timing and screening statistics.")
     Term.(
-      const run_stream $ seed_arg $ transactions $ batch $ screen $ domains_arg)
+      const run_stream $ seed_arg $ transactions $ batch $ screen_arg
+      $ domains_arg $ wal $ fsync_every_arg $ checkpoint_every_arg)
+
+let recover_cmd =
+  let wal =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:"Durability directory written by $(b,stream --wal).")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Recover the $(b,stream) workload from a durability directory: \
+          rebuild the seed-deterministic initial state, restore the \
+          checkpoint, replay the WAL tail through live maintenance, write a \
+          fresh checkpoint, and verify every view against full \
+          re-evaluation.  Exits nonzero if any recovered view is \
+          inconsistent.  Use the same $(b,--seed) the stream ran with.")
+    Term.(
+      const run_recover $ seed_arg $ screen_arg $ domains_arg $ wal
+      $ fsync_every_arg $ checkpoint_every_arg)
 
 let query_cmd =
   let dir =
@@ -1020,6 +1182,22 @@ let fuzz_cmd =
              every stream lockstep-checks ring-valued aggregate maintenance \
              and views over views against the oracle.")
   in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Crash-recovery lockstep gate: each stream runs against a \
+             write-ahead-logged manager with fault injection armed over the \
+             WAL kill points (append, fsync, apply, checkpoint, truncate).  \
+             An injected kill simulates process death — optionally tearing \
+             the last WAL record at a seed-chosen byte offset — after which \
+             the harness recovers into a fresh manager and requires the \
+             recovered state to be bit-identical to the durable frontier \
+             (quarantined and disabled views included), recovery to be \
+             idempotent, and the continued stream to agree with the oracle.  \
+             Defaults $(b,--fault-rate) to 0.05 when unset.")
+  in
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No progress output.")
   in
@@ -1040,7 +1218,7 @@ let fuzz_cmd =
           divergence, making it usable as a CI gate and for soak runs.")
     Term.(
       const run_fuzz $ seed_arg $ streams $ transactions $ domains_arg
-      $ fault_rate $ aggregates $ quiet)
+      $ fault_rate $ aggregates $ crash $ quiet)
 
 let scenario_arg =
   Arg.(
@@ -1192,6 +1370,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            example_cmd; check_cmd; stream_cmd; query_cmd; lint_cmd; fuzz_cmd;
-            stats_cmd; trace_cmd; explain_cmd; metrics_cmd;
+            example_cmd; check_cmd; stream_cmd; recover_cmd; query_cmd;
+            lint_cmd; fuzz_cmd; stats_cmd; trace_cmd; explain_cmd;
+            metrics_cmd;
           ]))

@@ -79,6 +79,9 @@ type quarantine = {
   backtrace : string;
   since : int; (* commit sequence number of the failure *)
   heal_failures : int;
+  next_eligible : int;
+      (* first commit sequence number at which the self-heal ladder may
+         try again (see Resilience.Retry.schedule) *)
 }
 
 type view_health =
@@ -119,6 +122,37 @@ type entry = {
   mutable health : view_health;
 }
 
+(* Durable (write-ahead logged) manager state.  [tail] holds the
+   records found on disk when the log was opened — [recover] replays
+   them; a manager over a non-empty log must recover before it may
+   commit. *)
+type durable = {
+  config : Durability.Config.t;
+  wal : Durability.Wal.t;
+  mutable tail : (int * Durability.Record.t) list;
+  mutable needs_recovery : bool;
+  mutable appended : bool; (* this manager instance appended a record *)
+  mutable baselined : bool; (* a checkpoint file exists on disk *)
+  mutable since_checkpoint : int;
+}
+
+(* Scripted-replay context, set while [recover] re-runs a logged
+   commit: [forced] maps view names to the error string their
+   maintenance faulted with live — replay forces them straight back
+   into quarantine instead of maintaining them. *)
+type replay = { forced : (string * string) list }
+
+(* Raised by replay in place of the originally injected fault; the
+   registered printer returns the recorded rendering verbatim, so the
+   quarantine a replayed fault produces carries the same [error] string
+   the live one did. *)
+exception Replayed of string
+
+let () =
+  Printexc.register_printer (function
+    | Replayed msg -> Some msg
+    | _ -> None)
+
 type t = {
   db : Database.t;
   catalog : Database.t;
@@ -129,14 +163,19 @@ type t = {
   pool : Exec.Pool.t;
   policy : Resilience.Policy.t;
   retry : Resilience.Retry.policy;
+  schedule : Resilience.Retry.schedule;
   mutable commit_seq : int;
   mutable entries : entry list; (* in definition order *)
+  mutable durable : durable option;
+  mutable replay : replay option;
 }
 
-(* A quarantined view is abandoned after this many failed self-heal
-   rounds (each a full retry budget of differential drains, then a full
-   retry budget of recomputes) and waits for an explicit [repair]. *)
-let max_heal_rounds = 3
+let replaying mgr = Option.is_some mgr.replay
+
+let forced_error mgr name =
+  match mgr.replay with
+  | Some r -> List.assoc_opt name r.forced
+  | None -> None
 
 (* Explicit argument beats the IVM_DOMAINS environment override beats the
    sequential default.  Pools come from the process-wide shared registry:
@@ -153,11 +192,38 @@ let sync_catalog mgr =
     (Database.names mgr.db)
 
 let create ?domains ?(policy = Resilience.Policy.Abort)
-    ?(retry = Resilience.Retry.default) db =
+    ?(retry = Resilience.Retry.default)
+    ?(heal_schedule = Resilience.Retry.default_schedule) ?flight_dir
+    ?durability db =
   let domains =
     match domains with
     | Some d -> max 1 d
     | None -> Option.value ~default:1 (Exec.Pool.env_domains ())
+  in
+  Option.iter (fun dir -> Resilience.Flight.set_dir (Some dir)) flight_dir;
+  let durable =
+    Option.map
+      (fun (config : Durability.Config.t) ->
+        let wal, tail =
+          Durability.Wal.open_ ~fsync:config.Durability.Config.fsync
+            (Durability.Config.wal_path config)
+        in
+        let baselined =
+          Sys.file_exists (Durability.Config.checkpoint_path config)
+        in
+        {
+          config;
+          wal;
+          tail;
+          (* Any surviving durable state means a previous incarnation got
+             further than we have: recovery must replay it before this
+             manager may move. *)
+          needs_recovery = tail <> [] || baselined;
+          appended = false;
+          baselined;
+          since_checkpoint = 0;
+        })
+      durability
   in
   let mgr =
     {
@@ -167,14 +233,18 @@ let create ?domains ?(policy = Resilience.Policy.Abort)
       pool = Exec.Pool.shared ~domains;
       policy;
       retry;
+      schedule = heal_schedule;
       commit_seq = 0;
       entries = [];
+      durable;
+      replay = None;
     }
   in
   sync_catalog mgr;
   mgr
 
 let policy mgr = mgr.policy
+let commit_seq mgr = mgr.commit_seq
 
 let database mgr = mgr.db
 let domains mgr = mgr.domains
@@ -189,6 +259,16 @@ let define_view mgr ~name ?(mode = Immediate)
     =
   if Option.is_some (entry_opt mgr name) then
     invalid_arg (Printf.sprintf "Manager.define_view: %S already exists" name);
+  (match mgr.durable with
+  | Some d when d.appended ->
+    (* The WAL's Commit records name views by assuming the definition
+       set is fixed; a view defined mid-log could not be replayed. *)
+    invalid_arg
+      (Printf.sprintf
+         "Manager.define_view: %S — durable managers must define every \
+          view before the first logged commit"
+         name)
+  | Some _ | None -> ());
   sync_catalog mgr;
   (* Views resolve their sources in the catalog, so a source name may be
      an earlier-defined view: that makes this definition a dependent
@@ -254,6 +334,198 @@ let create_index mgr ~relation ~attrs =
 let view mgr name = (entry mgr name).view
 let stats mgr name = (entry mgr name).stats
 
+(* ------------------------------------------------------------------ *)
+(* Durability: state capture/restore and the WAL append path.          *)
+
+(* Health crosses the durability boundary without its backtrace: a
+   backtrace is diagnostic text about one process, not engine state,
+   and dropping it is what lets a recovered quarantine compare equal
+   to the live one it mirrors. *)
+let health_to_state = function
+  | Healthy -> Durability.State.Healthy
+  | Quarantined q ->
+    Durability.State.Quarantined
+      {
+        error = q.error;
+        since = q.since;
+        heal_failures = q.heal_failures;
+        next_eligible = q.next_eligible;
+      }
+  | Disabled q ->
+    Durability.State.Disabled
+      { error = q.error; since = q.since; heal_failures = q.heal_failures }
+
+let health_of_state = function
+  | Durability.State.Healthy -> Healthy
+  | Durability.State.Quarantined { error; since; heal_failures; next_eligible }
+    ->
+    Quarantined
+      { error; backtrace = "<recovered>"; since; heal_failures; next_eligible }
+  | Durability.State.Disabled { error; since; heal_failures } ->
+    Disabled
+      {
+        error;
+        backtrace = "<recovered>";
+        since;
+        heal_failures;
+        next_eligible = since;
+      }
+
+(* A deep serializable image of everything recovery must restore: base
+   relations, every materialization (inner state of grouped views
+   included), banked pending deltas, health, and the (seq, lsn)
+   position.  Per-view stats are observability, not state, and are
+   deliberately not durable. *)
+let capture_state mgr =
+  sync_catalog mgr;
+  {
+    Durability.State.seq = mgr.commit_seq;
+    lsn =
+      (match mgr.durable with
+      | Some d -> Durability.Wal.last_lsn d.wal
+      | None -> 0);
+    relations =
+      List.map
+        (fun name -> (name, Relation.copy (Database.find mgr.db name)))
+        (Database.names mgr.db);
+    views =
+      List.map
+        (fun e ->
+          {
+            Durability.State.view = View.name e.view;
+            health = health_to_state e.health;
+            contents = Relation.copy (View.contents e.view);
+            grouped =
+              Option.map
+                (fun g -> Relation.copy (Grouped.inner g))
+                (View.grouped e.view);
+            pending =
+              List.map
+                (fun (relation, (d : Delta.t)) ->
+                  ( relation,
+                    Relation.copy d.Delta.inserts,
+                    Relation.copy d.Delta.deletes ))
+                e.pending;
+          })
+        mgr.entries;
+  }
+
+(* Restore a captured image in place.  [Relation.assign] overwrites the
+   live relations through their existing handles, so the catalog (and
+   any dependent view reading through it) stays wired.  Views the
+   checkpoint does not know were defined after it was written — over
+   exactly the state it captures — so recomputing them against the
+   restored state reproduces their definition-time contents. *)
+let install_state mgr (st : Durability.State.t) =
+  sync_catalog mgr;
+  List.iter
+    (fun (name, src) ->
+      match Database.find mgr.db name with
+      | into -> Relation.assign ~into ~src
+      | exception Not_found ->
+        invalid_arg
+          (Printf.sprintf
+             "Manager.recover: checkpoint names unknown base relation %S"
+             name))
+    st.Durability.State.relations;
+  List.iter
+    (fun (vs : Durability.State.view_state) ->
+      match entry_opt mgr vs.Durability.State.view with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Manager.recover: checkpoint names undefined view %S"
+             vs.Durability.State.view)
+      | Some e ->
+        (match (View.grouped e.view, vs.Durability.State.grouped) with
+        | Some g, Some inner ->
+          Relation.assign ~into:(Grouped.inner g) ~src:inner;
+          Grouped.rebuild g
+        | None, None -> ()
+        | Some _, None | None, Some _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Manager.recover: view %S disagrees with the checkpoint about \
+                being grouped"
+               vs.Durability.State.view));
+        Relation.assign ~into:(View.contents e.view)
+          ~src:vs.Durability.State.contents;
+        e.pending <-
+          List.map
+            (fun (relation, inserts, deletes) ->
+              ( relation,
+                {
+                  Delta.inserts = Relation.copy inserts;
+                  deletes = Relation.copy deletes;
+                } ))
+            vs.Durability.State.pending;
+        e.health <- health_of_state vs.Durability.State.health)
+    st.Durability.State.views;
+  let covered =
+    List.map (fun (vs : Durability.State.view_state) -> vs.Durability.State.view)
+      st.Durability.State.views
+  in
+  List.iter
+    (fun e ->
+      if not (List.mem (View.name e.view) covered) then begin
+        View.recompute e.view mgr.catalog;
+        e.pending <- [];
+        e.health <- Healthy
+      end)
+    mgr.entries;
+  mgr.commit_seq <- st.Durability.State.seq
+
+let write_checkpoint mgr d =
+  Resilience.Fault.point "wal-checkpoint";
+  Durability.Checkpoint.write
+    (Durability.Config.checkpoint_path d.config)
+    (capture_state mgr);
+  d.baselined <- true;
+  Resilience.Fault.point "wal-truncate";
+  Durability.Wal.truncate_to_header d.wal;
+  d.since_checkpoint <- 0
+
+(* Every durable operation starts by making sure a baseline checkpoint
+   of the {e pre-operation} state exists: the first WAL record replays
+   on top of it.  (Called before any mutation, so the image is the
+   state record 1 starts from.) *)
+let ensure_baseline mgr =
+  match mgr.durable with
+  | Some d when (not d.baselined) && not (replaying mgr) ->
+    write_checkpoint mgr d
+  | Some _ | None -> ()
+
+let wal_append mgr record =
+  match mgr.durable with
+  | Some d when not (replaying mgr) ->
+    Resilience.Fault.point "wal-append";
+    ignore (Durability.Wal.append d.wal record);
+    d.appended <- true;
+    d.since_checkpoint <- d.since_checkpoint + 1;
+    Resilience.Fault.point "wal-fsync";
+    Durability.Wal.maybe_sync d.wal;
+    let every = d.config.Durability.Config.checkpoint_every in
+    if every > 0 && d.since_checkpoint >= every then write_checkpoint mgr d
+  | Some _ | None -> ()
+
+let durable mgr = Option.is_some mgr.durable
+
+let wal_lsn mgr =
+  match mgr.durable with
+  | Some d -> Durability.Wal.last_lsn d.wal
+  | None -> 0
+
+let heal_schedule mgr = mgr.schedule
+
+let require_recovered ~op mgr =
+  match mgr.durable with
+  | Some d when d.needs_recovery && not (replaying mgr) ->
+    failwith
+      (Printf.sprintf
+         "%s: the durability directory holds state from an earlier run — \
+          call Manager.recover first"
+         op)
+  | Some _ | None -> ()
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d commits (%d recomputed, %d self-maintained), %d rows evaluated, \
@@ -307,7 +579,18 @@ let accumulate mgr e net =
       end)
     net
 
-let protected_ mgr = mgr.policy <> Resilience.Policy.Unprotected
+(* A logged commit carrying [Faulted] outcomes committed under the
+   [Quarantine] policy: its base deltas landed and the faulted views
+   were quarantined.  Replay reproduces that semantics even if the
+   recovering manager was configured with a different policy — under
+   [Abort] the forced fault would otherwise roll the whole record back
+   and silently lose its net. *)
+let effective_policy mgr =
+  match mgr.replay with
+  | Some { forced = _ :: _ } -> Resilience.Policy.Quarantine
+  | Some { forced = [] } | None -> mgr.policy
+
+let protected_ mgr = effective_policy mgr <> Resilience.Policy.Unprotected
 
 (* One provenance view record from a finished maintenance report — plain
    strings only, the obs layer cannot see core's types. *)
@@ -455,8 +738,11 @@ let refresh_dependents mgr name =
    retry), then a retry budget of full recomputes — the paper's
    always-correct fallback, which also absorbs corruption the
    differential path cannot explain.  A round that exhausts both
-   budgets counts one heal failure; [max_heal_rounds] failures disable
-   the view until an explicit [repair]. *)
+   budgets counts one heal failure and pushes the next automatic
+   attempt [Retry.heal_delay] commits out (the configurable backoff
+   ladder); [schedule.rounds] failures disable the view until an
+   explicit [repair].  Explicit [heal]/[consistent] calls bypass the
+   backoff gate — only the commit-start auto-heal honours it. *)
 let heal_entry mgr e =
   match e.health with
   | Healthy -> true
@@ -514,12 +800,37 @@ let heal_entry mgr e =
                 backtrace = Printexc.raw_backtrace_to_string bt;
                 since = q.since;
                 heal_failures = failures;
+                next_eligible =
+                  mgr.commit_seq + 1
+                  + Resilience.Retry.heal_delay mgr.schedule ~failures;
               }
             in
             e.health <-
-              (if failures >= max_heal_rounds then Disabled q'
+              (if failures >= mgr.schedule.Resilience.Retry.rounds then
+                 Disabled q'
                else Quarantined q');
             false))
+
+(* Heal with WAL logging: a standalone [Heal] record lands whenever the
+   attempt changed the view's health (success or a consumed failure
+   round), so recovery can reproduce the transition. *)
+let heal_logged mgr e =
+  ensure_baseline mgr;
+  let before = e.health in
+  let healed = heal_entry mgr e in
+  if before <> e.health then
+    wal_append mgr
+      (Durability.Record.Heal
+         {
+           seq = mgr.commit_seq;
+           change =
+             {
+               Durability.Record.view = View.name e.view;
+               healed;
+               health = health_to_state e.health;
+             };
+         });
+  healed
 
 let commit mgr txn =
   Obs.Span.with_span "commit"
@@ -538,14 +849,43 @@ let commit mgr txn =
       let event ~phase ~kind detail =
         events := { Obs.Provenance.phase; kind; detail } :: !events
       in
+      (* WAL bookkeeping for this commit attempt: the health transitions
+         the commit-start auto-heal produced, and each participating
+         view's outcome.  Exactly one [Commit] record lands per attempt
+         (the abort path logs heals + an empty net). *)
+      let wal_heals : Durability.Record.health_change list ref = ref [] in
+      let wal_outcomes : (string * Durability.Record.outcome) list ref =
+        ref []
+      in
+      (match mgr.durable with
+      | Some _ when not (replaying mgr) ->
+        require_recovered ~op:"Manager.commit" mgr;
+        ensure_baseline mgr;
+        (* Crash point before anything moves: a simulated death here
+           recovers to the pre-commit state. *)
+        Resilience.Fault.point "wal-apply"
+      | Some _ | None -> ());
       (* Views quarantined by an earlier commit self-heal before this
-         one runs, so a healed view takes part in it normally. *)
-      List.iter
-        (fun e ->
-          match e.health with
-          | Quarantined _ -> ignore (heal_entry mgr e)
-          | Healthy | Disabled _ -> ())
-        mgr.entries;
+         one runs, so a healed view takes part in it normally — gated by
+         the backoff ladder's eligibility point.  Replay skips the loop:
+         the recorded transitions are re-applied by [recover] itself. *)
+      if not (replaying mgr) then
+        List.iter
+          (fun e ->
+            match e.health with
+            | Quarantined q when mgr.commit_seq + 1 >= q.next_eligible ->
+              let before = e.health in
+              let healed = heal_entry mgr e in
+              if before <> e.health then
+                wal_heals :=
+                  {
+                    Durability.Record.view = View.name e.view;
+                    healed;
+                    health = health_to_state e.health;
+                  }
+                  :: !wal_heals
+            | Healthy | Quarantined _ | Disabled _ -> ())
+          mgr.entries;
       mgr.commit_seq <- mgr.commit_seq + 1;
       let net =
         Obs.Span.with_span "net"
@@ -626,6 +966,16 @@ let commit mgr txn =
            the dump carries this aborted record (failing phase included)
            plus the ring of commits that led up to it. *)
         ignore (Resilience.Flight.dump ~reason:("commit-failed-" ^ phase));
+        (* The aborted attempt still consumed heal rounds and a sequence
+           number; its record carries those and nothing else. *)
+        wal_append mgr
+          (Durability.Record.Commit
+             {
+               seq = mgr.commit_seq;
+               heals = List.rev !wal_heals;
+               net = [];
+               outcomes = [];
+             });
         raise
           (Commit_failed
              {
@@ -697,8 +1047,14 @@ let commit mgr txn =
           int_of_float (Float.max 0.0 (Float.min cost 1e15))
       in
       let run_tasks ~phase tasks maintain =
-        let wrap task =
+        let wrap ((e, _, _, _, _) as task) =
           match
+            (match forced_error mgr (View.name e.view) with
+            | Some err ->
+              (* Scripted replay: this view faulted live; reproduce the
+                 recorded quarantine instead of maintaining. *)
+              raise (Replayed err)
+            | None -> ());
             Resilience.Fault.point "task";
             maintain task
           with
@@ -722,7 +1078,7 @@ let commit mgr txn =
               | _ -> ());
               oks := (e, report) :: !oks
             | Error (err, bt) -> (
-              match mgr.policy with
+              match effective_policy mgr with
               | Resilience.Policy.Unprotected ->
                 if !failed = [] then failed := [ (e, err, bt) ]
               | Resilience.Policy.Abort ->
@@ -746,12 +1102,16 @@ let commit mgr txn =
                   task_journal;
                 event ~phase ~kind:"quarantine"
                   (View.name e.view ^ ": " ^ Printexc.to_string err);
+                wal_outcomes :=
+                  ( View.name e.view,
+                    Durability.Record.Faulted (Printexc.to_string err) )
+                  :: !wal_outcomes;
                 quarantined := (e, err, bt) :: !quarantined))
           tasks results;
         let oks = List.rev !oks in
         succeeded := !succeeded @ List.map fst oks;
         completed := !completed @ List.map snd oks;
-        (match (mgr.policy, List.rev !failed) with
+        (match (effective_policy mgr, List.rev !failed) with
         | _, [] -> ()
         | Resilience.Policy.Unprotected, (_, err, bt) :: _ ->
           Printexc.raise_with_backtrace err bt
@@ -903,6 +1263,11 @@ let commit mgr txn =
                     (String.concat ", " stale_parents)
                 in
                 event ~phase:"dependents" ~kind:"quarantine" detail;
+                (* A cascade quarantine re-emerges organically from the
+                   replayed parents; the record is informational. *)
+                wal_outcomes :=
+                  (View.name e.view, Durability.Record.Cascade detail)
+                  :: !wal_outcomes;
                 dep_quarantined :=
                   (e, Failure detail, Printexc.get_callstack 0)
                   :: !dep_quarantined
@@ -917,6 +1282,9 @@ let commit mgr txn =
               | Healthy -> (
                 let sub = task_journal () in
                 match
+                  (match forced_error mgr (View.name e.view) with
+                  | Some err -> raise (Replayed err)
+                  | None -> ());
                   Resilience.Fault.point "task";
                   drain_deltas mgr e ?journal:sub inputs
                 with
@@ -937,7 +1305,7 @@ let commit mgr txn =
                   (* [drain_deltas] rolled the sub-journal back before
                      re-raising, so the child holds its pre-commit
                      state. *)
-                  match mgr.policy with
+                  match effective_policy mgr with
                   | Resilience.Policy.Unprotected ->
                     Printexc.raise_with_backtrace err bt
                   | Resilience.Policy.Abort ->
@@ -955,6 +1323,10 @@ let commit mgr txn =
                   | Resilience.Policy.Quarantine ->
                     event ~phase:"dependents" ~kind:"quarantine"
                       (View.name e.view ^ ": " ^ Printexc.to_string err);
+                    wal_outcomes :=
+                      ( View.name e.view,
+                        Durability.Record.Faulted (Printexc.to_string err) )
+                      :: !wal_outcomes;
                     bank_inputs e inputs;
                     stale := View.name e.view :: !stale;
                     dep_quarantined := (e, err, bt) :: !dep_quarantined))
@@ -978,6 +1350,10 @@ let commit mgr txn =
                 backtrace = Printexc.raw_backtrace_to_string bt;
                 since = mgr.commit_seq;
                 heal_failures = 0;
+                (* A fresh quarantine is eligible for its first heal on
+                   the very next commit; backoff starts after that first
+                   round fails. *)
+                next_eligible = mgr.commit_seq + 1;
               };
           Obs.Metrics.add "ivm_resilience_quarantines_total"
             ~labels:[ ("view", View.name e.view) ]
@@ -1017,6 +1393,22 @@ let commit mgr txn =
         };
       if quarantined_now <> [] then
         ignore (Resilience.Flight.dump ~reason:"quarantine");
+      (* Durability point: the commit exists once its record is framed,
+         checksummed and (policy permitting) fsynced.  Group commit is
+         the [Every n] fsync policy — netted concurrent writers already
+         share this one record, and [n] such records share one sync. *)
+      wal_append mgr
+        (Durability.Record.Commit
+           {
+             seq = mgr.commit_seq;
+             heals = List.rev !wal_heals;
+             net;
+             outcomes =
+               List.map
+                 (fun (e, _) -> (View.name e.view, Durability.Record.Applied))
+                 (diff_ok @ rec_ok @ dep_ok)
+               @ List.rev !wal_outcomes;
+           });
       List.map snd diff_ok @ List.map snd rec_ok @ List.map snd dep_ok)
 
 let refresh mgr name =
@@ -1033,6 +1425,8 @@ let refresh mgr name =
         ~args:(fun () -> [ ("view", Obs.Json.Str name) ])
         (fun () ->
           let t_start = Obs.Clock.now_ns () in
+          require_recovered ~op:"Manager.refresh" mgr;
+          ensure_baseline mgr;
           let net_sizes =
             List.map
               (fun (relation, (d : Delta.t)) ->
@@ -1044,6 +1438,8 @@ let refresh mgr name =
           let report = drain_pending mgr e in
           e.pending <- [];
           e.stats <- add_report e.stats report;
+          wal_append mgr
+            (Durability.Record.Refresh { seq = mgr.commit_seq; view = name });
           Obs.Provenance.record
             {
               Obs.Provenance.seq = mgr.commit_seq;
@@ -1065,13 +1461,14 @@ let refresh_all mgr =
 let health mgr = List.map (fun e -> (View.name e.view, e.health)) mgr.entries
 let view_health mgr name = (entry mgr name).health
 
-let heal mgr name = heal_entry mgr (entry mgr name)
+let heal mgr name = heal_logged mgr (entry mgr name)
 
 let repair mgr name =
   let e = entry mgr name in
   match e.health with
   | Healthy -> false
   | Quarantined _ | Disabled _ ->
+    ensure_baseline mgr;
     (* The guaranteed escape hatch: a direct recompute, bypassing the
        instrumented (fault-injectable) maintenance path. *)
     View.recompute e.view mgr.catalog;
@@ -1080,12 +1477,14 @@ let repair mgr name =
     Obs.Metrics.add "ivm_resilience_repairs_total" ~labels:[ ("kind", "repair") ]
       1;
     refresh_dependents mgr name;
+    wal_append mgr
+      (Durability.Record.Repair { seq = mgr.commit_seq; view = name });
     true
 
 let consistent mgr name =
   let e = entry mgr name in
   (match e.health with
-  | Quarantined _ -> ignore (heal_entry mgr e)
+  | Quarantined _ -> ignore (heal_logged mgr e)
   | Healthy | Disabled _ -> ());
   match e.health with
   | Quarantined _ | Disabled _ -> false
@@ -1100,3 +1499,177 @@ let consistent mgr name =
 
 let all_consistent mgr =
   List.for_all (fun e -> consistent mgr (View.name e.view)) mgr.entries
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: checkpoint restore plus scripted WAL replay.        *)
+
+type recovery = {
+  checkpoint_seq : int;
+  checkpoint_lsn : int;
+  records_replayed : int;
+  last_seq : int;
+  last_lsn : int;
+  torn_bytes : int;
+}
+
+let checkpoint mgr =
+  match mgr.durable with
+  | None -> invalid_arg "Manager.checkpoint: manager has no durability"
+  | Some d ->
+    require_recovered ~op:"Manager.checkpoint" mgr;
+    write_checkpoint mgr d
+
+let txn_of_net (net : Transaction.net) =
+  List.concat_map
+    (fun (relation, (inserts, deletes)) ->
+      List.map (Transaction.insert relation) inserts
+      @ List.map (Transaction.delete relation) deletes)
+    net
+
+(* Re-apply one recorded health transition.  A successful heal re-runs
+   the live heal machinery — deterministic with faults disabled, and it
+   reproduces the [refresh_dependents] cascade the live heal caused.  A
+   failed round mutated nothing but the health word (the fault fires
+   before any maintenance write), so replay just installs it. *)
+let replay_heal mgr (h : Durability.Record.health_change) =
+  let e = entry mgr h.Durability.Record.view in
+  if h.Durability.Record.healed then begin
+    if not (heal_entry mgr e) then
+      failwith
+        (Printf.sprintf
+           "Manager.recover: replayed heal of %S did not converge"
+           h.Durability.Record.view)
+  end
+  else e.health <- health_of_state h.Durability.Record.health
+
+let replay_record mgr (record : Durability.Record.t) =
+  let in_replay forced f =
+    mgr.replay <- Some { forced };
+    Fun.protect ~finally:(fun () -> mgr.replay <- None) f
+  in
+  match record with
+  | Durability.Record.Commit { seq; heals; net; outcomes } ->
+    (* The live commit bumped [seq - 1] to [seq]; rewind so the replayed
+       one lands on the same number (and [since]/[next_eligible] words
+       computed from it match bit for bit). *)
+    mgr.commit_seq <- seq - 1;
+    List.iter (replay_heal mgr) heals;
+    let forced =
+      List.filter_map
+        (function
+          | view, Durability.Record.Faulted err -> Some (view, err)
+          | _, (Durability.Record.Applied | Durability.Record.Cascade _) ->
+            None)
+        outcomes
+    in
+    in_replay forced (fun () ->
+        match commit mgr (txn_of_net net) with
+        | (_ : Maintenance.report list) -> ()
+        | exception Commit_failed _ ->
+          (* The live attempt aborted too (empty net, empty outcomes):
+             its surviving effects — heals and the sequence bump — are
+             already in place. *)
+          ())
+  | Durability.Record.Heal { seq; change } ->
+    mgr.commit_seq <- seq;
+    replay_heal mgr change
+  | Durability.Record.Repair { seq; view } ->
+    mgr.commit_seq <- seq;
+    in_replay [] (fun () -> ignore (repair mgr view))
+  | Durability.Record.Refresh { seq; view } ->
+    mgr.commit_seq <- seq;
+    in_replay [] (fun () -> ignore (refresh mgr view))
+
+let recover mgr =
+  match mgr.durable with
+  | None -> invalid_arg "Manager.recover: manager has no durability"
+  | Some d when d.appended ->
+    failwith
+      "Manager.recover: this manager already logged commits — recovery is \
+       only valid before the first append"
+  | Some d ->
+    Obs.Span.with_span "recover" (fun () ->
+        let t_start = Obs.Clock.now_ns () in
+        (* Replay must be deterministic: whatever fault schedule the
+           process was running with does not apply to the past. *)
+        Resilience.Fault.disable ();
+        let ckpt =
+          Durability.Checkpoint.read (Durability.Config.checkpoint_path d.config)
+        in
+        Option.iter (install_state mgr) ckpt;
+        let checkpoint_seq, checkpoint_lsn =
+          match ckpt with
+          | Some st -> (st.Durability.State.seq, st.Durability.State.lsn)
+          | None -> (0, 0)
+        in
+        (* The truncated log may no longer hold the records the
+           checkpoint covers; the LSN counter must still move past
+           them. *)
+        Durability.Wal.ensure_lsn d.wal checkpoint_lsn;
+        let tail =
+          List.filter (fun (lsn, _) -> lsn > checkpoint_lsn) d.tail
+        in
+        List.iter (fun (_, record) -> replay_record mgr record) tail;
+        let records_replayed = List.length tail in
+        d.tail <- [];
+        d.needs_recovery <- false;
+        (* Re-checkpoint at the recovered state: it bounds the next
+           recovery, covers views defined after the old checkpoint, and
+           makes a second [recover] over this directory a no-op. *)
+        write_checkpoint mgr d;
+        let total_ns = Obs.Clock.now_ns () - t_start in
+        Obs.Metrics.add "ivm_recovery_runs_total" ~labels:[] 1;
+        Obs.Metrics.add "ivm_recovery_records_replayed_total" ~labels:[]
+          records_replayed;
+        Obs.Metrics.observe "ivm_recovery_ns" total_ns;
+        let events =
+          [
+            {
+              Obs.Provenance.phase = "recover";
+              kind = "checkpoint";
+              detail =
+                Printf.sprintf "restored seq %d (lsn %d)" checkpoint_seq
+                  checkpoint_lsn;
+            };
+            {
+              Obs.Provenance.phase = "recover";
+              kind = "replay";
+              detail =
+                Printf.sprintf "%d records replayed to seq %d"
+                  records_replayed mgr.commit_seq;
+            };
+          ]
+          @
+          if Durability.Wal.torn_bytes d.wal > 0 then
+            [
+              {
+                Obs.Provenance.phase = "recover";
+                kind = "torn-tail";
+                detail =
+                  Printf.sprintf "%d torn bytes truncated"
+                    (Durability.Wal.torn_bytes d.wal);
+              };
+            ]
+          else []
+        in
+        Obs.Provenance.record
+          {
+            Obs.Provenance.seq = mgr.commit_seq;
+            kind = "recover";
+            outcome = "recovered";
+            failing_phase = None;
+            domains = mgr.domains;
+            net = [];
+            views = [];
+            events;
+            journal_bytes = None;
+            total_ns;
+          };
+        {
+          checkpoint_seq;
+          checkpoint_lsn;
+          records_replayed;
+          last_seq = mgr.commit_seq;
+          last_lsn = Durability.Wal.last_lsn d.wal;
+          torn_bytes = Durability.Wal.torn_bytes d.wal;
+        })

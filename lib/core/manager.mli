@@ -27,15 +27,36 @@ type t
 
     [policy] (default {!Resilience.Policy.Abort}) selects the failure
     semantics of {!commit}; [retry] bounds the quarantine self-heal
-    (see {!heal}). *)
+    (see {!heal}); [heal_schedule] (default
+    {!Resilience.Retry.default_schedule}) sets the self-heal backoff
+    ladder — rounds before a view is disabled, and how many commits a
+    quarantined view waits between automatic attempts.
+
+    [flight_dir] points the flight recorder at a directory
+    ({!Resilience.Flight.set_dir}) — equivalent to the
+    [IVM_FLIGHT_DIR] environment variable, which it overrides.
+
+    [durability] arms the write-ahead log: every commit appends one
+    record to [dir/wal.bin] (group-committed per the config's fsync
+    policy) and checkpoints snapshot the full engine state.  A manager
+    opened over a directory holding earlier state must call {!recover}
+    before committing.  Views must all be defined before the first
+    logged commit. *)
 val create :
   ?domains:int ->
   ?policy:Resilience.Policy.t ->
   ?retry:Resilience.Retry.policy ->
+  ?heal_schedule:Resilience.Retry.schedule ->
+  ?flight_dir:string ->
+  ?durability:Durability.Config.t ->
   Database.t ->
   t
 
 val policy : t -> Resilience.Policy.t
+
+(** Sequence number of the last commit attempt (aborted ones included);
+    0 before the first. *)
+val commit_seq : t -> int
 
 val database : t -> Database.t
 
@@ -90,6 +111,11 @@ type quarantine = {
   backtrace : string;
   since : int;  (** sequence number of the failing commit *)
   heal_failures : int;  (** exhausted self-heal rounds so far *)
+  next_eligible : int;
+      (** first commit sequence number at which the automatic
+          commit-start heal may try again — the backoff ladder of
+          {!Resilience.Retry.schedule}.  Explicit {!heal} and
+          {!consistent} calls are not gated. *)
 }
 
 type view_health =
@@ -199,3 +225,68 @@ val pp_stats : Format.formatter -> stats -> unit
 val consistent : t -> string -> bool
 
 val all_consistent : t -> bool
+
+(** {2 Durability}
+
+    With {!create}'s [durability] armed, the manager maintains a
+    write-ahead log and checkpoint in the configured directory (see
+    {!Durability} for the on-disk format and [docs/recovery.md] for the
+    full protocol).  One [Commit] record lands per commit attempt —
+    the netted base deltas, the commit-start heal transitions, and
+    per-view outcomes — and standalone records cover explicit
+    {!heal}/{!repair}/{!refresh} calls.  Recovery restores the latest
+    checkpoint and replays the log tail through the live maintenance
+    machinery. *)
+
+(** The configured self-heal backoff ladder. *)
+val heal_schedule : t -> Resilience.Retry.schedule
+
+(** [true] when the manager was created with a durability config. *)
+val durable : t -> bool
+
+(** LSN of the last record appended to (or recovered from) the WAL;
+    0 when not durable or nothing has been logged. *)
+val wal_lsn : t -> int
+
+(** Deep serializable image of the engine state (base relations,
+    materializations, pending deltas, health, sequence numbers).  The
+    checkpoint payload, and the unit the crash-recovery oracle
+    compares with {!Durability.State.diff}.  Per-view {!stats} are
+    observability, not state, and are not captured. *)
+val capture_state : t -> Durability.State.t
+
+(** Snapshot the full state to the checkpoint file (atomically:
+    tmp + fsync + rename) and truncate the WAL — the records it held
+    are covered by the new checkpoint.
+    @raise Invalid_argument when the manager is not durable.
+    @raise Failure when recovery is still pending. *)
+val checkpoint : t -> unit
+
+(** What {!recover} did. *)
+type recovery = {
+  checkpoint_seq : int;  (** commit seq the restored checkpoint held *)
+  checkpoint_lsn : int;  (** last WAL record the checkpoint covered *)
+  records_replayed : int;  (** log-tail records re-run *)
+  last_seq : int;  (** manager commit seq after replay *)
+  last_lsn : int;  (** WAL LSN after replay *)
+  torn_bytes : int;  (** torn-tail bytes truncated at open *)
+}
+
+(** [recover mgr] restores the checkpoint (if any), replays the WAL
+    tail through the live maintenance machinery — [Faulted] views are
+    forced back into quarantine with their recorded error, cascades and
+    banking re-emerge organically — and writes a fresh checkpoint, so
+    recovering twice (or recovering, crashing and recovering again) is
+    idempotent.  Fault injection is disabled for the duration.  Every
+    view must be defined (in the original order) before calling, and
+    the manager should be configured like the one that wrote the log
+    (replay of a [Faulted] outcome forces [Quarantine] semantics for
+    that record regardless of the configured policy, so a policy
+    mismatch cannot silently drop a committed record's deltas).
+    Requires a durable manager that has not yet logged a commit of its
+    own.
+    @raise Invalid_argument when the manager is not durable or the
+    checkpoint names unknown relations or views.
+    @raise Durability.Incompatible_wal on a foreign or future-format
+    file. *)
+val recover : t -> recovery

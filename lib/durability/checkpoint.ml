@@ -1,0 +1,73 @@
+let magic = "IVMCKP"
+let version = 1
+let header_size = String.length magic + 2
+
+let rec write_all fd bytes pos len =
+  if len > 0 then begin
+    let n = Unix.write fd bytes pos len in
+    write_all fd bytes (pos + n) (len - n)
+  end
+
+let write path state =
+  let payload = Buffer.create 4096 in
+  State.encode payload state;
+  let payload = Buffer.contents payload in
+  let len = String.length payload in
+  let file = Buffer.create (header_size + 8 + len) in
+  Buffer.add_string file magic;
+  Buffer.add_char file (Char.chr (version land 0xff));
+  Buffer.add_char file (Char.chr ((version lsr 8) land 0xff));
+  Buffer.add_int32_le file (Int32.of_int len);
+  Buffer.add_int32_le file (Codec.crc32 payload ~pos:0 ~len);
+  Buffer.add_string file payload;
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let bytes = Buffer.to_bytes file in
+      write_all fd bytes 0 (Bytes.length bytes);
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  Obs.Metrics.add "ivm_wal_checkpoints_total" ~labels:[] 1;
+  Obs.Metrics.observe "ivm_wal_checkpoint_bytes" (header_size + 8 + len)
+
+let read path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    let size = String.length content in
+    if size < header_size + 8 then
+      raise
+        (Wal.Incompatible_wal
+           (Printf.sprintf "%s: %d-byte file is too short for a checkpoint"
+              path size));
+    if String.sub content 0 (String.length magic) <> magic then
+      raise
+        (Wal.Incompatible_wal
+           (Printf.sprintf "%s: bad magic %S (expected %S)" path
+              (String.sub content 0 (String.length magic))
+              magic));
+    let v =
+      Char.code content.[String.length magic]
+      lor (Char.code content.[String.length magic + 1] lsl 8)
+    in
+    if v <> version then
+      raise
+        (Wal.Incompatible_wal
+           (Printf.sprintf "%s: checkpoint version %d (this build reads %d)"
+              path v version));
+    let len = Int32.to_int (String.get_int32_le content header_size) land 0xffffffff in
+    if header_size + 8 + len <> size then
+      raise
+        (Codec.Corrupt
+           (Printf.sprintf "%s: frame length %d does not match file size %d"
+              path len size));
+    let crc = String.get_int32_le content (header_size + 4) in
+    if Codec.crc32 content ~pos:(header_size + 8) ~len <> crc then
+      raise (Codec.Corrupt (Printf.sprintf "%s: checksum mismatch" path));
+    let r = Codec.reader ~pos:(header_size + 8) content in
+    let state = State.decode r in
+    Codec.expect_end r;
+    Some state
+  end

@@ -1,0 +1,237 @@
+open Relalg
+
+exception Corrupt of string
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt msg -> Some (Printf.sprintf "Durability.Codec.Corrupt(%s)" msg)
+    | _ -> None)
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)                 *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0l) s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int
+        (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+(* ------------------------------------------------------------------ *)
+(* primitives                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let w_int b i = Buffer.add_int64_le b (Int64.of_int i)
+let w_byte b i = Buffer.add_char b (Char.chr (i land 0xff))
+let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_list w b xs =
+  w_int b (List.length xs);
+  List.iter (w b) xs
+
+let w_option w b = function
+  | None -> w_bool b false
+  | Some v ->
+    w_bool b true;
+    w b v
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+let pos r = r.pos
+
+let need r n =
+  if n < 0 || r.pos + n > String.length r.src then
+    corrupt "truncated input: need %d bytes at offset %d of %d" n r.pos
+      (String.length r.src)
+
+let r_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let r_byte r =
+  need r 1;
+  let c = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let r_bool r =
+  match r_byte r with
+  | 0 -> false
+  | 1 -> true
+  | n -> corrupt "bad bool byte %d at offset %d" n (r.pos - 1)
+
+let r_string r =
+  let n = r_int r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+(* Length sanity: a decoded collection can never hold more elements
+   than remaining bytes (every element costs at least one byte). *)
+let r_len r =
+  let n = r_int r in
+  if n < 0 || n > String.length r.src - r.pos then
+    corrupt "implausible length %d at offset %d" n (r.pos - 8);
+  n
+
+let r_list rd r =
+  let n = r_len r in
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := rd r :: !acc
+  done;
+  List.rev !acc
+
+let r_option rd r = if r_bool r then Some (rd r) else None
+
+let expect_end r =
+  if r.pos <> String.length r.src then
+    corrupt "trailing garbage: %d of %d bytes unread"
+      (String.length r.src - r.pos)
+      (String.length r.src)
+
+(* ------------------------------------------------------------------ *)
+(* relalg values                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let w_value b = function
+  | Value.Int i ->
+    Buffer.add_char b '\000';
+    w_int b i
+  | Value.Str s ->
+    Buffer.add_char b '\001';
+    w_string b s
+
+let r_value r =
+  match r_byte r with
+  | 0 -> Value.Int (r_int r)
+  | 1 -> Value.Str (r_string r)
+  | t -> corrupt "bad value tag %d at offset %d" t (r.pos - 1)
+
+let w_tuple b t =
+  w_int b (Array.length t);
+  Array.iter (w_value b) t
+
+let r_tuple r =
+  let n = r_len r in
+  let a = Array.make n (Value.Int 0) in
+  for i = 0 to n - 1 do
+    a.(i) <- r_value r
+  done;
+  a
+
+let w_ty b = function
+  | Value.Int_ty -> Buffer.add_char b '\000'
+  | Value.Str_ty -> Buffer.add_char b '\001'
+
+let r_ty r =
+  match r_byte r with
+  | 0 -> Value.Int_ty
+  | 1 -> Value.Str_ty
+  | t -> corrupt "bad type tag %d at offset %d" t (r.pos - 1)
+
+let w_bounds b bounds =
+  w_option
+    (fun b (lo, hi) ->
+      w_int b lo;
+      w_int b hi)
+    b bounds
+
+let r_bounds r =
+  r_option
+    (fun r ->
+      let lo = r_int r in
+      let hi = r_int r in
+      (lo, hi))
+    r
+
+let w_schema b schema =
+  w_list
+    (fun b (attr, ty) ->
+      w_string b attr;
+      w_ty b ty;
+      w_bounds b (Schema.bounds schema attr))
+    b (Schema.attrs schema)
+
+let r_schema r =
+  let cols =
+    r_list
+      (fun r ->
+        let attr = r_string r in
+        let ty = r_ty r in
+        let bounds = r_bounds r in
+        (attr, ty, bounds))
+      r
+  in
+  match Schema.make_bounded cols with
+  | schema -> schema
+  | exception Invalid_argument msg -> corrupt "bad schema: %s" msg
+
+let w_relation b rel =
+  w_schema b (Relation.schema rel);
+  w_list
+    (fun b (tuple, count) ->
+      w_tuple b tuple;
+      w_int b count)
+    b
+    (Relation.sorted_elements rel)
+
+let r_relation r =
+  let schema = r_schema r in
+  let counted =
+    r_list
+      (fun r ->
+        let tuple = r_tuple r in
+        let count = r_int r in
+        if count <= 0 then corrupt "non-positive counter %d" count;
+        (tuple, count))
+      r
+  in
+  match Relation.of_counted schema counted with
+  | rel -> rel
+  | exception Invalid_argument msg -> corrupt "bad relation: %s" msg
+
+let w_net b (net : Transaction.net) =
+  w_list
+    (fun b (relation, (inserts, deletes)) ->
+      w_string b relation;
+      w_list w_tuple b inserts;
+      w_list w_tuple b deletes)
+    b net
+
+let r_net r : Transaction.net =
+  r_list
+    (fun r ->
+      let relation = r_string r in
+      let inserts = r_list r_tuple r in
+      let deletes = r_list r_tuple r in
+      (relation, (inserts, deletes)))
+    r

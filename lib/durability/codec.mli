@@ -1,0 +1,72 @@
+(** Binary codec for the durability layer.
+
+    Fixed-width little-endian integers, length-prefixed strings, and
+    encoders for the {!Relalg} values the WAL and checkpoint files
+    carry.  Counted relations serialize via
+    {!Relalg.Relation.sorted_elements}, so encoding is deterministic:
+    the same state always produces the same bytes (the crash-recovery
+    oracle depends on that).
+
+    Decoders never read past the input; any malformed input raises
+    {!Corrupt} with a diagnostic instead of an [Invalid_argument] or an
+    out-of-bounds crash. *)
+
+exception Corrupt of string
+
+(** {2 CRC-32} *)
+
+(** IEEE 802.3 (reflected) CRC-32 of [len] bytes of [s] at [pos];
+    [crc] chains a running checksum. *)
+val crc32 : ?crc:int32 -> string -> pos:int -> len:int -> int32
+
+(** {2 Primitive writers (into a [Buffer.t])} *)
+
+val w_int : Buffer.t -> int -> unit
+(** 64-bit little-endian two's complement. *)
+
+val w_byte : Buffer.t -> int -> unit
+(** Low byte of the argument; used for small variant tags. *)
+
+val w_bool : Buffer.t -> bool -> unit
+val w_string : Buffer.t -> string -> unit
+val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+val w_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+
+(** {2 Primitive readers} *)
+
+(** A cursor over an immutable byte string. *)
+type reader
+
+val reader : ?pos:int -> string -> reader
+val pos : reader -> int
+val r_int : reader -> int
+val r_byte : reader -> int
+val r_bool : reader -> bool
+val r_string : reader -> string
+val r_list : (reader -> 'a) -> reader -> 'a list
+val r_option : (reader -> 'a) -> reader -> 'a option
+
+(** [expect_end r] raises {!Corrupt} unless the cursor consumed the
+    whole input. *)
+val expect_end : reader -> unit
+
+(** {2 Relalg values} *)
+
+val w_value : Buffer.t -> Relalg.Value.t -> unit
+val r_value : reader -> Relalg.Value.t
+val w_tuple : Buffer.t -> Relalg.Tuple.t -> unit
+val r_tuple : reader -> Relalg.Tuple.t
+val w_schema : Buffer.t -> Relalg.Schema.t -> unit
+val r_schema : reader -> Relalg.Schema.t
+
+(** Schema + sorted counted elements; decoding rebuilds with
+    {!Relalg.Relation.of_counted}. *)
+val w_relation : Buffer.t -> Relalg.Relation.t -> unit
+
+val r_relation : reader -> Relalg.Relation.t
+
+(** A transaction net effect: per-relation insert and delete tuple
+    lists ({!Relalg.Transaction.net}). *)
+val w_net : Buffer.t -> Relalg.Transaction.net -> unit
+
+val r_net : reader -> Relalg.Transaction.net

@@ -1,0 +1,19 @@
+type fsync =
+  | Always
+  | Every of int
+  | Never
+
+type t = { dir : string; fsync : fsync; checkpoint_every : int }
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let make ?(fsync = Always) ?(checkpoint_every = 0) dir =
+  ensure_dir dir;
+  { dir; fsync; checkpoint_every = max 0 checkpoint_every }
+
+let wal_path t = Filename.concat t.dir "wal.bin"
+let checkpoint_path t = Filename.concat t.dir "checkpoint.bin"

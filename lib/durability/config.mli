@@ -1,0 +1,27 @@
+(** Durability configuration: where the log lives and how hard it
+    syncs. *)
+
+(** When appended WAL records reach the disk platter.  [Always] fsyncs
+    every record (one commit, one fsync); [Every n] group-commits — the
+    fsync is shared by up to [n] netted commits, the shape the paper's
+    batched maintenance already encourages; [Never] leaves syncing to
+    the OS (crash-safe against process kills, not power loss). *)
+type fsync =
+  | Always
+  | Every of int
+  | Never
+
+type t = {
+  dir : string;  (** directory holding [wal.bin] and [checkpoint.bin] *)
+  fsync : fsync;
+  checkpoint_every : int;
+      (** write a checkpoint (and truncate the WAL) after this many
+          appended records; 0 disables automatic checkpoints *)
+}
+
+(** [make ?fsync ?checkpoint_every dir] — defaults: [Always], [0].
+    Creates [dir] (one level) if missing. *)
+val make : ?fsync:fsync -> ?checkpoint_every:int -> string -> t
+
+val wal_path : t -> string
+val checkpoint_path : t -> string

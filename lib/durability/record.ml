@@ -1,0 +1,113 @@
+type outcome =
+  | Applied
+  | Faulted of string
+  | Cascade of string
+
+type health_change = { view : string; healed : bool; health : State.health }
+
+type t =
+  | Commit of {
+      seq : int;
+      heals : health_change list;
+      net : Relalg.Transaction.net;
+      outcomes : (string * outcome) list;
+    }
+  | Heal of { seq : int; change : health_change }
+  | Repair of { seq : int; view : string }
+  | Refresh of { seq : int; view : string }
+
+let seq = function
+  | Commit { seq; _ } | Heal { seq; _ } | Repair { seq; _ } | Refresh { seq; _ }
+    ->
+    seq
+
+let w_outcome b = function
+  | Applied -> Codec.w_byte b 0
+  | Faulted err ->
+    Codec.w_byte b 1;
+    Codec.w_string b err
+  | Cascade detail ->
+    Codec.w_byte b 2;
+    Codec.w_string b detail
+
+let r_outcome r =
+  match Codec.r_byte r with
+  | 0 -> Applied
+  | 1 -> Faulted (Codec.r_string r)
+  | 2 -> Cascade (Codec.r_string r)
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad outcome tag %d" t))
+
+let w_change b c =
+  Codec.w_string b c.view;
+  Codec.w_bool b c.healed;
+  State.w_health b c.health
+
+let r_change r =
+  let view = Codec.r_string r in
+  let healed = Codec.r_bool r in
+  let health = State.r_health r in
+  { view; healed; health }
+
+let encode b = function
+  | Commit { seq; heals; net; outcomes } ->
+    Codec.w_byte b 0;
+    Codec.w_int b seq;
+    Codec.w_list w_change b heals;
+    Codec.w_net b net;
+    Codec.w_list
+      (fun b (view, outcome) ->
+        Codec.w_string b view;
+        w_outcome b outcome)
+      b outcomes
+  | Heal { seq; change } ->
+    Codec.w_byte b 1;
+    Codec.w_int b seq;
+    w_change b change
+  | Repair { seq; view } ->
+    Codec.w_byte b 2;
+    Codec.w_int b seq;
+    Codec.w_string b view
+  | Refresh { seq; view } ->
+    Codec.w_byte b 3;
+    Codec.w_int b seq;
+    Codec.w_string b view
+
+let decode r =
+  match Codec.r_byte r with
+  | 0 ->
+    let seq = Codec.r_int r in
+    let heals = Codec.r_list r_change r in
+    let net = Codec.r_net r in
+    let outcomes =
+      Codec.r_list
+        (fun r ->
+          let view = Codec.r_string r in
+          let outcome = r_outcome r in
+          (view, outcome))
+        r
+    in
+    Commit { seq; heals; net; outcomes }
+  | 1 ->
+    let seq = Codec.r_int r in
+    let change = r_change r in
+    Heal { seq; change }
+  | 2 ->
+    let seq = Codec.r_int r in
+    let view = Codec.r_string r in
+    Repair { seq; view }
+  | 3 ->
+    let seq = Codec.r_int r in
+    let view = Codec.r_string r in
+    Refresh { seq; view }
+  | t -> raise (Codec.Corrupt (Printf.sprintf "bad record tag %d" t))
+
+let describe = function
+  | Commit { seq; heals; net; outcomes } ->
+    Printf.sprintf "commit %d (%d relations, %d heals, %d outcomes%s)" seq
+      (List.length net) (List.length heals) (List.length outcomes)
+      (if net = [] && outcomes = [] then ", aborted" else "")
+  | Heal { seq; change } ->
+    Printf.sprintf "heal %d (%s, %s)" seq change.view
+      (if change.healed then "healed" else "failed")
+  | Repair { seq; view } -> Printf.sprintf "repair %d (%s)" seq view
+  | Refresh { seq; view } -> Printf.sprintf "refresh %d (%s)" seq view

@@ -1,0 +1,49 @@
+(** WAL record payloads.
+
+    One record per manager operation that changes durable state:
+
+    - [Commit]: one per {e commit attempt} — the netted base deltas,
+      the commit-start self-heal transitions, and each participating
+      view's outcome.  An aborted commit logs an empty net (heals and
+      the sequence bump are its only surviving effects).
+    - [Heal], [Repair], [Refresh]: explicit manager calls that moved
+      state outside a commit.
+
+    Recovery replays records through the live maintenance machinery:
+    [Applied] views re-run their maintenance (deterministic — the
+    strategies all produce the same counters), [Faulted] views are
+    forced back into quarantine with the recorded error, and [Cascade]
+    quarantines re-emerge organically from the replayed parents. *)
+
+(** A view's participation in a logged commit. *)
+type outcome =
+  | Applied  (** maintained successfully *)
+  | Faulted of string
+      (** quarantined by a maintenance fault; payload is the error
+          rendering, reproduced verbatim on replay *)
+  | Cascade of string
+      (** quarantined because a parent was stale; reproduced by the
+          replayed dependents phase, not forced *)
+
+(** A health transition from one self-heal attempt. *)
+type health_change = {
+  view : string;
+  healed : bool;  (** the view was healthy after the attempt *)
+  health : State.health;  (** resulting health *)
+}
+
+type t =
+  | Commit of {
+      seq : int;
+      heals : health_change list;  (** commit-start auto-heal attempts *)
+      net : Relalg.Transaction.net;  (** [] for an aborted commit *)
+      outcomes : (string * outcome) list;
+    }
+  | Heal of { seq : int; change : health_change }
+  | Repair of { seq : int; view : string }
+  | Refresh of { seq : int; view : string }
+
+val seq : t -> int
+val encode : Buffer.t -> t -> unit
+val decode : Codec.reader -> t
+val describe : t -> string

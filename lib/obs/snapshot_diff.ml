@@ -235,6 +235,26 @@ let compare_snapshots opts ~baseline ~current =
     else timing ~what:"aggregate.speedup" ~worse_when:`Lower base cur
   | Some _, None -> regress "aggregate section missing from the snapshot"
   | _ -> ());
+  (* E25: replay count over the fixed recovery curve is deterministic;
+     the group-commit WAL budget is an absolute contract like E20 *)
+  (match both "durability.records_replayed_total" with
+  | Some base, Some cur ->
+    deterministic ~what:"durability.records_replayed_total" ~worse_when:`Either
+      base cur
+  | Some _, None -> regress "durability section missing from the snapshot"
+  | _ -> ());
+  (match num_path "durability.wal_overhead_pct" current with
+  | Some pct ->
+    incr compared;
+    if pct > 10.0 then
+      if opts.check_timing then
+        regress "durability.wal_overhead_pct %.2f exceeds the 10%% budget" pct
+      else
+        note "durability.wal_overhead_pct %.2f exceeds the 10%% budget \
+              (timing; not gated)" pct
+  | None ->
+    if path "durability" baseline <> None then
+      regress "durability.wal_overhead_pct missing");
   {
     regressions = List.rev !regressions;
     notes = List.rev !notes;
@@ -281,3 +301,7 @@ let degrade json =
          agg
          |> map_member "groups_touched" (fun _ -> Json.Int 0)
          |> map_member "speedup" (fun _ -> Json.Float 0.5))
+  |> map_member "durability" (fun d ->
+         d
+         |> map_member "records_replayed_total" (fun _ -> Json.Int 0)
+         |> map_member "wal_overhead_pct" (fun _ -> Json.Float 50.0))

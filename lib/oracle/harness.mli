@@ -45,6 +45,27 @@ type run_stats = {
 
 val fresh_stats : unit -> run_stats
 
+(** Names of views currently quarantined or disabled. *)
+val unhealthy : Ivm.Manager.t -> string list
+
+(** Raised by {!compare_states} (and internally by {!run}) on the first
+    violated check. *)
+exception Diverged of divergence
+
+(** One lockstep comparison: base relations, then every materialization
+    (tuples {e and} counters) not in [skip], against the reference.
+    @raise Diverged on the first mismatch.  Exposed for the
+    crash-recovery harness ({!Crash}), which interleaves comparisons
+    with kills and recoveries. *)
+val compare_states :
+  ?skip:string list ->
+  Reference.t ->
+  Ivm.Manager.t ->
+  Relalg.Database.t ->
+  Stream.t ->
+  int ->
+  unit
+
 (** [run ?corrupt ?fault_rate ?policy ?stats stream] replays [stream];
     [corrupt], used by the test suite to simulate maintenance bugs, runs
     after each commit with the manager and the 0-based transaction index

@@ -7,6 +7,28 @@ type policy = {
 
 let default = { attempts = 3; backoff_ns = 100_000; jitter = 0.5; seed = 1986 }
 
+type schedule = {
+  rounds : int;
+  base : int;
+  multiplier : float;
+  backoff_jitter : float;
+  schedule_seed : int;
+}
+
+let default_schedule =
+  { rounds = 3; base = 1; multiplier = 2.0; backoff_jitter = 0.0;
+    schedule_seed = 1986 }
+
+let heal_delay s ~failures =
+  let k = max 1 failures in
+  let base = float_of_int (max 1 s.base) *. (s.multiplier ** float_of_int (k - 1)) in
+  (* Jitter in [-j, +j) of the base, deterministic in (seed, round) —
+     the same hash family the fault injector and retry sleeps use, so a
+     replayed stream reproduces the exact same eligibility sequence. *)
+  let u = Fault.hash_unit ~seed:s.schedule_seed "heal-backoff" k in
+  let delayed = base *. (1.0 +. (s.backoff_jitter *. ((2.0 *. u) -. 1.0))) in
+  max 1 (int_of_float (Float.round delayed))
+
 let sleep_ns policy ~attempt =
   let base = float_of_int policy.backoff_ns *. (2.0 ** float_of_int (attempt - 1)) in
   (* Jitter in [-j, +j) of the base, deterministic in (seed, attempt). *)

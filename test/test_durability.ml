@@ -1,0 +1,555 @@
+(* The durable commit pipeline: binary codec round-trips and checksum
+   rejection, WAL header compatibility, torn-tail truncation at every
+   byte offset of the final record, checkpoint atomic round-trips, the
+   self-heal backoff ladder, and manager-level recovery — including the
+   QCheck property that recovery is idempotent for arbitrary generated
+   workloads. *)
+
+open Relalg
+open Helpers
+module Manager = Ivm.Manager
+module Codec = Durability.Codec
+module Wal = Durability.Wal
+module State = Durability.State
+module Record = Durability.Record
+module Retry = Resilience.Retry
+
+let tmp name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ivm-durability-%s-%d" name (Unix.getpid ()))
+
+let clean dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let with_dir name f =
+  let dir = tmp name in
+  clean dir;
+  Fun.protect ~finally:(fun () -> clean dir) (fun () -> f dir)
+
+let copy_file src dst =
+  let content = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc content)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () -> Unix.ftruncate fd len)
+
+(* Flip one byte of [path] at [pos]. *)
+let corrupt_byte path pos =
+  let content = In_channel.with_open_bin path In_channel.input_all in
+  let b = Bytes.of_string content in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xFF));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc b)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip w r value =
+  let buf = Buffer.create 64 in
+  w buf value;
+  let reader = Codec.reader (Buffer.contents buf) in
+  let decoded = r reader in
+  Codec.expect_end reader;
+  decoded
+
+let codec_tests =
+  [
+    quick "integers round-trip (negatives and extremes)" (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check int) (string_of_int n) n
+              (roundtrip Codec.w_int Codec.r_int n))
+          [ 0; 1; -1; 42; -9_000_000; max_int; min_int ]);
+    quick "strings and bools round-trip" (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check string) "string" s
+              (roundtrip Codec.w_string Codec.r_string s))
+          [ ""; "x"; "north\n\000tab\t" ];
+        List.iter
+          (fun b ->
+            Alcotest.(check bool) "bool" b
+              (roundtrip Codec.w_bool Codec.r_bool b))
+          [ true; false ]);
+    quick "relations round-trip with counts and schema" (fun () ->
+        let r = counted_rel [ "A"; "B" ] [ ([ 1; 2 ], 3); ([ 4; 5 ], 1) ] in
+        let decoded = roundtrip Codec.w_relation Codec.r_relation r in
+        check_rel "relation" r decoded;
+        Alcotest.(check bool)
+          "schema" true
+          (Schema.equal (Relation.schema r) (Relation.schema decoded)));
+    quick "net effects round-trip" (fun () ->
+        let net =
+          [
+            ("R", ([ Tuple.of_ints [ 1; 2 ] ], [ Tuple.of_ints [ 3; 4 ] ]));
+            ("S", ([], [ Tuple.of_ints [ 9; 9 ] ]));
+          ]
+        in
+        let decoded = roundtrip Codec.w_net Codec.r_net net in
+        Alcotest.(check bool) "net equal" true (net = decoded));
+    quick "truncated input raises Corrupt, not an escape" (fun () ->
+        let buf = Buffer.create 16 in
+        Codec.w_string buf "hello";
+        let cut = String.sub (Buffer.contents buf) 0 3 in
+        (try
+           ignore (Codec.r_string (Codec.reader cut));
+           Alcotest.fail "truncated input decoded"
+         with Durability.Corrupt _ -> ()));
+    quick "crc32 matches the IEEE reference vector" (fun () ->
+        (* "123456789" -> 0xCBF43926 is the standard check value. *)
+        Alcotest.(check int32)
+          "check value" 0xCBF43926l
+          (Codec.crc32 "123456789" ~pos:0 ~len:9));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Record and State round-trips                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sample_records =
+  [
+    Record.Commit
+      {
+        seq = 7;
+        heals =
+          [
+            {
+              Record.view = "v0";
+              healed = false;
+              health =
+                State.Quarantined
+                  {
+                    error = "Fault.Injected(task)";
+                    since = 5;
+                    heal_failures = 2;
+                    next_eligible = 11;
+                  };
+            };
+          ];
+        net = [ ("R", ([ Tuple.of_ints [ 1; 2 ] ], [])) ];
+        outcomes =
+          [
+            ("v0", Record.Applied);
+            ("v1", Record.Faulted "Fault.Injected(apply-inserts)");
+            ("v2", Record.Cascade "parent v1 stale");
+          ];
+      };
+    Record.Heal
+      {
+        seq = 3;
+        change = { Record.view = "v1"; healed = true; health = State.Healthy };
+      };
+    Record.Repair { seq = 9; view = "v2" };
+    Record.Refresh { seq = 12; view = "d0" };
+  ]
+
+let record_tests =
+  [
+    quick "every record variant round-trips" (fun () ->
+        List.iter
+          (fun record ->
+            let decoded = roundtrip Record.encode Record.decode record in
+            Alcotest.(check bool) (Record.describe record) true
+              (record = decoded))
+          sample_records);
+    quick "state round-trips bit for bit" (fun () ->
+        let st =
+          {
+            State.seq = 4;
+            lsn = 6;
+            relations = [ ("R", rel [ "A"; "B" ] [ [ 1; 2 ]; [ 3; 4 ] ]) ];
+            views =
+              [
+                {
+                  State.view = "v0";
+                  health =
+                    State.Disabled
+                      { error = "boom"; since = 2; heal_failures = 3 };
+                  contents = rel [ "A"; "B" ] [ [ 1; 2 ] ];
+                  grouped = Some (rel [ "A" ] [ [ 1 ] ]);
+                  pending =
+                    [
+                      ( "R",
+                        rel [ "A"; "B" ] [ [ 5; 6 ] ],
+                        rel [ "A"; "B" ] [] );
+                    ];
+                };
+              ];
+          }
+        in
+        let decoded = roundtrip State.encode State.decode st in
+        (match State.diff st decoded with
+        | None -> ()
+        | Some d -> Alcotest.fail ("state diff after round-trip: " ^ d));
+        Alcotest.(check bool) "equal" true (State.equal st decoded));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* WAL file                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let wal_tests =
+  [
+    quick "append / reopen returns the records in order" (fun () ->
+        with_dir "wal-roundtrip" (fun dir ->
+            Unix.mkdir dir 0o755;
+            let path = Filename.concat dir "wal.bin" in
+            let wal, existing =
+              Wal.open_ ~fsync:Durability.Config.Always path
+            in
+            Alcotest.(check int) "fresh log" 0 (List.length existing);
+            let lsns =
+              List.map
+                (fun r ->
+                  let lsn = Wal.append wal r in
+                  Wal.maybe_sync wal;
+                  lsn)
+                sample_records
+            in
+            Alcotest.(check (list int)) "lsns" [ 1; 2; 3; 4 ] lsns;
+            let _, scanned = Wal.open_ ~fsync:Durability.Config.Never path in
+            Alcotest.(check bool)
+              "records survive" true
+              (List.map snd scanned = sample_records);
+            Alcotest.(check (list int))
+              "lsns survive" [ 1; 2; 3; 4 ]
+              (List.map fst scanned)));
+    quick "foreign and future headers raise Incompatible_wal" (fun () ->
+        with_dir "wal-header" (fun dir ->
+            Unix.mkdir dir 0o755;
+            let path = Filename.concat dir "wal.bin" in
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc "NOTAWAL!");
+            (try
+               ignore (Wal.open_ ~fsync:Durability.Config.Always path);
+               Alcotest.fail "foreign magic accepted"
+             with Durability.Incompatible_wal _ -> ());
+            let buf = Buffer.create 8 in
+            Buffer.add_string buf Wal.magic;
+            Buffer.add_uint16_le buf (Wal.version + 1);
+            Out_channel.with_open_bin path (fun oc ->
+                Out_channel.output_string oc (Buffer.contents buf));
+            try
+              ignore (Wal.open_ ~fsync:Durability.Config.Always path);
+              Alcotest.fail "future version accepted"
+            with Durability.Incompatible_wal _ -> ()));
+    quick "a flipped payload byte drops the record as a torn tail"
+      (fun () ->
+        with_dir "wal-crc" (fun dir ->
+            Unix.mkdir dir 0o755;
+            let path = Filename.concat dir "wal.bin" in
+            let wal, _ = Wal.open_ ~fsync:Durability.Config.Always path in
+            List.iter
+              (fun r ->
+                ignore (Wal.append wal r);
+                Wal.maybe_sync wal)
+              sample_records;
+            let entries = Wal.entries path in
+            let _, off, len = List.nth entries 3 in
+            (* Flip a byte inside the last frame's payload. *)
+            corrupt_byte path (off + len - 1);
+            let wal2, scanned =
+              Wal.open_ ~fsync:Durability.Config.Never path
+            in
+            Alcotest.(check int) "last record dropped" 3 (List.length scanned);
+            Alcotest.(check int) "torn bytes counted" len
+              (Wal.torn_bytes wal2)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Manager-level durability                                            *)
+(* ------------------------------------------------------------------ *)
+
+let orders_columns =
+  [ Workload.Generate.Uniform (1, 500); Workload.Generate.Uniform (1, 9) ]
+
+let make_db () =
+  db_of
+    [
+      ("R", rel [ "A"; "B" ] [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ]; [ 7; 2 ] ]);
+      ("S", rel [ "B"; "C" ] [ [ 2; 7 ]; [ 4; 8 ]; [ 6; 9 ] ]);
+    ]
+
+let define_views mgr =
+  ignore
+    (Manager.define_view mgr ~name:"j"
+       Query.Expr.(join (base "R") (base "S")));
+  ignore
+    (Manager.define_view mgr ~name:"p" Query.Expr.(project [ "B" ] (base "R")))
+
+(* Run [n] seed-deterministic transactions against a fresh durable
+   manager in [dir], returning the manager and the per-LSN state
+   snapshots (keyed by {!Manager.wal_lsn} after each commit). *)
+let run_durable ?fsync ?checkpoint_every ~seed ~transactions dir =
+  let config = Durability.Config.make ?fsync ?checkpoint_every dir in
+  let db = make_db () in
+  let mgr = Manager.create ~domains:1 ~durability:config db in
+  define_views mgr;
+  let rng = Workload.Rng.make seed in
+  let snaps = Hashtbl.create 16 in
+  Hashtbl.replace snaps (Manager.wal_lsn mgr) (Manager.capture_state mgr);
+  for _ = 1 to transactions do
+    let txn =
+      Workload.Generate.transaction rng db "R" ~columns:orders_columns
+        ~inserts:2 ~deletes:1
+    in
+    ignore (Manager.commit mgr txn);
+    Hashtbl.replace snaps (Manager.wal_lsn mgr) (Manager.capture_state mgr)
+  done;
+  (mgr, snaps)
+
+let fresh_recovered ?fsync ?checkpoint_every dir =
+  let config = Durability.Config.make ?fsync ?checkpoint_every dir in
+  let mgr = Manager.create ~domains:1 ~durability:config (make_db ()) in
+  define_views mgr;
+  let info = Manager.recover mgr in
+  (mgr, info)
+
+let check_state msg expected actual =
+  match State.diff expected actual with
+  | None -> ()
+  | Some d -> Alcotest.fail (msg ^ ": " ^ d)
+
+let manager_tests =
+  [
+    quick "commit appends one record; recovery reproduces the state"
+      (fun () ->
+        with_dir "mgr-roundtrip" (fun dir ->
+            let mgr, _ = run_durable ~seed:11 ~transactions:5 dir in
+            Alcotest.(check bool) "durable" true (Manager.durable mgr);
+            Alcotest.(check int) "one record per commit" 5
+              (Manager.wal_lsn mgr);
+            let expected = Manager.capture_state mgr in
+            let mgr2, info = fresh_recovered dir in
+            Alcotest.(check int) "all records replayed" 5
+              info.Manager.records_replayed;
+            check_state "recovered" expected (Manager.capture_state mgr2);
+            Alcotest.(check bool)
+              "views consistent" true
+              (Manager.all_consistent mgr2)));
+    quick "recovery is idempotent (in place and from the rewritten disk)"
+      (fun () ->
+        with_dir "mgr-idempotent" (fun dir ->
+            let mgr, _ = run_durable ~seed:12 ~transactions:4 dir in
+            let expected = Manager.capture_state mgr in
+            let mgr2, _ = fresh_recovered dir in
+            check_state "first" expected (Manager.capture_state mgr2);
+            (* recover rewrote the checkpoint and truncated the WAL; a
+               fresh manager over the rewritten directory replays
+               nothing and lands on the same state. *)
+            let mgr3, info3 = fresh_recovered dir in
+            Alcotest.(check int) "nothing left to replay" 0
+              info3.Manager.records_replayed;
+            check_state "second" expected (Manager.capture_state mgr3)));
+    quick "checkpoint cadence truncates the WAL and bounds replay"
+      (fun () ->
+        with_dir "mgr-cadence" (fun dir ->
+            let mgr, _ =
+              run_durable ~checkpoint_every:3 ~seed:13 ~transactions:7 dir
+            in
+            let expected = Manager.capture_state mgr in
+            let mgr2, info = fresh_recovered ~checkpoint_every:3 dir in
+            Alcotest.(check bool)
+              (Printf.sprintf "replay bounded by cadence (%d <= 3)"
+                 info.Manager.records_replayed)
+              true
+              (info.Manager.records_replayed <= 3);
+            check_state "recovered" expected (Manager.capture_state mgr2)));
+    quick "explicit checkpoint makes recovery a pure restore" (fun () ->
+        with_dir "mgr-checkpoint" (fun dir ->
+            let mgr, _ = run_durable ~seed:14 ~transactions:3 dir in
+            Manager.checkpoint mgr;
+            let expected = Manager.capture_state mgr in
+            let mgr2, info = fresh_recovered dir in
+            Alcotest.(check int) "no replay" 0 info.Manager.records_replayed;
+            check_state "restored" expected (Manager.capture_state mgr2)));
+    quick "commit before recovery is refused; define after append too"
+      (fun () ->
+        with_dir "mgr-guards" (fun dir ->
+            let mgr, _ = run_durable ~seed:15 ~transactions:2 dir in
+            (* A second manager over live durable state must recover
+               before committing. *)
+            let config = Durability.Config.make dir in
+            let late = Manager.create ~domains:1 ~durability:config (make_db ())
+            in
+            define_views late;
+            (try
+               ignore
+                 (Manager.commit late
+                    [ Transaction.insert "R" (Tuple.of_ints [ 100; 1 ]) ]);
+               Alcotest.fail "commit before recovery accepted"
+             with Failure _ -> ());
+            (* The first manager already appended: defining another view
+               now would make replay ambiguous. *)
+            try
+              ignore
+                (Manager.define_view mgr ~name:"late"
+                   Query.Expr.(project [ "A" ] (base "R")));
+              Alcotest.fail "define_view after append accepted"
+            with Invalid_argument _ -> ()));
+    quick "recover refuses a foreign WAL" (fun () ->
+        with_dir "mgr-foreign" (fun dir ->
+            Unix.mkdir dir 0o755;
+            Out_channel.with_open_bin (Filename.concat dir "wal.bin")
+              (fun oc -> Out_channel.output_string oc "NOTAWAL!");
+            let config = Durability.Config.make dir in
+            try
+              ignore (Manager.create ~domains:1 ~durability:config (make_db ()));
+              Alcotest.fail "foreign WAL accepted"
+            with Durability.Incompatible_wal _ -> ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Torn-tail corpus: cut the final record at every byte offset         *)
+(* ------------------------------------------------------------------ *)
+
+let torn_tail_tests =
+  [
+    quick "recovery survives truncation at every byte of the last record"
+      (fun () ->
+        with_dir "torn-corpus" (fun dir ->
+            with_dir "torn-corpus-cut" (fun dir2 ->
+                let mgr, snaps = run_durable ~seed:16 ~transactions:4 dir in
+                let full = Manager.capture_state mgr in
+                let wal_path =
+                  Durability.Config.wal_path (Durability.Config.make dir)
+                in
+                let entries = Wal.entries wal_path in
+                let last_lsn, off, len =
+                  List.nth entries (List.length entries - 1)
+                in
+                let prev =
+                  match Hashtbl.find_opt snaps (last_lsn - 1) with
+                  | Some st -> st
+                  | None -> Alcotest.fail "missing snapshot"
+                in
+                Unix.mkdir dir2 0o755;
+                let wal2 =
+                  Durability.Config.wal_path (Durability.Config.make dir2)
+                in
+                let ckpt = Filename.concat dir "checkpoint.bin" in
+                let ckpt2 = Filename.concat dir2 "checkpoint.bin" in
+                for cut = 0 to len do
+                  copy_file wal_path wal2;
+                  copy_file ckpt ckpt2;
+                  truncate_file wal2 (off + cut);
+                  let mgr2, info = fresh_recovered dir2 in
+                  (* A whole frame (cut = len) recovers everything; any
+                     partial cut falls back to the previous record. *)
+                  let expected = if cut = len then full else prev in
+                  check_state
+                    (Printf.sprintf "cut at byte %d of %d" cut len)
+                    expected
+                    (Manager.capture_state mgr2);
+                  Alcotest.(check int)
+                    (Printf.sprintf "torn bytes at cut %d" cut)
+                    (if cut = 0 || cut = len then 0 else cut)
+                    info.Manager.torn_bytes
+                done)))
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Self-heal backoff ladder                                            *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_tests =
+  [
+    quick "delays grow by the multiplier from the base" (fun () ->
+        let s =
+          {
+            Retry.rounds = 5;
+            base = 2;
+            multiplier = 3.0;
+            backoff_jitter = 0.0;
+            schedule_seed = 1;
+          }
+        in
+        Alcotest.(check (list int))
+          "ladder" [ 2; 6; 18; 54 ]
+          (List.map
+             (fun failures -> Retry.heal_delay s ~failures)
+             [ 1; 2; 3; 4 ]));
+    quick "delay is at least one commit" (fun () ->
+        let s =
+          {
+            Retry.rounds = 3;
+            base = 0;
+            multiplier = 0.5;
+            backoff_jitter = 0.0;
+            schedule_seed = 1;
+          }
+        in
+        Alcotest.(check int) "floor" 1 (Retry.heal_delay s ~failures:1));
+    quick "jitter is seed-deterministic and bounded" (fun () ->
+        let s seed =
+          {
+            Retry.rounds = 4;
+            base = 10;
+            multiplier = 2.0;
+            backoff_jitter = 0.5;
+            schedule_seed = seed;
+          }
+        in
+        let d1 = Retry.heal_delay (s 42) ~failures:2 in
+        let d2 = Retry.heal_delay (s 42) ~failures:2 in
+        Alcotest.(check int) "same seed, same delay" d1 d2;
+        (* base * mult = 20; jitter 0.5 keeps it within [10, 30]. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "delay %d within jitter band" d1)
+          true
+          (d1 >= 10 && d1 <= 30));
+    quick "default schedule matches the pre-ladder behaviour" (fun () ->
+        Alcotest.(check int) "three rounds" 3 Retry.default_schedule.Retry.rounds;
+        Alcotest.(check int)
+          "one-commit base delay" 1
+          (Retry.heal_delay Retry.default_schedule ~failures:1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: recovery idempotence over generated workloads               *)
+(* ------------------------------------------------------------------ *)
+
+let property_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~count:25 ~name:"recover twice = recover once"
+         QCheck.(pair small_nat (int_range 1 8))
+         (fun (seed, transactions) ->
+           let dir = tmp (Printf.sprintf "prop-%d-%d" seed transactions) in
+           clean dir;
+           Fun.protect
+             ~finally:(fun () -> clean dir)
+             (fun () ->
+               let checkpoint_every = seed mod 3 in
+               let mgr, _ =
+                 run_durable ~checkpoint_every ~seed ~transactions dir
+               in
+               let expected = Manager.capture_state mgr in
+               let mgr2, _ = fresh_recovered ~checkpoint_every dir in
+               let first = Manager.capture_state mgr2 in
+               let mgr3, info3 = fresh_recovered ~checkpoint_every dir in
+               let second = Manager.capture_state mgr3 in
+               State.equal expected first && State.equal first second
+               && info3.Manager.records_replayed = 0)));
+  ]
+
+let () =
+  Alcotest.run "durability"
+    [
+      ("codec", codec_tests);
+      ("records", record_tests);
+      ("wal", wal_tests);
+      ("manager", manager_tests);
+      ("torn-tail", torn_tail_tests);
+      ("backoff", backoff_tests);
+      ("properties", property_tests);
+    ]

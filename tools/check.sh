@@ -36,6 +36,16 @@ for d in 1 2 4; do
     --transactions 40 --domains "$d" --aggregates --quiet
   dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 25 \
     --transactions 40 --domains "$d" --aggregates --fault-rate 0.05 --quiet
+  # Crash-recovery gate (domains 1 and 4): the same streams run with a
+  # WAL and kill-points armed at the append/fsync/checkpoint/truncate
+  # boundaries, plus torn tails injected at arbitrary byte offsets into
+  # the surviving log.  Every crash must recover to a state
+  # bit-identical to an oracle that replayed the durable prefix, twice
+  # (recovery is idempotent), before the stream resumes.
+  if [ "$d" -ne 2 ]; then
+    dune exec bin/ivm_cli.exe -- fuzz --seed 1986 --streams 25 \
+      --transactions 30 --domains "$d" --crash --quiet
+  fi
   # Provenance smoke: the explain pipeline must replay the paper demo
   # (screening rules, keyed drain, certificate fallback) and emit
   # parseable JSON, and the OpenMetrics exposition must end in # EOF.

@@ -6,7 +6,7 @@
                                       contain spans for every Algorithm
                                       5.1 phase (net, screen, row, apply);
      validate_snapshot bench FILE   — BENCH_IVM.json from bench/main.exe:
-                                      must parse, be schema_version >= 7,
+                                      must parse, be schema_version >= 8,
                                       and carry per-view latency
                                       percentiles, advisor
                                       predicted-vs-actual pairs, the
@@ -32,7 +32,13 @@
                                       within the same 5% budget, and the
                                       E24 aggregate section whose
                                       incremental grouped maintenance
-                                      must beat full recompute (> 1x);
+                                      must beat full recompute (> 1x),
+                                      and the E25 durability section
+                                      whose group-commit WAL overhead
+                                      must stay within 10% of in-memory
+                                      and whose recovery curve must
+                                      replay exactly one record per
+                                      commit;
      validate_snapshot lint FILE    — report from `ivm_cli lint --json`:
                                       must parse, carry no Error-severity
                                       diagnostics, and prove the
@@ -115,11 +121,11 @@ let validate_bench path =
   ignore (require_member "calibration" advisor);
   ignore (require_member "metrics" json);
   (match require_member "schema_version" json with
-  | Obs.Json.Int v when v >= 7 -> ()
+  | Obs.Json.Int v when v >= 8 -> ()
   | Obs.Json.Int v ->
-    fail "schema_version %d < 7 (split E18 per_view / E23 sharded parallel \
-          curves, E20 resilience, E21 self-maintenance, E22 provenance and \
-          E24 aggregate sections required)" v
+    fail "schema_version %d < 8 (split E18 per_view / E23 sharded parallel \
+          curves, E20 resilience, E21 self-maintenance, E22 provenance, \
+          E24 aggregate and E25 durability sections required)" v
   | _ -> fail "schema_version is not an integer");
   let parallel = require_member "parallel" json in
   let cores =
@@ -322,6 +328,67 @@ let validate_bench path =
       "aggregate.speedup %.2fx: incremental grouped maintenance should beat \
        full recompute on small mixed batches"
       aggregate_speedup;
+  let durability = require_member "durability" json in
+  let durability_member key =
+    match Obs.Json.member key durability with
+    | Some v -> v
+    | None -> fail "durability section has no %S field" key
+  in
+  List.iter
+    (fun key ->
+      match durability_member key with
+      | Obs.Json.Int n when n > 0 -> ()
+      | _ -> fail "durability.%s is not a positive integer" key)
+    [ "fsync_every"; "in_memory_ns"; "wal_ns"; "records_replayed_total" ];
+  (* Like the E20 journal and E22 recorder, the write-ahead log runs on
+     every durable commit, so its happy-path cost is thresholded: group
+     commit must keep framing + checksumming + batched fsyncs within
+     10% of the in-memory pipeline. *)
+  let max_wal_overhead_pct = 10.0 in
+  let wal_overhead =
+    match durability_member "wal_overhead_pct" with
+    | Obs.Json.Float pct -> pct
+    | Obs.Json.Int pct -> float_of_int pct
+    | _ -> fail "durability.wal_overhead_pct is not a number"
+  in
+  if wal_overhead > max_wal_overhead_pct then
+    fail
+      "durability.wal_overhead_pct %.2f exceeds the %.1f%% group-commit \
+       budget"
+      wal_overhead max_wal_overhead_pct;
+  let recovery_curve =
+    as_list "durability.recovery_curve" (durability_member "recovery_curve")
+  in
+  if recovery_curve = [] then fail "durability.recovery_curve is empty";
+  List.iter
+    (fun point ->
+      let point_member key =
+        match Obs.Json.member key point with
+        | Some v -> v
+        | None -> fail "a durability.recovery_curve point has no %S field" key
+      in
+      List.iter
+        (fun key ->
+          match point_member key with
+          | Obs.Json.Int n when n > 0 -> ()
+          | _ ->
+            fail "durability.recovery_curve.%s is not a positive integer" key)
+        [ "commits"; "recovery_ns"; "records_replayed" ];
+      (match point_member "records_per_sec" with
+      | Obs.Json.Float r when r > 0.0 -> ()
+      | Obs.Json.Int r when r > 0 -> ()
+      | _ -> fail "durability.recovery_curve.records_per_sec is not positive");
+      (* The curve is built without mid-run checkpoints, so replay must
+         touch exactly one record per commit — fewer means the log lost
+         records, more means recovery applied something twice. *)
+      match (point_member "commits", point_member "records_replayed") with
+      | Obs.Json.Int commits, Obs.Json.Int replayed when commits <> replayed ->
+        fail
+          "durability.recovery_curve: %d commits but %d records replayed \
+           (recovery must replay exactly one record per commit)"
+          commits replayed
+      | _ -> ())
+    recovery_curve;
   let sharded_at_4 =
     List.fold_left
       (fun acc (_, domains, value) -> if domains = 4 then value else acc)
@@ -331,10 +398,11 @@ let validate_bench path =
     "ok: %s (%d views, %d advisor pairs, per_view + sharded scaling curves, \
      sharded %.2fx at 4 domains%s, journal overhead %+.2f%%, \
      self-maintenance eval reduction %.2fx, recorder overhead %+.2f%%, \
-     aggregate speedup %.2fx)\n"
+     aggregate speedup %.2fx, wal overhead %+.2f%%, %d recovery points)\n"
     path (List.length views) (List.length pairs) sharded_at_4
     (if cores < 4 then " (ungated)" else " (gated >= 1.5x)")
-    overhead reduction recorder_overhead aggregate_speedup
+    overhead reduction recorder_overhead aggregate_speedup wal_overhead
+    (List.length recovery_curve)
 
 (* `ivm_cli lint --json` over the built-in scenarios: parseable, no
    Error-severity diagnostics, and the IVM05x self-maintenance band must
